@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  Set ``REPRO_FULL=1`` to
+run the complete batch sweeps (matching the paper's grids exactly);
+the default uses reduced sweeps to keep ``pytest benchmarks/`` quick.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweeps() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not full_sweeps()
+
+
+@pytest.fixture(scope="session")
+def fig7_52b(quick):
+    """Shared Figure 7 (52B) search results for fig1/fig7/fig8/tableE."""
+    from repro.experiments.fig7 import run_fig7
+
+    return run_fig7("52B", quick=quick)
+
+
+@pytest.fixture(scope="session")
+def fig7_66b(quick):
+    from repro.experiments.fig7 import run_fig7
+
+    return run_fig7("6.6B", quick=quick)
+
+
+@pytest.fixture(scope="session")
+def fig7_ethernet(quick):
+    from repro.experiments.fig7 import run_fig7
+
+    return run_fig7("6.6B-ethernet", quick=quick)

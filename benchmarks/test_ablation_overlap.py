@@ -1,0 +1,104 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. **Overlap ablation**: the same schedules run under the overlap-capable
+   profile vs the no-overlap profile — isolating how much of the
+   breadth-first advantage is the *schedule* (bubble shape) and how much
+   is the *overlap it enables* (the paper's Figure 2a vs 2b argument,
+   measured on the simulator).
+2. **Sync-cost ablation**: sensitivity of the depth-first schedule to the
+   calibrated per-message synchronization cost (Section 5.2 attributes
+   its measured overhead to exactly this term).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.hardware.network import INFINIBAND_DGX1
+from repro.implementations import MEGATRON_LM, OUR_IMPLEMENTATION
+from repro.models.presets import MODEL_52B
+from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
+from repro.sim.simulator import simulate
+from repro.utils.tables import ascii_table
+
+
+def _overlap_ablation():
+    rows = []
+    for name, kind, loop in [
+        ("Breadth-first", ScheduleKind.BREADTH_FIRST, 8),
+        ("Depth-first", ScheduleKind.DEPTH_FIRST, 8),
+        ("Non-looped", ScheduleKind.GPIPE, 1),
+    ]:
+        config = ParallelConfig(
+            n_dp=2, n_pp=4, n_tp=8, microbatch_size=1, n_microbatches=16,
+            n_loop=loop, schedule=kind, sharding=Sharding.NONE,
+        )
+        with_overlap = simulate(
+            MODEL_52B, config, DGX1_CLUSTER_64,
+            implementation=OUR_IMPLEMENTATION,
+        )
+        without = simulate(
+            MODEL_52B, config, DGX1_CLUSTER_64, implementation=MEGATRON_LM
+        )
+        rows.append(
+            (name, with_overlap.utilization, without.utilization)
+        )
+    return rows
+
+
+def test_ablation_overlap(benchmark):
+    rows = benchmark.pedantic(_overlap_ablation, rounds=1, iterations=1)
+    by_name = {n: (w, wo) for n, w, wo in rows}
+
+    # Every schedule loses without overlap; the looped schedules lose the
+    # most (they have more, smaller messages to hide) — the paper's
+    # "renewed importance of overlap for looped pipelines" (Fig. 2b).
+    for name, (with_o, without_o) in by_name.items():
+        assert with_o > without_o, f"{name}: overlap did not help"
+    bf_loss = 1 - by_name["Breadth-first"][1] / by_name["Breadth-first"][0]
+    nl_loss = 1 - by_name["Non-looped"][1] / by_name["Non-looped"][0]
+    assert bf_loss > nl_loss, "looped schedule should depend more on overlap"
+
+    print()
+    print(ascii_table(
+        ["Schedule", "With overlap", "Without overlap", "Loss"],
+        [
+            (n, f"{w * 100:.1f}%", f"{wo * 100:.1f}%", f"{(1 - wo / w) * 100:.0f}%")
+            for n, w, wo in rows
+        ],
+        title="Overlap ablation: 52B, N_PP=4, N_TP=8, N_DP=2, B=32",
+    ))
+
+
+def _sync_ablation():
+    config = ParallelConfig(
+        n_dp=1, n_pp=8, n_tp=8, microbatch_size=1, n_microbatches=64,
+        n_loop=8, schedule=ScheduleKind.DEPTH_FIRST,
+    )
+    rows = []
+    for scale in (0.0, 0.5, 1.0, 2.0):
+        network = dataclasses.replace(
+            INFINIBAND_DGX1, sync_overhead=INFINIBAND_DGX1.sync_overhead * scale
+        )
+        cluster = dataclasses.replace(DGX1_CLUSTER_64, inter_node=network)
+        result = simulate(MODEL_52B, config, cluster)
+        rows.append((scale, result.utilization))
+    return rows
+
+
+def test_ablation_sync_cost(benchmark):
+    rows = benchmark.pedantic(_sync_ablation, rounds=1, iterations=1)
+    utils = [u for _, u in rows]
+    # Monotone: more per-message cost, less utilization; and the measured
+    # Figure 6b penalty (~25-40% loss at N_loop=8) needs a nonzero sync
+    # cost — bandwidth alone explains almost nothing (Appendix A.3.2).
+    assert utils == sorted(utils, reverse=True)
+    assert utils[0] > utils[2] * 1.2, "sync cost should dominate DF overhead"
+
+    print()
+    print(ascii_table(
+        ["Sync-cost scale", "Depth-first utilization"],
+        [(f"{s:.1f}x", f"{u * 100:.1f}%") for s, u in rows],
+        title="Sync-cost ablation: depth-first, 52B, B=64, N_loop=8",
+    ))

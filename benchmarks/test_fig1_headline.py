@@ -1,0 +1,36 @@
+"""Figure 1: headline — training time and memory, 52B on 4096 V100s."""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import run_fig1
+from repro.utils.tables import ascii_table
+
+
+def test_fig1_headline(benchmark, fig7_52b):
+    bars = benchmark.pedantic(
+        run_fig1, kwargs={"fig7_panel": fig7_52b}, rounds=1, iterations=1
+    )
+    by_label = {b.label: b for b in bars}
+
+    ours = by_label["3d (Ours)"]
+    # Paper Figure 1a: ours trains fastest (~10 days on 4096 V100s).
+    for label, bar in by_label.items():
+        assert ours.training_days <= bar.training_days * 1.05, (
+            f"{label} trains faster than ours"
+        )
+    assert 3 < ours.training_days < 40
+    # Figure 1b: our memory (DP_FS-capable) is the smallest of the 3d
+    # methods.
+    assert ours.memory_gb <= by_label["3d (Megatron-LM)"].memory_gb
+    assert ours.memory_gb < 8.0
+
+    print()
+    print(ascii_table(
+        ["Method", "Training time (days)", "Memory (GB)", "beta", "Util"],
+        [
+            (b.label, f"{b.training_days:.1f}", f"{b.memory_gb:.2f}",
+             f"{b.beta:.3f}", f"{b.utilization * 100:.1f}%")
+            for b in bars
+        ],
+        title="Figure 1: 52B model on 4096 V100s",
+    ))

@@ -1,0 +1,36 @@
+"""Figure 2: theoretical efficiency vs batch size per GPU, both panels."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import run_fig2
+from repro.viz.chart import ascii_line_chart
+
+
+def _both_panels():
+    return run_fig2(overlap=True), run_fig2(overlap=False)
+
+
+def test_fig2_theoretical_efficiency(benchmark):
+    with_overlap, without = benchmark(_both_panels)
+
+    # Panel (a): the looped schedules dominate at small beta, and every
+    # curve shows the beta_min jump or monotone growth.
+    at_min = {name: pts[0][1] for name, pts in with_overlap.items()}
+    assert at_min["Looped (8x)"] > at_min["Looped (2x)"] > at_min["Non-looped"]
+    for name, pts in with_overlap.items():
+        utils = [u for _, u in pts]
+        assert utils[-1] >= utils[0]
+
+    # Panel (b): removing overlap must not help anyone.
+    for name in with_overlap:
+        for (_, u_a), (_, u_b) in zip(with_overlap[name], without[name]):
+            assert u_b <= u_a + 1e-9
+
+    for overlap, curves in (("(a) overlap", with_overlap), ("(b) no overlap", without)):
+        print()
+        print(ascii_line_chart(
+            curves,
+            title=f"Figure 2{overlap}: max GPU utilization (%) vs beta "
+                  "(beta_net=6, N_TP=1)",
+            y_label="util %",
+        ))

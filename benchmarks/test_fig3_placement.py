@@ -1,0 +1,19 @@
+"""Figure 3: standard vs looping layer placement."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_placement(benchmark):
+    placements = benchmark(run_fig3, 16, 4)
+    standard, looping = placements["standard"], placements["looping"]
+    assert standard.layers_of_device(0) == [0, 1, 2, 3]
+    assert looping.layers_of_device(0) == [0, 4, 8, 12]
+    # The looping placement forms a coil: consecutive stages on
+    # consecutive devices, wrapping around.
+    assert [looping.device_of_stage(s) for s in range(16)] == [
+        s % 4 for s in range(16)
+    ]
+    print()
+    print(format_fig3(16, 4))

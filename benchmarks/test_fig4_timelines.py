@@ -1,0 +1,21 @@
+"""Figure 4: simulated timelines of the four pipeline schedules."""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_fig4_timelines(benchmark):
+    panels = benchmark.pedantic(run_fig4, rounds=2, iterations=1)
+    times = {p.name: p.result.step_time for p in panels}
+
+    # Paper ordering: looped schedules run significantly faster than their
+    # non-looped counterparts, with breadth-first the fastest.
+    assert times["(d) Looped, breadth-first"] == min(times.values())
+    assert times["(c) Looped, depth-first"] < times["(a) Non-looped, GPipe"]
+    assert (
+        times["(d) Looped, breadth-first"]
+        < 0.95 * times["(a) Non-looped, GPipe"]
+    )
+    print()
+    print(format_fig4(width=96))

@@ -1,0 +1,33 @@
+"""Figure 5: utilization vs beta at fixed configurations (both panels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.viz.chart import ascii_line_chart
+
+
+@pytest.mark.parametrize("panel", ["52B", "6.6B"])
+def test_fig5_fixed_configs(benchmark, panel):
+    curves = benchmark.pedantic(run_fig5, args=(panel,), rounds=1, iterations=1)
+
+    bf = dict(curves["Breadth-first"])
+    df = dict(curves["Depth-first"])
+    gpipe = dict(curves["GPipe"])
+    smallest = min(bf)
+    # Paper: at small beta the breadth-first schedule is by far the most
+    # efficient; the depth-first schedule suffers from its network
+    # overhead; utilization grows with beta for everyone.
+    assert bf[smallest] > df[smallest]
+    assert bf[smallest] > gpipe[smallest]
+    for name, pts in curves.items():
+        utils = [u for _, u in pts]
+        assert utils == sorted(utils), f"{name} not monotone"
+
+    print()
+    print(ascii_line_chart(
+        curves,
+        title=f"Figure 5 ({panel}): GPU utilization (%) vs batch size per GPU",
+        y_label="util %",
+    ))

@@ -1,0 +1,36 @@
+"""Figure 6: bubble vs network overhead as a function of stages per device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+from repro.viz.chart import ascii_line_chart
+
+
+@pytest.mark.parametrize("batch", [16, 64])
+def test_fig6_loop_sweep(benchmark, batch):
+    curves = benchmark.pedantic(run_fig6, args=(batch,), rounds=1, iterations=1)
+    bf = dict(curves["Breadth-first"])
+    df = dict(curves["Depth-first"])
+
+    if batch == 16:
+        # Panel (a): both benefit from the bubble reduction at first...
+        assert bf[4] > bf[1]
+        assert df[2] > df[1]
+    else:
+        # Panel (b): ...but the depth-first network overhead dominates at
+        # the large batch, where the paper measures a >= 25% loss by
+        # N_loop = 8 while breadth-first holds its ground.
+        assert df[8] < df[1] * 0.9
+        assert bf[8] > bf[1] * 0.95
+    # Breadth-first never falls below depth-first.
+    for loop in (1, 2, 4, 8):
+        assert bf[loop] >= df[loop] - 0.5
+
+    print()
+    print(ascii_line_chart(
+        {k: [(float(x), y) for x, y in v] for k, v in curves.items()},
+        title=f"Figure 6 (B={batch}): utilization (%) vs stages per device",
+        y_label="util %",
+    ))

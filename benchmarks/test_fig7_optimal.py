@@ -1,0 +1,65 @@
+"""Figure 7: best utilization per method vs beta, after the grid search."""
+
+from __future__ import annotations
+
+from repro.parallel.config import Method
+from repro.viz.chart import ascii_line_chart
+
+
+def _check_and_print(panel, *, expect_bf_wins_smallest=True):
+    curves = panel.curves()
+    bf = dict(curves[Method.BREADTH_FIRST.value])
+    smallest_beta = min(bf)
+    if expect_bf_wins_smallest:
+        for method, pts in curves.items():
+            at_small = dict(pts).get(smallest_beta)
+            if at_small is not None and method != Method.BREADTH_FIRST.value:
+                assert bf[smallest_beta] >= at_small, (
+                    f"{method} beats breadth-first at beta={smallest_beta}"
+                )
+    print()
+    print(ascii_line_chart(
+        curves,
+        title=f"Figure 7 ({panel.name}): best utilization (%) vs beta",
+        y_label="util %",
+    ))
+
+
+def test_fig7a_52b(benchmark, fig7_52b):
+    benchmark.pedantic(lambda: None, rounds=1)  # search cached in fixture
+    _check_and_print(fig7_52b)
+
+
+def test_fig7b_6_6b(benchmark, fig7_66b):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _check_and_print(fig7_66b)
+
+
+def test_fig7c_6_6b_ethernet(benchmark, fig7_ethernet):
+    benchmark.pedantic(lambda: None, rounds=1)
+    # Paper: on Ethernet our method improves for all beta.
+    _check_and_print(fig7_ethernet)
+
+
+def test_fig7_headline_factor(benchmark, fig7_52b):
+    """Paper headline: up to ~43-53% faster near beta_min for 52B."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    outcomes = fig7_52b.outcomes
+    smallest = min(o.batch_size for o in outcomes[Method.BREADTH_FIRST])
+    tput = {
+        m: next(
+            o.best.throughput_per_gpu
+            for o in outs
+            if o.batch_size == smallest and o.best is not None
+        )
+        for m, outs in outcomes.items()
+        if any(o.batch_size == smallest and o.best for o in outs)
+    }
+    gain_vs_df = tput[Method.BREADTH_FIRST] / tput[Method.DEPTH_FIRST]
+    gain_vs_nl = tput[Method.BREADTH_FIRST] / tput[Method.NON_LOOPED]
+    assert gain_vs_df > 1.1, f"only {gain_vs_df:.2f}x over depth-first"
+    assert gain_vs_nl > 1.2, f"only {gain_vs_nl:.2f}x over non-looped"
+    print(
+        f"\nbeta_min gain: {gain_vs_df:.2f}x vs depth-first (paper 1.43x), "
+        f"{gain_vs_nl:.2f}x vs non-looped (paper 1.53x)"
+    )

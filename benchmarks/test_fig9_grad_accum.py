@@ -1,0 +1,20 @@
+"""Figure 9 (Appendix C): breadth-first gradient accumulation."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+def test_fig9_grad_accum(benchmark):
+    panels = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    times = {p.name: p.result.step_time for p in panels}
+
+    # Paper: both issues (poor overlap + repeated DP_FS traffic) are
+    # solved by the breadth-first accumulation.
+    assert times["(d) Breadth-first (DP_FS)"] < times["(b) Depth-first (DP_FS)"]
+    assert times["(c) Breadth-first (DP0)"] <= times["(a) Depth-first (DP0)"] * 1.02
+    # DP_FS repetition makes depth-first accumulation the slowest panel.
+    assert max(times, key=times.get) == "(b) Depth-first (DP_FS)"
+
+    print()
+    print(format_fig9())

@@ -1,0 +1,41 @@
+"""Table 4.1: relative performance of distributed methods.
+
+Checks the paper's headline reading of the table: only breadth-first
+scores well on the pipeline bubble, state memory and DP overlap at once.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table41 import run_table41
+from repro.utils.tables import ascii_table
+
+
+def test_table_4_1(benchmark):
+    rows = benchmark(run_table41, n_mb=32)
+    by_method = {r.method: r for r in rows}
+
+    bf = by_method["Breadth-first (DP_FS)"]
+    assert bf.bubble < 0.1 and bf.state_memory <= 2.0 and bf.dp_overlap > 0.8
+    # No other method wins on all three.
+    for name, row in by_method.items():
+        if name.startswith("Breadth-first"):
+            continue
+        assert (
+            row.bubble > bf.bubble
+            or row.state_memory > bf.state_memory
+            or row.dp_overlap < bf.dp_overlap
+        ), f"{name} unexpectedly dominates"
+
+    print()
+    print(ascii_table(
+        ["Method", "Bubble", "State mem", "Act mem", "DP net", "DP overlap",
+         "PP net", "Flexible Nmb"],
+        [
+            (r.method, f"{r.bubble:.3f}", f"{r.state_memory:.1f}",
+             f"{r.activation_memory:.1f}", f"{r.dp_network:.1f}",
+             f"{r.dp_overlap:.3f}", f"{r.pp_network:.0f}",
+             "yes" if r.flexible_nmb else "no")
+            for r in rows
+        ],
+        title="Table 4.1 (N_layers=64, N_PP=8, N_loop=4, N_mb=32, S_mb=1)",
+    ))

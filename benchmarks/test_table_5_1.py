@@ -1,0 +1,13 @@
+"""Table 5.1: the evaluation models (and their derived parameter counts)."""
+
+from __future__ import annotations
+
+from repro.experiments.table51 import format_table51, run_table51
+
+
+def test_table_5_1(benchmark):
+    rows = benchmark(run_table51)
+    assert [m.name for m in rows] == ["52B", "6.6B"]
+    assert rows[0].n_params / 1e9 > 50
+    print()
+    print(format_table51())

@@ -1,0 +1,42 @@
+"""Tables E.1-E.3: selected optimal configurations per method and batch."""
+
+from __future__ import annotations
+
+from repro.experiments.tableE import format_table_e
+from repro.parallel.config import Method, Sharding
+
+
+def _check(panel):
+    for method, outcomes in panel.outcomes.items():
+        for outcome in outcomes:
+            if outcome.best is None:
+                continue
+            cfg = outcome.best.config
+            assert cfg.batch_size == outcome.batch_size
+            assert outcome.best.memory.total < 32 * 2**30
+            if method is Method.DEPTH_FIRST:
+                assert cfg.sharding is Sharding.NONE
+
+
+def test_table_e1_52b(benchmark, fig7_52b):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _check(fig7_52b)
+    # Paper E.1: breadth-first favours sharded configs once N_DP > 1.
+    bf = [o.best for o in fig7_52b.outcomes[Method.BREADTH_FIRST] if o.best]
+    assert any(b.config.sharding is Sharding.FULL for b in bf if b.config.n_dp > 1)
+    print()
+    print(format_table_e(fig7_52b))
+
+
+def test_table_e2_6_6b(benchmark, fig7_66b):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _check(fig7_66b)
+    print()
+    print(format_table_e(fig7_66b))
+
+
+def test_table_e3_ethernet(benchmark, fig7_ethernet):
+    benchmark.pedantic(lambda: None, rounds=1)
+    _check(fig7_ethernet)
+    print()
+    print(format_table_e(fig7_ethernet))

@@ -1,0 +1,53 @@
+"""Appendix-E-style configuration search for one batch size.
+
+Searches the full configuration space (pipeline/tensor/data split,
+micro-batching, stages per device, sharding) of each method for the 52B
+model at batch size 64 on the 64-V100 cluster, and prints the winners —
+one row of Table E.1 per method.
+
+Run:
+    python examples/find_optimal_config.py [batch_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.hardware import DGX1_CLUSTER_64
+from repro.models import MODEL_52B
+from repro.parallel import Method
+from repro.search import best_configuration
+from repro.utils.tables import ascii_table
+from repro.utils.units import GB
+
+
+def main(batch_size: int = 64) -> None:
+    rows = []
+    for method in Method:
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, method, batch_size
+        )
+        if outcome.best is None:
+            rows.append((method.value, "out of memory", "-", "-", "-",
+                         outcome.n_tried, outcome.n_excluded))
+            continue
+        best = outcome.best
+        rows.append((
+            method.value,
+            best.config.describe(),
+            f"{best.throughput_per_gpu / 1e12:.1f}",
+            f"{best.memory.total / GB:.1f}",
+            f"{best.memory.total_min / GB:.1f}",
+            outcome.n_tried,
+            outcome.n_excluded,
+        ))
+    print(ascii_table(
+        ["Method", "Best configuration", "Tflop/s", "Mem GB", "Min GB",
+         "Tried", "OOM"],
+        rows,
+        title=f"52B model, batch size {batch_size}, 64 V100s",
+    ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

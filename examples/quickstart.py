@@ -1,0 +1,56 @@
+"""Quickstart: simulate one training step of the 52B model on 64 V100s.
+
+Builds the paper's headline configuration — breadth-first pipeline
+parallelism with a looping placement — runs it through the cluster
+simulator, and prints the step time, throughput, memory footprint and a
+Figure-4-style timeline.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.hardware import DGX1_CLUSTER_64
+from repro.models import MODEL_52B
+from repro.parallel import ParallelConfig, ScheduleKind, Sharding
+from repro.sim import simulate
+from repro.utils.units import fmt_bytes, fmt_flops, fmt_time
+from repro.viz import render_timeline
+
+
+def main() -> None:
+    # The paper's Table E.1 winning configuration at batch size 16:
+    # 4 pipeline devices x 8 tensor-parallel x 2 data-parallel replicas,
+    # 8 stages per device, fully sharded data parallelism.
+    config = ParallelConfig(
+        n_dp=2,
+        n_pp=4,
+        n_tp=8,
+        microbatch_size=1,
+        n_microbatches=8,
+        n_loop=8,
+        sharding=Sharding.FULL,
+        schedule=ScheduleKind.BREADTH_FIRST,
+    )
+    print(f"Model : {MODEL_52B}")
+    print(f"Config: {config.describe()}")
+    print(f"Grid  : {config.n_gpus} GPUs on {DGX1_CLUSTER_64.name}")
+    print()
+
+    result = simulate(MODEL_52B, config, DGX1_CLUSTER_64, record_events=True)
+
+    print(f"Step time     : {fmt_time(result.step_time)}")
+    print(f"Throughput    : {fmt_flops(result.throughput_per_gpu)} per GPU")
+    print(f"Utilization   : {result.utilization * 100:.1f}% of peak")
+    print(f"Peak memory   : {fmt_bytes(result.memory.total)} "
+          f"(min {fmt_bytes(result.memory.total_min)} on a large cluster)")
+    print(f"Bubble share  : {result.bubble_fraction * 100:.1f}% of the step")
+    print()
+    print("Timeline (digits = forward micro-batch, letters = backward,")
+    print("          - = pipeline transfer, W/G = gather/reduce, S = optimizer):")
+    print(render_timeline(result.timeline, width=100))
+
+
+if __name__ == "__main__":
+    main()

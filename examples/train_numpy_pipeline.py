@@ -1,0 +1,57 @@
+"""Train a real (tiny) transformer with breadth-first pipeline parallelism.
+
+Uses the executable NumPy runtime: 2 data-parallel replicas, each a
+2-device pipeline with 2 stages per device (the looping placement),
+fully-sharded data parallelism (ZeRO-3 semantics), Adam, and the actual
+breadth-first instruction streams.  Verifies at the end that the trained
+weights match plain serial SGD — the schedule changes *when* things
+compute, never *what* they compute.
+
+Run:
+    python examples/train_numpy_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedules.base import build_schedule
+from repro.parallel import ScheduleKind, Sharding
+from repro.runtime import ModelConfig, PipelineTrainer, ReferenceTrainer
+
+
+def main() -> None:
+    config = ModelConfig(vocab=64, hidden=32, n_heads=4, n_layers=4, seq=8)
+    tokens, targets = ReferenceTrainer.make_batch(config, batch=16)
+
+    schedule = build_schedule(
+        ScheduleKind.BREADTH_FIRST, n_pp=2, n_microbatches=4, n_loop=2
+    )
+    trainer = PipelineTrainer(
+        config, schedule, n_dp=2, sharding=Sharding.FULL
+    )
+    reference = ReferenceTrainer(config)
+
+    print("step | pipeline loss | serial loss  | DP_FS gathers")
+    for step in range(10):
+        result = trainer.step(tokens, targets)
+        ref_loss = reference.step(tokens, targets)
+        print(
+            f"{step:4d} | {result.loss:13.6f} | {ref_loss:12.6f} | "
+            f"{result.gather_events:3d}"
+        )
+
+    params = trainer.named_params()
+    ref_params = reference.named_params()
+    max_err = max(
+        float(np.abs(params[name] - ref_params[name]).max())
+        for name in ref_params
+    )
+    print()
+    print(f"max |pipeline - serial| over all parameters: {max_err:.2e}")
+    assert max_err < 1e-8, "schedules must be numerically equivalent"
+    print("breadth-first pipeline training is exactly equivalent to serial SGD.")
+
+
+if __name__ == "__main__":
+    main()

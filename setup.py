@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP 660
+editable installs fail; `python setup.py develop` (or `pip install -e .
+--no-build-isolation`) uses this file instead. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

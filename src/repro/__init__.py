@@ -1,0 +1,81 @@
+"""repro — reproduction of "Breadth-First Pipeline Parallelism" (MLSys 2023).
+
+The package is organized as:
+
+- :mod:`repro.hardware` — GPU / network / cluster specifications.
+- :mod:`repro.models` — transformer model specs and memory/flop formulas.
+- :mod:`repro.parallel` — distributed configuration (DP/TP/PP, sharding).
+- :mod:`repro.core` — layer placement and the four pipeline schedules,
+  including the paper's contribution, the breadth-first schedule.
+- :mod:`repro.sim` — discrete-event cluster simulator (the testbed
+  substitute: per-device compute and communication streams).
+- :mod:`repro.analytical` — closed-form efficiency/memory/network models.
+- :mod:`repro.sgd` — critical-batch-size model and cost/time trade-off.
+- :mod:`repro.runtime` — executable NumPy training runtime (virtual
+  cluster) used to verify schedule correctness end to end.
+- :mod:`repro.search` — Appendix E configuration grid search.
+- :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Typical usage::
+
+    from repro import (
+        MODEL_52B, DGX1_CLUSTER_64, ParallelConfig, ScheduleKind,
+        Sharding, simulate,
+    )
+
+    config = ParallelConfig(
+        n_dp=2, n_pp=4, n_tp=8, microbatch_size=1, n_microbatches=8,
+        n_loop=8, sharding=Sharding.FULL,
+        schedule=ScheduleKind.BREADTH_FIRST,
+    )
+    result = simulate(MODEL_52B, config, DGX1_CLUSTER_64)
+    print(result.utilization, result.memory.total)
+"""
+
+from repro.version import __version__
+from repro.hardware import (
+    DGX1_CLUSTER_64,
+    DGX1_CLUSTER_64_ETHERNET,
+    ClusterSpec,
+    GPUSpec,
+    NetworkSpec,
+)
+from repro.implementations import (
+    MEGATRON_LM,
+    OUR_IMPLEMENTATION,
+    ImplementationProfile,
+)
+from repro.models import MODEL_6_6B, MODEL_52B, TransformerSpec
+from repro.parallel import Method, ParallelConfig, ScheduleKind, Sharding
+from repro.core import Placement, Schedule, build_schedule, validate_schedule
+from repro.sim import SimulationResult, simulate
+from repro.analytical import memory_model, theoretical_efficiency
+from repro.search import best_configuration
+
+__all__ = [
+    "DGX1_CLUSTER_64",
+    "DGX1_CLUSTER_64_ETHERNET",
+    "MEGATRON_LM",
+    "MODEL_52B",
+    "MODEL_6_6B",
+    "OUR_IMPLEMENTATION",
+    "ClusterSpec",
+    "GPUSpec",
+    "ImplementationProfile",
+    "Method",
+    "NetworkSpec",
+    "ParallelConfig",
+    "Placement",
+    "Schedule",
+    "ScheduleKind",
+    "Sharding",
+    "SimulationResult",
+    "TransformerSpec",
+    "__version__",
+    "best_configuration",
+    "build_schedule",
+    "memory_model",
+    "simulate",
+    "theoretical_efficiency",
+    "validate_schedule",
+]

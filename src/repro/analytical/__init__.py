@@ -1,0 +1,24 @@
+"""Closed-form models from the paper: memory, network intensity, efficiency."""
+
+from repro.analytical.bubble import bubble_fraction
+from repro.analytical.memory import MemoryBreakdown, memory_model
+from repro.analytical.network import (
+    dp_intensity,
+    dp_overlap_tokens,
+    hardware_intensity,
+    pp_intensity,
+    tp_intensity,
+)
+from repro.analytical.efficiency import theoretical_efficiency
+
+__all__ = [
+    "MemoryBreakdown",
+    "bubble_fraction",
+    "dp_intensity",
+    "dp_overlap_tokens",
+    "hardware_intensity",
+    "memory_model",
+    "pp_intensity",
+    "theoretical_efficiency",
+    "tp_intensity",
+]

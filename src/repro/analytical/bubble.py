@@ -1,0 +1,16 @@
+"""Pipeline-bubble formulas, Eqs. (4) and (9)."""
+
+from __future__ import annotations
+
+
+def bubble_fraction(n_pp: int, n_microbatches: int, n_loop: int = 1) -> float:
+    """Idle-time overhead of the pipeline bubble, relative to compute.
+
+    Eq. (4) for non-looped pipelines (``n_loop == 1``) and Eq. (9) for
+    looping pipelines: the first ``N_PP - 1`` micro-batch slots of each
+    pass are spent filling the pipeline, amortized over ``N_mb * N_loop``
+    stage-passes per device.
+    """
+    if n_pp < 1 or n_microbatches < 1 or n_loop < 1:
+        raise ValueError("n_pp, n_microbatches and n_loop must be >= 1")
+    return (n_pp - 1) / (n_microbatches * n_loop)

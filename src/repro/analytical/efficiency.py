@@ -1,0 +1,123 @@
+"""Theoretical efficiency curves of Figure 2.
+
+The idealized model behind Section 3/4's analysis, in "beta units": one
+unit of time is the compute for one sample per GPU, so the per-GPU compute
+time for a step is ``beta`` itself.  The step additionally pays:
+
+- the pipeline bubble, Eq. (9): ``beta * (N_PP - 1) / (N_mb * N_loop)``;
+- the exposed data-parallel time ``max(0, T_net - T_overlap)`` where the
+  reduction time is ``beta_net / (N_PP * N_TP)`` (the per-GPU gradient
+  volume shrinks with model parallelism) and the overlap window follows
+  Eqs. (21)-(23) — one micro-batch for non-looped schedules, ``N_PP``
+  micro-batches for depth-first, the whole batch for breadth-first;
+- an exposed pipeline-communication term whenever the schedule cannot hide
+  transfers (no overlap support, or ``N_mb <= N_PP`` so there is no spare
+  micro-batch to absorb the delay — the "jump near beta_min" of
+  Figure 2a).
+
+Max utilization is ``beta / total_time``; it never exceeds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.bubble import bubble_fraction
+from repro.parallel.config import ScheduleKind
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One point on a Figure 2 curve, with its overhead breakdown."""
+
+    beta: float
+    utilization: float
+    bubble: float
+    dp_exposed: float
+    pp_exposed: float
+
+
+def theoretical_efficiency(
+    beta: float,
+    beta_net: float,
+    n_pp: int,
+    n_loop: int,
+    schedule: ScheduleKind | None,
+    *,
+    n_tp: int = 1,
+    microbatch_size: int = 1,
+    dp_overlap: bool = True,
+    pp_overlap: bool = True,
+    pp_cost_fraction: float = 0.02,
+) -> EfficiencyPoint:
+    """Idealized GPU utilization at batch size per GPU ``beta``.
+
+    Args:
+        beta: Batch size per GPU.
+        beta_net: The hardware/model constant of Eq. (3).
+        n_pp: Pipeline devices (1 with ``schedule=None`` for pure DP).
+        n_loop: Stages per device.
+        schedule: Pipeline schedule, or None for the data-parallel-only
+            baseline (which behaves like breadth-first for overlap
+            purposes when ``N_mb == 1``).
+        n_tp: Tensor-parallel size (divides the DP volume, Eq. 6).
+        microbatch_size: ``S_mb``; with pipelines ``N_mb`` is derived as
+            ``beta * N_PP / S_mb``.
+        dp_overlap: Allow overlapping the gradient reduction (off in
+            Figure 2b).
+        pp_overlap: Allow overlapping pipeline transfers (off in
+            Figure 2b).
+        pp_cost_fraction: Exposed pipeline-communication cost per loop,
+            as a fraction of compute, when transfers are not hidden.
+    """
+    if beta <= 0 or beta_net < 0:
+        raise ValueError("beta must be > 0 and beta_net >= 0")
+    if n_pp < 1 or n_loop < 1 or n_tp < 1 or microbatch_size < 1:
+        raise ValueError("group sizes must be >= 1")
+
+    if n_pp == 1:
+        # Pure data parallelism: S_mb carries the whole (per-GPU) batch
+        # when possible; otherwise micro-batches accumulate sequentially.
+        n_mb = max(1.0, beta / microbatch_size)
+        schedule = schedule or ScheduleKind.GPIPE
+    else:
+        n_mb = beta * n_pp * n_tp / microbatch_size
+        if n_mb < 1:
+            raise ValueError(
+                f"beta={beta} is below beta_min={microbatch_size / (n_pp * n_tp)}"
+            )
+        if schedule is None:
+            raise ValueError("pipeline methods need a schedule")
+
+    bubble = beta * bubble_fraction(n_pp, max(1, round(n_mb)), n_loop)
+
+    # Data-parallel exposure (Eqs. 3, 5, 21-23).
+    t_net = beta_net / (n_pp * n_tp)
+    per_microbatch = beta / n_mb
+    if schedule is ScheduleKind.BREADTH_FIRST or (n_pp == 1 and n_mb <= 1):
+        t_overlap = beta
+    elif schedule is ScheduleKind.DEPTH_FIRST:
+        t_overlap = per_microbatch * min(n_pp, n_mb)
+    else:
+        t_overlap = per_microbatch
+    if not dp_overlap:
+        t_overlap = 0.0
+    dp_exposed = max(0.0, t_net - t_overlap)
+
+    # Pipeline-parallel exposure: hidden only with overlap support and a
+    # spare micro-batch (Section 4.2: N_mb > N_PP).
+    if n_pp == 1:
+        pp_exposed = 0.0
+    elif pp_overlap and n_mb > n_pp:
+        pp_exposed = 0.0
+    else:
+        pp_exposed = pp_cost_fraction * n_loop * beta
+
+    total = beta + bubble + dp_exposed + pp_exposed
+    return EfficiencyPoint(
+        beta=beta,
+        utilization=beta / total,
+        bubble=bubble,
+        dp_exposed=dp_exposed,
+        pp_exposed=pp_exposed,
+    )

@@ -1,0 +1,93 @@
+"""Arithmetic-intensity formulas of Appendix A.3.
+
+An operation's compute-to-network ratio ``T_comp / T_net`` is approximated
+by its arithmetic intensity over the hardware intensity (Eqs. 18-19).
+These functions return intensities in flop/byte; comparing them to
+:func:`hardware_intensity` predicts which configurations are
+network-bound, e.g. the theoretical ``beta_net = ceil(I_op / I_hw) = 4``
+for an A100 at sequence length 2048 (Appendix A.3.1).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.network import NetworkSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ScheduleKind, Sharding
+
+
+def hardware_intensity(gpu: GPUSpec, network: NetworkSpec) -> float:
+    """``I_hw``: available flop per byte of network (Eq. 19)."""
+    return gpu.peak_flops / network.bandwidth
+
+
+def dp_intensity(
+    spec: TransformerSpec,
+    microbatch_size: int,
+    n_microbatches: int,
+    sharding: Sharding,
+    schedule: ScheduleKind,
+    n_pp: int = 1,
+) -> float:
+    """Data-parallel intensity, Eqs. (20) and (24)-(26), in flop/byte.
+
+    For DP0/DP_PS the reduction+reconstruction volume is fixed per batch,
+    so the intensity is ``N_mb * S_mb * S_seq``.  DP_FS repeats network
+    operations, cutting the intensity to 2/3 of the per-repetition tokens:
+    a single micro-batch for non-looped schedules, a sequence of ``N_PP``
+    for depth-first, the full batch for breadth-first.
+    """
+    tokens_per_microbatch = microbatch_size * spec.seq_length
+    if sharding in (Sharding.NONE, Sharding.PARTIAL):
+        return n_microbatches * tokens_per_microbatch
+    if schedule is ScheduleKind.BREADTH_FIRST:
+        return 2.0 / 3.0 * n_microbatches * tokens_per_microbatch
+    if schedule is ScheduleKind.DEPTH_FIRST:
+        return 2.0 / 3.0 * n_pp * tokens_per_microbatch
+    return 2.0 / 3.0 * tokens_per_microbatch
+
+
+def dp_overlap_tokens(
+    microbatch_size: int,
+    n_microbatches: int,
+    seq_length: int,
+    schedule: ScheduleKind,
+    n_pp: int = 1,
+) -> float:
+    """Tokens of computation available to hide the gradient reduction.
+
+    Eqs. (21)-(23): a non-looped pipeline can only overlap the reduction
+    with the last micro-batch; depth-first with a sequence of ``N_PP``
+    micro-batches; breadth-first with (nearly) the entire batch.
+    """
+    tokens_per_microbatch = microbatch_size * seq_length
+    if schedule is ScheduleKind.BREADTH_FIRST:
+        return n_microbatches * tokens_per_microbatch
+    if schedule is ScheduleKind.DEPTH_FIRST:
+        return min(n_pp, n_microbatches) * tokens_per_microbatch
+    return tokens_per_microbatch
+
+
+def pp_intensity(spec: TransformerSpec, n_pp: int, n_loop: int = 1) -> float:
+    """Pipeline-parallel intensity (Eq. 30), in flop/byte.
+
+    ``~4 S_hidden / (N_TP N_layers)`` bytes per token cross the pipe every
+    ``N_layers / (N_PP N_loop)`` layers; intensities are enormous, which
+    is why the measured overhead (Figure 6) must come from latency and
+    synchronization rather than bandwidth.
+    """
+    if n_pp < 1 or n_loop < 1:
+        raise ValueError("n_pp and n_loop must be >= 1")
+    return 24.0 * spec.hidden_size * spec.n_layers / (n_pp * n_loop)
+
+
+def tp_intensity(spec: TransformerSpec, n_tp: int) -> float:
+    """Tensor-parallel intensity (Eq. 31), in flop/byte.
+
+    ``~96 S_hidden^2 / N_TP`` flop against ``48 S_hidden`` bytes per token
+    and layer, i.e. ``2 S_hidden / N_TP`` — small enough to require
+    NVLink, which is why TP stays within a node (Section 3.3).
+    """
+    if n_tp < 1:
+        raise ValueError("n_tp must be >= 1")
+    return 2.0 * spec.hidden_size / n_tp

@@ -1,0 +1,28 @@
+"""Core contribution: layer placement and pipeline schedules.
+
+:mod:`repro.core.placement` implements the standard and looping layer
+placements of Figure 3; :mod:`repro.core.schedules` generates the
+per-device instruction streams for GPipe, 1F1B, depth-first and the
+paper's breadth-first schedule (Figure 4); :mod:`repro.core.validation`
+checks completeness, ordering and deadlock-freedom of any schedule.
+"""
+
+from repro.core.ops import ComputeOp, OpKind
+from repro.core.placement import Placement
+from repro.core.schedules import Schedule, build_schedule
+from repro.core.validation import (
+    ScheduleError,
+    analyze_schedule,
+    validate_schedule,
+)
+
+__all__ = [
+    "ComputeOp",
+    "OpKind",
+    "Placement",
+    "Schedule",
+    "ScheduleError",
+    "analyze_schedule",
+    "build_schedule",
+    "validate_schedule",
+]

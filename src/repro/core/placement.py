@@ -1,0 +1,128 @@
+"""Layer-to-stage-to-device placement (Figure 3).
+
+The model's ``n_layers`` transformer layers are split into ``n_stages``
+contiguous, near-identical stages.  With the *standard* placement there is
+one stage per device (``n_loop == 1``); with the *looping* placement each
+device hosts ``n_loop`` non-consecutive stages, stage ``s`` living on
+device ``s mod n_pp`` so the pipeline forms a coil (Figure 3b).
+
+Embedding and output layers are treated as attached to the first and last
+stages respectively, matching the paper's implementation note (Appendix D.1)
+that they are merged with adjacent layers when that is preferable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Assignment of layers to stages and stages to pipeline devices.
+
+    Attributes:
+        n_layers: Transformer layers in the model.
+        n_pp: Pipeline devices.
+        n_loop: Stages per device; ``n_stages = n_pp * n_loop``.
+    """
+
+    n_layers: int
+    n_pp: int
+    n_loop: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {self.n_layers}")
+        if self.n_pp < 1:
+            raise ValueError(f"n_pp must be >= 1, got {self.n_pp}")
+        if self.n_loop < 1:
+            raise ValueError(f"n_loop must be >= 1, got {self.n_loop}")
+        if self.n_stages > self.n_layers:
+            raise ValueError(
+                f"{self.n_stages} stages exceed {self.n_layers} layers; every "
+                "stage needs at least one layer"
+            )
+
+    @property
+    def n_stages(self) -> int:
+        return self.n_pp * self.n_loop
+
+    @property
+    def is_looping(self) -> bool:
+        return self.n_loop > 1
+
+    # ------------------------------------------------------------- layers
+
+    def stage_boundaries(self) -> list[int]:
+        """Start offsets of each stage plus the final end offset.
+
+        Stages are near-identical: the first ``n_layers mod n_stages``
+        stages get one extra layer, keeping stage times balanced.
+        """
+        base, extra = divmod(self.n_layers, self.n_stages)
+        bounds = [0]
+        for stage in range(self.n_stages):
+            bounds.append(bounds[-1] + base + (1 if stage < extra else 0))
+        return bounds
+
+    def layers_of_stage(self, stage: int) -> range:
+        """The contiguous layer interval hosted by ``stage``."""
+        self._check_stage(stage)
+        bounds = self.stage_boundaries()
+        return range(bounds[stage], bounds[stage + 1])
+
+    def n_layers_of_stage(self, stage: int) -> int:
+        """Number of transformer layers in ``stage``."""
+        return len(self.layers_of_stage(stage))
+
+    def stage_of_layer(self, layer: int) -> int:
+        """The stage hosting ``layer``."""
+        if not 0 <= layer < self.n_layers:
+            raise ValueError(f"layer {layer} out of range [0, {self.n_layers})")
+        bounds = self.stage_boundaries()
+        for stage in range(self.n_stages):
+            if bounds[stage] <= layer < bounds[stage + 1]:
+                return stage
+        raise AssertionError("unreachable: boundaries cover all layers")
+
+    # ------------------------------------------------------------ devices
+
+    def device_of_stage(self, stage: int) -> int:
+        """Pipeline rank hosting ``stage`` — ``stage mod n_pp`` (the coil)."""
+        self._check_stage(stage)
+        return stage % self.n_pp
+
+    def stages_of_device(self, device: int) -> list[int]:
+        """Stages hosted by pipeline rank ``device``, in loop order."""
+        if not 0 <= device < self.n_pp:
+            raise ValueError(f"device {device} out of range [0, {self.n_pp})")
+        return [device + loop * self.n_pp for loop in range(self.n_loop)]
+
+    def layers_of_device(self, device: int) -> list[int]:
+        """All layers hosted by ``device`` (non-contiguous when looping)."""
+        layers: list[int] = []
+        for stage in self.stages_of_device(device):
+            layers.extend(self.layers_of_stage(stage))
+        return layers
+
+    def has_embedding(self, stage: int) -> bool:
+        """Whether the token embedding is attached to ``stage``."""
+        self._check_stage(stage)
+        return stage == 0
+
+    def has_output_head(self, stage: int) -> bool:
+        """Whether the output head (logits + loss) is attached to ``stage``."""
+        self._check_stage(stage)
+        return stage == self.n_stages - 1
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.n_stages:
+            raise ValueError(f"stage {stage} out of range [0, {self.n_stages})")
+
+    def describe(self) -> str:
+        """Figure-3-style text rendering of the placement."""
+        lines = []
+        for device in range(self.n_pp):
+            layers = ", ".join(str(l) for l in self.layers_of_device(device))
+            lines.append(f"device {device}: layers [{layers}]")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Schedule container and dispatching constructor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.ops import ComputeOp, OpKind
+from repro.parallel.config import ParallelConfig, ScheduleKind
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete pipeline schedule: per-rank instruction streams.
+
+    Attributes:
+        kind: Which schedule generated this.
+        n_pp: Pipeline devices.
+        n_microbatches: Sequential micro-batches ``N_mb``.
+        n_loop: Stages per device.
+        device_orders: ``device_orders[rank]`` is the ordered tuple of
+            compute ops rank executes.  Stage ``s`` lives on rank
+            ``s mod n_pp``.
+    """
+
+    kind: ScheduleKind
+    n_pp: int
+    n_microbatches: int
+    n_loop: int
+    device_orders: tuple[tuple[ComputeOp, ...], ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.device_orders) != self.n_pp:
+            raise ValueError(
+                f"expected {self.n_pp} device streams, got {len(self.device_orders)}"
+            )
+
+    @property
+    def n_stages(self) -> int:
+        return self.n_pp * self.n_loop
+
+    @property
+    def total_ops(self) -> int:
+        """Total compute instructions across all ranks."""
+        return sum(len(order) for order in self.device_orders)
+
+    def ops_of(self, rank: int) -> tuple[ComputeOp, ...]:
+        """The instruction stream of one pipeline rank."""
+        return self.device_orders[rank]
+
+    def all_ops(self) -> Iterator[tuple[int, int, ComputeOp]]:
+        """Yield ``(rank, position, op)`` for every instruction."""
+        for rank, order in enumerate(self.device_orders):
+            for position, op in enumerate(order):
+                yield rank, position, op
+
+    def max_in_flight(self, rank: int) -> int:
+        """Peak number of micro-batch activations held live on ``rank``.
+
+        Counts (micro-batch, stage) forwards whose backward has not yet
+        run — the quantity that drives activation/checkpoint memory and
+        differs between schedules (Table 4.1).
+        """
+        live = 0
+        peak = 0
+        for op in self.device_orders[rank]:
+            if op.kind is OpKind.FORWARD:
+                live += 1
+                peak = max(peak, live)
+            else:
+                live -= 1
+        return peak
+
+    def peak_in_flight(self) -> int:
+        """Maximum :meth:`max_in_flight` over all ranks."""
+        return max(self.max_in_flight(rank) for rank in range(self.n_pp))
+
+
+def build_schedule(
+    kind: ScheduleKind, n_pp: int, n_microbatches: int, n_loop: int = 1
+) -> Schedule:
+    """Generate the per-rank instruction streams for ``kind``.
+
+    Non-looped schedules require ``n_loop == 1``; the depth-first schedule
+    additionally requires ``N_mb`` to be a multiple of ``N_PP``
+    (Section 4.1).
+    """
+    # Import here to avoid a cycle (generators import this module's Schedule).
+    from repro.core.schedules.breadth_first import breadth_first_order
+    from repro.core.schedules.depth_first import depth_first_order
+    from repro.core.schedules.gpipe import gpipe_order
+    from repro.core.schedules.one_f_one_b import one_f_one_b_order
+
+    if n_pp < 1:
+        raise ValueError(f"n_pp must be >= 1, got {n_pp}")
+    if n_microbatches < 1:
+        raise ValueError(f"n_microbatches must be >= 1, got {n_microbatches}")
+    if n_loop < 1:
+        raise ValueError(f"n_loop must be >= 1, got {n_loop}")
+    if not kind.is_looped and n_loop != 1:
+        raise ValueError(f"{kind.value} requires n_loop == 1, got {n_loop}")
+
+    generators = {
+        ScheduleKind.GPIPE: lambda r: gpipe_order(r, n_pp, n_microbatches),
+        ScheduleKind.ONE_F_ONE_B: lambda r: one_f_one_b_order(r, n_pp, n_microbatches),
+        ScheduleKind.DEPTH_FIRST: lambda r: depth_first_order(
+            r, n_pp, n_microbatches, n_loop
+        ),
+        ScheduleKind.BREADTH_FIRST: lambda r: breadth_first_order(
+            r, n_pp, n_microbatches, n_loop
+        ),
+    }
+    orders = tuple(tuple(generators[kind](rank)) for rank in range(n_pp))
+    return Schedule(
+        kind=kind,
+        n_pp=n_pp,
+        n_microbatches=n_microbatches,
+        n_loop=n_loop,
+        device_orders=orders,
+    )
+
+
+def schedule_for(config: ParallelConfig) -> Schedule:
+    """Build the schedule described by a :class:`ParallelConfig`."""
+    return build_schedule(
+        config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+    )
+
+
+def dpfs_repetition_key(kind: ScheduleKind, microbatch: int, n_pp: int) -> int:
+    """DP_FS repetition group of a micro-batch under a schedule.
+
+    Fully sharded data parallelism repeats its weight reconstruction and
+    gradient reduction once per group (Eqs. 24-26): the breadth-first
+    schedule aggregates the whole pass into one group, depth-first works
+    in sequences of ``N_PP`` micro-batches, and the non-looped schedules
+    repeat for every micro-batch.  Shared by the event simulator's
+    program builder and the NumPy runtime's traffic accounting.
+    """
+    if kind is ScheduleKind.BREADTH_FIRST:
+        return 0
+    if kind is ScheduleKind.DEPTH_FIRST:
+        return microbatch // n_pp
+    return microbatch

@@ -1,0 +1,78 @@
+"""Depth-first looped schedule — Megatron-LM's interleaved 1F1B.
+
+Introduced in Narayanan et al. 2021 and analyzed as the paper's principal
+baseline.  Micro-batches advance in *sequences* of ``N_PP``: a rank pushes
+one sequence through all of its ``N_loop`` stage chunks (depth) before
+starting the next sequence, alternating forward and backward 1F1B-style in
+steady state.  This requires ``N_mb`` to be a multiple of ``N_PP``
+(Section 4.1) and caps in-flight activations near
+``N_layers + N_PP - 1`` checkpoints (Table 4.1), at the cost of the poor
+communication overlap the paper measures in Figure 6.
+
+The ordering below follows Megatron-LM's
+``forward_backward_pipelining_with_interleaving`` (commit e156d2f, the
+reference the paper evaluates against): virtual slot ``k`` maps to model
+chunk ``(k mod N_PP*N_loop) // N_PP`` (mirrored for backward) and data
+micro-batch ``(k // (N_PP*N_loop)) * N_PP + k mod N_PP``.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import ComputeOp, backward, forward
+
+
+def _chunk_of(slot: int, n_pp: int, n_loop: int, *, is_forward: bool) -> int:
+    """Model-chunk index for virtual slot ``slot``."""
+    in_group = slot % (n_pp * n_loop)
+    chunk = in_group // n_pp
+    return chunk if is_forward else n_loop - chunk - 1
+
+
+def _microbatch_of(slot: int, n_pp: int, n_loop: int) -> int:
+    """Data micro-batch index for virtual slot ``slot``."""
+    group = slot // (n_pp * n_loop)
+    return group * n_pp + slot % n_pp
+
+
+def depth_first_order(
+    rank: int, n_pp: int, n_microbatches: int, n_loop: int
+) -> list[ComputeOp]:
+    """Instruction stream of ``rank`` under the depth-first schedule.
+
+    Args:
+        rank: Pipeline rank in ``[0, n_pp)``.
+        n_pp: Pipeline devices.
+        n_microbatches: Sequential micro-batches; must be a multiple of
+            ``n_pp`` when ``n_pp > 1``.
+        n_loop: Stage chunks per device; stage ``rank + chunk * n_pp``.
+    """
+    if not 0 <= rank < n_pp:
+        raise ValueError(f"rank {rank} out of range [0, {n_pp})")
+    if n_pp > 1 and n_microbatches % n_pp != 0:
+        raise ValueError(
+            f"depth-first requires N_mb % N_PP == 0, got {n_microbatches} % {n_pp}"
+        )
+
+    total = n_microbatches * n_loop
+
+    def fwd_op(slot: int) -> ComputeOp:
+        chunk = _chunk_of(slot, n_pp, n_loop, is_forward=True)
+        return forward(_microbatch_of(slot, n_pp, n_loop), rank + chunk * n_pp)
+
+    def bwd_op(slot: int) -> ComputeOp:
+        chunk = _chunk_of(slot, n_pp, n_loop, is_forward=False)
+        return backward(_microbatch_of(slot, n_pp, n_loop), rank + chunk * n_pp)
+
+    if n_microbatches == n_pp:
+        # Degenerate case (Megatron): run every forward, then every backward.
+        n_warmup = total
+    else:
+        n_warmup = min(total, (n_pp - rank - 1) * 2 + (n_loop - 1) * n_pp)
+
+    order = [fwd_op(slot) for slot in range(n_warmup)]
+    n_steady = total - n_warmup
+    for i in range(n_steady):
+        order.append(fwd_op(n_warmup + i))
+        order.append(bwd_op(i))
+    order += [bwd_op(slot) for slot in range(n_steady, total)]
+    return order

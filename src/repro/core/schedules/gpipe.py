@@ -1,0 +1,29 @@
+"""GPipe schedule (Huang et al. 2018): full forward phase, then backward.
+
+Every rank runs all ``N_mb`` forwards of its single stage in micro-batch
+order, then all backwards in micro-batch order (Figure 4a).  All
+activations stay live through the forward phase, so the in-flight count
+reaches ``N_mb`` — the memory cost that motivates 1F1B.
+
+With ``N_PP == 1`` this is plain all-forward-then-all-backward gradient
+accumulation, i.e. the breadth-first accumulation of Appendix C.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import ComputeOp, backward, forward
+
+
+def gpipe_order(rank: int, n_pp: int, n_microbatches: int) -> list[ComputeOp]:
+    """Instruction stream of ``rank`` under GPipe.
+
+    Args:
+        rank: Pipeline rank in ``[0, n_pp)``; also the (only) stage index.
+        n_pp: Pipeline devices.
+        n_microbatches: Sequential micro-batches.
+    """
+    if not 0 <= rank < n_pp:
+        raise ValueError(f"rank {rank} out of range [0, {n_pp})")
+    order = [forward(mb, rank) for mb in range(n_microbatches)]
+    order += [backward(mb, rank) for mb in range(n_microbatches)]
+    return order

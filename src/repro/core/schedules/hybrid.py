@@ -1,0 +1,117 @@
+"""Hybrid depth/breadth schedule — the paper's Section 4.2 conjecture.
+
+The paper notes that the depth-first schedule cannot hide pipeline
+transfers because its sequences of exactly ``N_PP`` micro-batches leave
+no slack: a transfer delay stalls the first device when the micro-batch
+fails to loop around in time.  It conjectures (without verifying) that
+*"running with sequences of more than N_PP micro-batches, essentially
+forming a hybrid between the two schedules"* would fix this.
+
+This module implements that hybrid: the depth-first structure with a
+configurable ``sequence_size`` ``S``, ``N_PP <= S <= N_mb``.  ``S = N_PP``
+recovers the depth-first schedule exactly; ``S = N_mb`` approaches the
+breadth-first schedule (single sequence, whole-batch breadth).  In
+between, activation memory grows with ``S`` (more in-flight micro-batches)
+while the extra ``S - N_PP`` micro-batches of slack absorb transfer
+delays — the trade-off the benchmark ``test_hybrid_extension.py``
+measures.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import ComputeOp, backward, forward
+from repro.core.schedules.base import Schedule
+from repro.parallel.config import ScheduleKind
+
+
+def _chunk_of(slot: int, seq: int, n_loop: int, *, is_forward: bool) -> int:
+    in_group = slot % (seq * n_loop)
+    chunk = in_group // seq
+    return chunk if is_forward else n_loop - chunk - 1
+
+
+def _microbatch_of(slot: int, seq: int, n_loop: int) -> int:
+    group = slot // (seq * n_loop)
+    return group * seq + slot % seq
+
+
+def hybrid_order(
+    rank: int,
+    n_pp: int,
+    n_microbatches: int,
+    n_loop: int,
+    sequence_size: int,
+) -> list[ComputeOp]:
+    """Instruction stream of ``rank`` under the hybrid schedule.
+
+    Args:
+        rank: Pipeline rank in ``[0, n_pp)``.
+        n_pp: Pipeline devices.
+        n_microbatches: Sequential micro-batches; must be a multiple of
+            ``sequence_size``.
+        n_loop: Stage chunks per device.
+        sequence_size: Micro-batches per depth-first sequence ``S``;
+            ``S = n_pp`` is the depth-first schedule, larger values trade
+            activation memory for transfer slack.
+    """
+    if not 0 <= rank < n_pp:
+        raise ValueError(f"rank {rank} out of range [0, {n_pp})")
+    if sequence_size < n_pp:
+        raise ValueError(
+            f"sequence_size ({sequence_size}) must be >= N_PP ({n_pp}); "
+            "smaller sequences starve the pipeline"
+        )
+    if n_microbatches % sequence_size != 0:
+        raise ValueError(
+            f"N_mb ({n_microbatches}) must be a multiple of sequence_size "
+            f"({sequence_size})"
+        )
+
+    seq = sequence_size
+    total = n_microbatches * n_loop
+
+    def fwd_op(slot: int) -> ComputeOp:
+        chunk = _chunk_of(slot, seq, n_loop, is_forward=True)
+        return forward(_microbatch_of(slot, seq, n_loop), rank + chunk * n_pp)
+
+    def bwd_op(slot: int) -> ComputeOp:
+        chunk = _chunk_of(slot, seq, n_loop, is_forward=False)
+        return backward(_microbatch_of(slot, seq, n_loop), rank + chunk * n_pp)
+
+    if n_microbatches == seq:
+        # Single sequence: the whole forward pass runs first, as in the
+        # breadth-first/GPipe phase structure.
+        n_warmup = total
+    else:
+        n_warmup = min(total, (n_pp - rank - 1) * 2 + (n_loop - 1) * seq)
+
+    order = [fwd_op(slot) for slot in range(n_warmup)]
+    n_steady = total - n_warmup
+    for i in range(n_steady):
+        order.append(fwd_op(n_warmup + i))
+        order.append(bwd_op(i))
+    order += [bwd_op(slot) for slot in range(n_steady, total)]
+    return order
+
+
+def build_hybrid_schedule(
+    n_pp: int, n_microbatches: int, n_loop: int, sequence_size: int
+) -> Schedule:
+    """Build a hybrid schedule as a :class:`Schedule`.
+
+    The container is tagged ``DEPTH_FIRST``: for DP_FS repetition
+    accounting the hybrid behaves like the depth-first schedule (one
+    reconstruction per sequence), which is conservative for
+    ``sequence_size > N_PP``.
+    """
+    orders = tuple(
+        tuple(hybrid_order(rank, n_pp, n_microbatches, n_loop, sequence_size))
+        for rank in range(n_pp)
+    )
+    return Schedule(
+        kind=ScheduleKind.DEPTH_FIRST,
+        n_pp=n_pp,
+        n_microbatches=n_microbatches,
+        n_loop=n_loop,
+        device_orders=orders,
+    )

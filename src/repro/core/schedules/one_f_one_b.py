@@ -1,0 +1,35 @@
+"""1F1B schedule (Harlap et al. 2018, PipeDream-Flush variant).
+
+After ``N_PP - rank - 1`` warm-up forwards, each rank alternates one
+forward with one backward, then drains the remaining backwards
+(Figure 4b).  Computationally identical to GPipe (same bubble) but caps
+in-flight activations at ``N_PP - rank``, which is why the paper treats
+the two as one "non-looped" method distinguished only by memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import ComputeOp, backward, forward
+
+
+def one_f_one_b_order(rank: int, n_pp: int, n_microbatches: int) -> list[ComputeOp]:
+    """Instruction stream of ``rank`` under 1F1B.
+
+    Args:
+        rank: Pipeline rank in ``[0, n_pp)``; also the (only) stage index.
+        n_pp: Pipeline devices.
+        n_microbatches: Sequential micro-batches.
+    """
+    if not 0 <= rank < n_pp:
+        raise ValueError(f"rank {rank} out of range [0, {n_pp})")
+    n_warmup = min(n_pp - rank - 1, n_microbatches)
+    order = [forward(mb, rank) for mb in range(n_warmup)]
+    # Steady state: F(warmup + i) then B(i); the forward of the i-th steady
+    # step reuses the activation slot freed by backward i.
+    n_steady = n_microbatches - n_warmup
+    for i in range(n_steady):
+        order.append(forward(n_warmup + i, rank))
+        order.append(backward(i, rank))
+    # Cooldown: drain the warm-up backwards.
+    order += [backward(mb, rank) for mb in range(n_steady, n_microbatches)]
+    return order

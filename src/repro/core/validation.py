@@ -1,0 +1,182 @@
+"""Schedule validation and logical-time analysis.
+
+:func:`validate_schedule` checks the structural invariants every pipeline
+schedule must satisfy (each (micro-batch, stage) computed exactly once, on
+the right rank, forward before backward) and proves deadlock-freedom by
+executing the per-rank streams under their true dependencies with a
+logical clock.  The same executor doubles as an idealized (zero
+communication cost) timing model: with unit forward time and 2x backward
+time it reproduces the pipeline-bubble formulas, Eqs. (4) and (9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops import ComputeOp, OpKind
+from repro.core.schedules.base import Schedule
+
+
+class ScheduleError(Exception):
+    """A schedule violated a structural invariant or deadlocked."""
+
+
+@dataclass(frozen=True)
+class ScheduleAnalysis:
+    """Logical-time execution summary of a valid schedule.
+
+    Attributes:
+        makespan: Completion time of the last op (logical units).
+        compute_per_device: Busy time of each rank.
+        bubble_fraction: Idle overhead of the busiest rank relative to its
+            busy time — comparable to Eqs. (4)/(9) when stage sizes are
+            uniform and communication is free.
+        peak_in_flight: Max live activations over ranks (memory proxy).
+        finish_times: Completion time of every op, keyed by
+            ``(kind, microbatch, stage)``.
+    """
+
+    makespan: float
+    compute_per_device: tuple[float, ...]
+    bubble_fraction: float
+    peak_in_flight: int
+    finish_times: dict[tuple[OpKind, int, int], float]
+
+
+def _op_key(op: ComputeOp) -> tuple[OpKind, int, int]:
+    return (op.kind, op.microbatch, op.stage)
+
+
+def _dependencies(op: ComputeOp, n_stages: int) -> list[tuple[OpKind, int, int]]:
+    """Cross-stage dataflow dependencies of ``op``.
+
+    Forward needs the previous stage's forward output; backward needs this
+    stage's forward activation and the next stage's backward gradient.
+    """
+    deps: list[tuple[OpKind, int, int]] = []
+    if op.kind is OpKind.FORWARD:
+        if op.stage > 0:
+            deps.append((OpKind.FORWARD, op.microbatch, op.stage - 1))
+    else:
+        deps.append((OpKind.FORWARD, op.microbatch, op.stage))
+        if op.stage < n_stages - 1:
+            deps.append((OpKind.BACKWARD, op.microbatch, op.stage + 1))
+    return deps
+
+
+def _check_structure(schedule: Schedule) -> None:
+    """Completeness, uniqueness, placement and per-rank F-before-B order."""
+    n_stages = schedule.n_stages
+    expected = {
+        (kind, mb, stage)
+        for kind in (OpKind.FORWARD, OpKind.BACKWARD)
+        for mb in range(schedule.n_microbatches)
+        for stage in range(n_stages)
+    }
+    seen: set[tuple[OpKind, int, int]] = set()
+    for rank, _, op in schedule.all_ops():
+        key = _op_key(op)
+        if key in seen:
+            raise ScheduleError(f"duplicate op {op} on rank {rank}")
+        if key not in expected:
+            raise ScheduleError(
+                f"op {op} on rank {rank} is outside the schedule's "
+                f"{schedule.n_microbatches} micro-batches x {n_stages} stages"
+            )
+        if op.stage % schedule.n_pp != rank:
+            raise ScheduleError(
+                f"op {op} scheduled on rank {rank}, but stage {op.stage} "
+                f"lives on rank {op.stage % schedule.n_pp}"
+            )
+        seen.add(key)
+    missing = expected - seen
+    if missing:
+        example = sorted(missing)[0]
+        raise ScheduleError(
+            f"{len(missing)} ops missing from the schedule, e.g. "
+            f"{example[0].value}(mb={example[1]}, s={example[2]})"
+        )
+    for rank in range(schedule.n_pp):
+        forwards_done: set[tuple[int, int]] = set()
+        for op in schedule.ops_of(rank):
+            if op.kind is OpKind.FORWARD:
+                forwards_done.add((op.microbatch, op.stage))
+            elif (op.microbatch, op.stage) not in forwards_done:
+                raise ScheduleError(
+                    f"rank {rank} schedules {op} before its forward"
+                )
+
+
+def analyze_schedule(
+    schedule: Schedule,
+    forward_time: float = 1.0,
+    backward_time: float = 2.0,
+) -> ScheduleAnalysis:
+    """Execute the schedule with a logical clock; raise on deadlock.
+
+    Each rank consumes its stream strictly in order (as a real static
+    pipeline program does): the head op starts once its dependencies have
+    finished, and blocks the rest of the stream until then.  If every
+    unfinished rank is blocked, the schedule deadlocks and the error lists
+    each rank's blocking op.
+    """
+    if forward_time <= 0 or backward_time <= 0:
+        raise ValueError("op durations must be positive")
+    _check_structure(schedule)
+
+    n_stages = schedule.n_stages
+    orders = schedule.device_orders
+    heads = [0] * schedule.n_pp
+    device_free = [0.0] * schedule.n_pp
+    busy = [0.0] * schedule.n_pp
+    finish: dict[tuple[OpKind, int, int], float] = {}
+
+    remaining = schedule.total_ops
+    while remaining > 0:
+        progressed = False
+        for rank in range(schedule.n_pp):
+            order = orders[rank]
+            while heads[rank] < len(order):
+                op = order[heads[rank]]
+                deps = _dependencies(op, n_stages)
+                if any(dep not in finish for dep in deps):
+                    break
+                dep_ready = max((finish[dep] for dep in deps), default=0.0)
+                start = max(device_free[rank], dep_ready)
+                duration = (
+                    forward_time if op.kind is OpKind.FORWARD else backward_time
+                )
+                finish[_op_key(op)] = start + duration
+                device_free[rank] = start + duration
+                busy[rank] += duration
+                heads[rank] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            blocked = [
+                f"rank {rank}: waiting on {orders[rank][heads[rank]]}"
+                for rank in range(schedule.n_pp)
+                if heads[rank] < len(orders[rank])
+            ]
+            raise ScheduleError(
+                "schedule deadlocked; blocked streams:\n  " + "\n  ".join(blocked)
+            )
+
+    makespan = max(device_free)
+    max_busy = max(busy)
+    return ScheduleAnalysis(
+        makespan=makespan,
+        compute_per_device=tuple(busy),
+        bubble_fraction=makespan / max_busy - 1.0,
+        peak_in_flight=schedule.peak_in_flight(),
+        finish_times=finish,
+    )
+
+
+def validate_schedule(schedule: Schedule) -> ScheduleAnalysis:
+    """Full validation: structure plus deadlock-freedom.
+
+    Returns the logical-time analysis so callers get the bubble fraction
+    and peak in-flight count for free.
+    """
+    return analyze_schedule(schedule)

@@ -1,0 +1,47 @@
+"""Figure 2: theoretical efficiency vs batch size per GPU.
+
+Four curves — looped 8x, looped 2x, non-looped, pure data parallelism —
+with ``beta_net = 6`` and ``N_TP = 1``; panel (a) with network overlap,
+panel (b) without (where the renewed importance of overlap for looped
+pipelines shows).
+"""
+
+from __future__ import annotations
+
+from repro.analytical.efficiency import theoretical_efficiency
+from repro.parallel.config import ScheduleKind
+
+#: Figure 2's example constants.
+BETA_NET = 6.0
+N_PP = 8
+BETAS = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0]
+
+
+def run_fig2(*, overlap: bool) -> dict[str, list[tuple[float, float]]]:
+    """Return the four Figure 2 curves as ``{name: [(beta, util%)]}``.
+
+    Args:
+        overlap: True for panel (a), False for panel (b).
+    """
+    curves: dict[str, list[tuple[float, float]]] = {}
+
+    def add(name: str, n_pp: int, n_loop: int, schedule: ScheduleKind | None) -> None:
+        points = []
+        for beta in BETAS:
+            eff = theoretical_efficiency(
+                beta,
+                BETA_NET,
+                n_pp,
+                n_loop,
+                schedule,
+                dp_overlap=overlap,
+                pp_overlap=overlap,
+            )
+            points.append((beta, eff.utilization * 100.0))
+        curves[name] = points
+
+    add("Looped (8x)", N_PP, 8, ScheduleKind.BREADTH_FIRST)
+    add("Looped (2x)", N_PP, 2, ScheduleKind.BREADTH_FIRST)
+    add("Non-looped", N_PP, 1, ScheduleKind.GPIPE)
+    add("Data-parallel", 1, 1, None)
+    return curves

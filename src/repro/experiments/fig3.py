@@ -1,0 +1,24 @@
+"""Figure 3: standard vs looping layer placement for a 16-layer model."""
+
+from __future__ import annotations
+
+from repro.core.placement import Placement
+from repro.viz.timeline import render_placement
+
+
+def run_fig3(n_layers: int = 16, n_pp: int = 4) -> dict[str, Placement]:
+    """Return the two placements of Figure 3 (standard and looping)."""
+    return {
+        "standard": Placement(n_layers, n_pp, 1),
+        "looping": Placement(n_layers, n_pp, n_layers // n_pp),
+    }
+
+
+def format_fig3(n_layers: int = 16, n_pp: int = 4) -> str:
+    """Render both placements as Figure-3-style text."""
+    placements = run_fig3(n_layers, n_pp)
+    parts = []
+    for name, placement in placements.items():
+        parts.append(f"-- {name} --")
+        parts.append(render_placement(placement))
+    return "\n".join(parts)

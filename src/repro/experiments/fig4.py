@@ -1,0 +1,78 @@
+"""Figure 4: simulated timelines of the four schedules.
+
+A 16-layer model on 4 pipeline devices with 8 sequential micro-batches,
+with data parallelism present so the reduction stream (the figure's odd
+rows) is populated.  The looped schedules use 4 stages per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ParallelConfig, ScheduleKind
+from repro.sim.simulator import SimulationResult, simulate
+from repro.viz.timeline import render_timeline
+
+#: A small 16-layer stand-in model so the timeline stays readable.
+FIG4_MODEL = TransformerSpec(
+    name="fig4-16L",
+    n_layers=16,
+    n_heads=32,
+    head_size=128,
+    hidden_size=4096,
+    seq_length=1024,
+)
+
+
+@dataclass(frozen=True)
+class Fig4Panel:
+    """One timeline panel: the schedule's simulation plus its rendering."""
+
+    name: str
+    result: SimulationResult
+    rendering: str
+
+
+def run_fig4(width: int = 96) -> list[Fig4Panel]:
+    """Simulate and render the four Figure 4 panels."""
+    panels = []
+    cases = [
+        ("(a) Non-looped, GPipe", ScheduleKind.GPIPE, 1),
+        ("(b) Non-looped, 1F1B", ScheduleKind.ONE_F_ONE_B, 1),
+        ("(c) Looped, depth-first", ScheduleKind.DEPTH_FIRST, 4),
+        ("(d) Looped, breadth-first", ScheduleKind.BREADTH_FIRST, 4),
+    ]
+    for name, kind, n_loop in cases:
+        config = ParallelConfig(
+            n_dp=2,
+            n_pp=4,
+            n_tp=1,
+            microbatch_size=1,
+            n_microbatches=8,
+            n_loop=n_loop,
+            schedule=kind,
+        )
+        result = simulate(FIG4_MODEL, config, DGX1_CLUSTER_64, record_events=True)
+        panels.append(
+            Fig4Panel(
+                name=name,
+                result=result,
+                rendering=render_timeline(result.timeline, width=width),
+            )
+        )
+    return panels
+
+
+def format_fig4(width: int = 96) -> str:
+    """All four panels as text, fastest last as in the paper."""
+    parts = []
+    for panel in run_fig4(width):
+        parts.append(
+            f"{panel.name} — step {panel.result.step_time * 1e3:.0f} ms, "
+            f"utilization {panel.result.utilization * 100:.1f}%"
+        )
+        parts.append(panel.rendering)
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,57 @@
+"""Figure 5: utilization vs batch size per GPU at fixed configurations.
+
+Panel (a): the 52B model with ``N_PP = N_TP = 8``, ``N_DP = 1``; panel
+(b): the 6.6B model with ``N_PP = 4``, ``N_TP = 2``, ``N_DP = 8``.  Both
+use ``S_mb = 1`` and ``N_loop = 4`` for the looped schedules; beta is
+swept through the number of sequential micro-batches.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import DGX1_CLUSTER_64, ClusterSpec
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ParallelConfig, ScheduleKind
+from repro.sim.simulator import simulate
+
+#: The four schedules plotted, with their N_loop.
+SCHEDULES: list[tuple[str, ScheduleKind, int]] = [
+    ("Breadth-first", ScheduleKind.BREADTH_FIRST, 4),
+    ("Depth-first", ScheduleKind.DEPTH_FIRST, 4),
+    ("GPipe", ScheduleKind.GPIPE, 1),
+    ("1F1B", ScheduleKind.ONE_F_ONE_B, 1),
+]
+
+#: Fixed grids per panel: (model, n_dp, n_pp, n_tp, microbatch counts).
+PANELS: dict[str, tuple[TransformerSpec, int, int, int, list[int]]] = {
+    "52B": (MODEL_52B, 1, 8, 8, [8, 16, 32, 64, 128]),
+    "6.6B": (MODEL_6_6B, 8, 4, 2, [4, 8, 16, 32, 64]),
+}
+
+
+def run_fig5(
+    panel: str, cluster: ClusterSpec = DGX1_CLUSTER_64
+) -> dict[str, list[tuple[float, float]]]:
+    """One Figure 5 panel: ``{schedule: [(beta, utilization%)]}``."""
+    if panel not in PANELS:
+        raise ValueError(f"unknown panel {panel!r}; choose from {sorted(PANELS)}")
+    spec, n_dp, n_pp, n_tp, microbatch_counts = PANELS[panel]
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for name, kind, n_loop in SCHEDULES:
+        points = []
+        for n_mb in microbatch_counts:
+            if kind is ScheduleKind.DEPTH_FIRST and n_mb % n_pp != 0:
+                continue
+            config = ParallelConfig(
+                n_dp=n_dp,
+                n_pp=n_pp,
+                n_tp=n_tp,
+                microbatch_size=1,
+                n_microbatches=n_mb,
+                n_loop=n_loop,
+                schedule=kind,
+            )
+            result = simulate(spec, config, cluster)
+            points.append((config.batch_per_gpu, result.utilization * 100.0))
+        curves[name] = points
+    return curves

@@ -1,0 +1,43 @@
+"""Figure 6: bubble vs network overhead — utilization as a function of
+stages per device for the breadth-first and depth-first schedules.
+
+52B model, ``N_PP = N_TP = 8``, ``N_DP = 1``, ``S_mb = 1``; panel (a)
+``B = 16``, panel (b) ``B = 64``.  ``N_loop = 1`` corresponds to GPipe
+(for breadth-first) and 1F1B (for depth-first), as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import DGX1_CLUSTER_64, ClusterSpec
+from repro.models.presets import MODEL_52B
+from repro.parallel.config import ParallelConfig, ScheduleKind
+from repro.sim.simulator import simulate
+
+LOOP_VALUES = [1, 2, 4, 8]
+
+
+def run_fig6(
+    batch_size: int, cluster: ClusterSpec = DGX1_CLUSTER_64
+) -> dict[str, list[tuple[int, float]]]:
+    """One Figure 6 panel: ``{schedule: [(n_loop, utilization%)]}``."""
+    curves: dict[str, list[tuple[int, float]]] = {}
+    for name, looped_kind, base_kind in [
+        ("Breadth-first", ScheduleKind.BREADTH_FIRST, ScheduleKind.GPIPE),
+        ("Depth-first", ScheduleKind.DEPTH_FIRST, ScheduleKind.ONE_F_ONE_B),
+    ]:
+        points = []
+        for n_loop in LOOP_VALUES:
+            kind = looped_kind if n_loop > 1 else base_kind
+            config = ParallelConfig(
+                n_dp=1,
+                n_pp=8,
+                n_tp=8,
+                microbatch_size=1,
+                n_microbatches=batch_size,
+                n_loop=n_loop if kind.is_looped else 1,
+                schedule=kind,
+            )
+            result = simulate(MODEL_52B, config, cluster)
+            points.append((n_loop, result.utilization * 100.0))
+        curves[name] = points
+    return curves

@@ -1,0 +1,186 @@
+"""CLI driver: ``repro-experiments [names...] [--full]``.
+
+Runs the requested experiments (all by default) and prints the paper's
+rows/series as text.  ``--full`` uses the complete batch sweeps for the
+search-backed experiments (Figures 1, 7, 8 and the Appendix E tables),
+which takes substantially longer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable, Sequence
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import format_fig3
+from repro.experiments.fig4 import format_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import format_fig9
+from repro.experiments.table41 import run_table41
+from repro.experiments.table51 import format_table51
+from repro.experiments.tableE import format_table_e, run_table_e
+from repro.utils.tables import ascii_table
+from repro.viz.chart import ascii_line_chart
+
+
+def _print_fig1(full: bool) -> None:
+    bars = run_fig1(quick=not full)
+    rows = [
+        (b.label, f"{b.training_days:.1f}", f"{b.memory_gb:.2f}",
+         f"{b.beta:.3f}", f"{b.utilization * 100:.1f}%")
+        for b in bars
+    ]
+    print(ascii_table(
+        ["Method", "Training time (days)", "Memory (GB)", "beta", "Utilization"],
+        rows,
+        title="Figure 1: 52B model on 4096 V100s",
+    ))
+
+
+def _print_fig2(full: bool) -> None:
+    del full
+    for overlap, panel in ((True, "(a) with overlap"), (False, "(b) without overlap")):
+        curves = run_fig2(overlap=overlap)
+        print(ascii_line_chart(
+            curves, title=f"Figure 2{panel}: theoretical efficiency (%)",
+            y_label="max GPU utilization (%)",
+        ))
+        print()
+
+
+def _print_fig5(full: bool) -> None:
+    del full
+    for panel in ("52B", "6.6B"):
+        curves = run_fig5(panel)
+        print(ascii_line_chart(
+            curves, title=f"Figure 5 ({panel}): utilization vs beta",
+            y_label="GPU utilization (%)",
+        ))
+        print()
+
+
+def _print_fig6(full: bool) -> None:
+    del full
+    for batch in (16, 64):
+        curves = run_fig6(batch)
+        print(ascii_line_chart(
+            {k: [(float(x), y) for x, y in v] for k, v in curves.items()},
+            title=f"Figure 6 (B={batch}): utilization vs stages per device",
+            y_label="GPU utilization (%)",
+        ))
+        print()
+
+
+def _print_fig7(full: bool) -> None:
+    for panel in ("52B", "6.6B", "6.6B-ethernet"):
+        result = run_fig7(panel, quick=not full)
+        print(ascii_line_chart(
+            result.curves(),
+            title=f"Figure 7 ({panel}): best utilization vs beta",
+            y_label="GPU utilization (%)",
+        ))
+        print()
+
+
+def _print_fig8(full: bool) -> None:
+    for panel in ("52B", "6.6B"):
+        results = run_fig8(panel, quick=not full)
+        rows = []
+        for method, points in results.items():
+            for p in points:
+                rows.append(
+                    (method, p.n_gpus, f"{p.beta:.3f}", f"{p.time_days:.1f}",
+                     f"{p.cost_gpu_days:.0f}")
+                )
+        print(ascii_table(
+            ["Method", "GPUs", "beta", "Time (days)", "Cost (GPU-days)"],
+            rows,
+            title=f"Figure 8 ({panel}): cost/time trade-off",
+        ))
+        print()
+
+
+def _print_table41(full: bool) -> None:
+    del full
+    rows = [
+        (r.method, f"{r.bubble:.3f}", f"{r.state_memory:.1f}",
+         f"{r.activation_memory:.1f}", f"{r.dp_network:.1f}",
+         f"{r.dp_overlap:.3f}", f"{r.pp_network:.1f}",
+         "yes" if r.flexible_nmb else "no")
+        for r in run_table41()
+    ]
+    print(ascii_table(
+        ["Method", "Bubble", "State mem", "Act mem", "DP net", "DP overlap",
+         "PP net", "Flexible Nmb"],
+        rows,
+        title="Table 4.1 at the reference setting (N_layers=64, N_PP=8, "
+              "N_loop=4, N_mb=8)",
+    ))
+
+
+def _print_table_e(full: bool) -> None:
+    for panel in ("52B", "6.6B", "6.6B-ethernet"):
+        print(format_table_e(run_table_e(panel, quick=not full)))
+        print()
+
+
+EXPERIMENTS: dict[str, Callable[[bool], None]] = {
+    "fig1": _print_fig1,
+    "fig2": _print_fig2,
+    "fig3": lambda full: print(format_fig3()),
+    "fig4": lambda full: print(format_fig4()),
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "fig9": lambda full: print(format_fig9()),
+    "table4.1": _print_table41,
+    "table5.1": lambda full: print(format_table51()),
+    "tableE": _print_table_e,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures and tables."
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)}, or 'all' "
+             "(default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full batch sweeps (slower, matches the paper exactly)",
+    )
+    args = parser.parse_args(argv)
+    # Validate by hand: argparse (<=3.11) checks nargs="*" defaults
+    # against `choices`, rejecting the empty list.
+    unknown = [n for n in args.names if n not in EXPERIMENTS and n != "all"]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    names = (
+        list(EXPERIMENTS)
+        if not args.names or "all" in args.names
+        else args.names
+    )
+    for name in names:
+        start = time.time()
+        print(f"=== {name} ===")
+        EXPERIMENTS[name](args.full)
+        print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Table 4.1: relative performance of distributed training methods.
+
+The table's cells are closed-form expressions in the Table A.1 symbols;
+we evaluate them for a concrete reference setting so the orderings the
+paper highlights (only breadth-first scores well on bubble, state memory
+*and* DP overlap at once) are machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table41Row:
+    """One method row, numeric columns evaluated at the reference setting.
+
+    Attributes:
+        method: Row label, as printed in the paper.
+        bubble: Pipeline-bubble overhead fraction.
+        state_memory: Training-state memory relative to one layer's worth
+            of state on one device being 1 (i.e. in units of
+            ``N_params / N_layers`` parameters' state, per TP shard).
+        activation_memory: Checkpoint memory in units of micro-batch
+            activations per device.
+        dp_network: Data-parallel traffic in units of one DP0 reduction.
+        dp_overlap: Fraction of the batch the DP traffic can hide behind.
+        pp_network: Pipeline traffic in units of one non-looped pipe's.
+        flexible_nmb: Whether N_mb is unconstrained.
+    """
+
+    method: str
+    bubble: float
+    state_memory: float
+    activation_memory: float
+    dp_network: float
+    dp_overlap: float
+    pp_network: float
+    flexible_nmb: bool
+
+
+def run_table41(
+    n_layers: int = 64,
+    n_pp: int = 8,
+    n_loop: int = 4,
+    n_mb: int = 8,
+    s_mb: int = 1,
+) -> list[Table41Row]:
+    """Evaluate Table 4.1 at a reference setting (defaults: 52B-like)."""
+    if n_pp * n_loop > n_layers:
+        raise ValueError("more stages than layers")
+    rows = [
+        Table41Row(
+            method="No pipeline",
+            bubble=0.0,
+            state_memory=float(n_layers),
+            activation_memory=float(s_mb),
+            dp_network=1.0,
+            dp_overlap=(1.0 - 1.0 / n_layers) / n_mb,
+            pp_network=0.0,
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="No pipeline (DP_FS)",
+            bubble=0.0,
+            state_memory=2.0,
+            activation_memory=float(s_mb),
+            dp_network=1.5 * n_mb,
+            dp_overlap=(1.0 - 1.0 / n_layers) / n_mb,
+            pp_network=0.0,
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="GPipe",
+            bubble=(n_pp - 1) / n_mb,
+            state_memory=n_layers / n_pp,
+            activation_memory=s_mb * n_mb / n_pp,
+            dp_network=1.0,
+            dp_overlap=(1.0 - n_pp / n_layers) / n_mb,
+            pp_network=1.0,
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="1F1B",
+            bubble=(n_pp - 1) / n_mb,
+            state_memory=n_layers / n_pp,
+            activation_memory=2.0 * s_mb,
+            dp_network=1.0,
+            dp_overlap=(1.0 - n_pp / n_layers) / n_mb,
+            pp_network=1.0,
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="1F1B (DP_FS)",
+            bubble=(n_pp - 1) / n_mb,
+            state_memory=2.0,
+            activation_memory=2.0 * s_mb,
+            dp_network=1.5 * n_mb,
+            dp_overlap=1.0 - n_pp / n_layers,
+            pp_network=1.0,
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="Depth-first",
+            bubble=(n_pp - 1) / (n_mb * n_loop),
+            state_memory=n_layers / n_pp,
+            activation_memory=s_mb * (1.0 + 1.0 / n_loop),
+            dp_network=1.0,
+            dp_overlap=(1.0 - n_pp / n_layers) * n_pp / n_mb,
+            pp_network=float(n_loop),
+            flexible_nmb=False,
+        ),
+        Table41Row(
+            method="Breadth-first",
+            bubble=(n_pp - 1) / (n_mb * n_loop),
+            state_memory=n_layers / n_pp,
+            activation_memory=s_mb * n_mb / n_pp,
+            dp_network=1.0,
+            dp_overlap=1.0 - n_pp / n_layers,
+            pp_network=float(n_loop),
+            flexible_nmb=True,
+        ),
+        Table41Row(
+            method="Breadth-first (DP_FS)",
+            bubble=(n_pp - 1) / (n_mb * n_loop),
+            state_memory=2.0,
+            activation_memory=s_mb * n_mb / n_pp,
+            dp_network=1.5,
+            dp_overlap=1.0 - n_pp / n_layers,
+            pp_network=float(n_loop),
+            flexible_nmb=True,
+        ),
+    ]
+    return rows

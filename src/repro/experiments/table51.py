@@ -1,0 +1,34 @@
+"""Table 5.1: the two evaluation models."""
+
+from __future__ import annotations
+
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.models.spec import TransformerSpec
+from repro.utils.tables import ascii_table
+
+
+def run_table51() -> list[TransformerSpec]:
+    """The Table 5.1 rows."""
+    return [MODEL_52B, MODEL_6_6B]
+
+
+def format_table51() -> str:
+    """Render Table 5.1, with the derived parameter count appended."""
+    rows = [
+        (
+            spec.name,
+            spec.n_layers,
+            spec.n_heads,
+            spec.head_size,
+            spec.hidden_size,
+            spec.seq_length,
+            f"{spec.n_params / 1e9:.1f}B",
+        )
+        for spec in run_table51()
+    ]
+    return ascii_table(
+        ["Model", "Num layers", "Attention heads", "Head size", "Hidden size",
+         "Seq length", "Params (derived)"],
+        rows,
+        title="Table 5.1: Details of the models",
+    )

@@ -1,0 +1,37 @@
+"""Hardware substrate: GPUs, interconnects and cluster topology.
+
+The paper evaluates on 8 DGX-1 nodes (64 V100-SXM2-32GB) connected by
+InfiniBand, with a degraded Ethernet variant for the slow-network study.
+These modules describe that hardware as data; the simulator consumes it.
+"""
+
+from repro.hardware.gpu import A100, H100, V100, GPUSpec
+from repro.hardware.network import (
+    ETHERNET_DGX1,
+    INFINIBAND_DGX1,
+    NVLINK_A100,
+    NVLINK_V100,
+    NetworkSpec,
+)
+from repro.hardware.cluster import (
+    DGX1_CLUSTER_64,
+    DGX1_CLUSTER_64_ETHERNET,
+    ClusterSpec,
+    ParallelDim,
+)
+
+__all__ = [
+    "A100",
+    "DGX1_CLUSTER_64",
+    "DGX1_CLUSTER_64_ETHERNET",
+    "ETHERNET_DGX1",
+    "GPUSpec",
+    "H100",
+    "INFINIBAND_DGX1",
+    "NVLINK_A100",
+    "NVLINK_V100",
+    "ClusterSpec",
+    "NetworkSpec",
+    "ParallelDim",
+    "V100",
+]

@@ -1,0 +1,123 @@
+"""Cluster topology: nodes of GPUs, and which fabric each parallel group uses.
+
+The device grid follows the paper's convention (Appendix A.1): the cluster
+is a ``N_DP x N_PP x N_TP`` grid with tensor-parallel ranks innermost
+(consecutive GPU indices, therefore on the same node whenever
+``N_TP <= node_size``), pipeline ranks next, data-parallel ranks outermost.
+A parallel group communicates over NVLink when it fits inside one node and
+over the inter-node fabric otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.hardware.gpu import V100, GPUSpec
+from repro.hardware.network import (
+    ETHERNET_DGX1,
+    INFINIBAND_DGX1,
+    NVLINK_V100,
+    NetworkSpec,
+)
+
+
+class ParallelDim(enum.Enum):
+    """One axis of the (up to) three-dimensional device grid."""
+
+    DATA = "data"
+    PIPELINE = "pipeline"
+    TENSOR = "tensor"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Attributes:
+        name: Label used in reports.
+        gpu: Per-device spec.
+        node_size: GPUs per node (8 for DGX-1).
+        n_nodes: Number of nodes.
+        intra_node: Fabric within a node (NVLink).
+        inter_node: Fabric between nodes (InfiniBand or Ethernet).
+    """
+
+    name: str
+    gpu: GPUSpec
+    node_size: int
+    n_nodes: int
+    intra_node: NetworkSpec
+    inter_node: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if self.node_size < 1:
+            raise ValueError(f"node_size must be >= 1, got {self.node_size}")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    @property
+    def n_gpus(self) -> int:
+        """Total number of devices."""
+        return self.node_size * self.n_nodes
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """Copy of this cluster scaled to ``n_nodes`` nodes."""
+        return replace(self, n_nodes=n_nodes, name=f"{self.name} x{n_nodes}")
+
+    def network_for(
+        self, dim: ParallelDim, n_dp: int, n_pp: int, n_tp: int
+    ) -> NetworkSpec:
+        """Fabric used by groups along ``dim`` for the given grid shape.
+
+        A group lies within one node iff the product of its extent and all
+        inner (faster-varying) extents does not exceed the node size.
+        """
+        if n_dp * n_pp * n_tp > self.n_gpus:
+            raise ValueError(
+                f"grid {n_dp}x{n_pp}x{n_tp} exceeds cluster size {self.n_gpus}"
+            )
+        span = {
+            ParallelDim.TENSOR: n_tp,
+            ParallelDim.PIPELINE: n_tp * n_pp,
+            ParallelDim.DATA: n_tp * n_pp * n_dp,
+        }[dim]
+        return self.intra_node if span <= self.node_size else self.inter_node
+
+    def hardware_intensity(self, network: NetworkSpec) -> float:
+        """Hardware intensity ``I_hw`` (Eq. 19): peak flop/s over bytes/s.
+
+        Used to predict network-bound thresholds such as beta_net
+        (Appendix A.3.1).
+        """
+        return self.gpu.peak_flops / network.bandwidth
+
+
+def _dgx1(name: str, inter_node: NetworkSpec, n_nodes: int = 8) -> ClusterSpec:
+    return ClusterSpec(
+        name=name,
+        gpu=V100,
+        node_size=8,
+        n_nodes=n_nodes,
+        intra_node=NVLINK_V100,
+        inter_node=inter_node,
+    )
+
+
+#: The paper's evaluation cluster: 8 DGX-1 nodes, 64 V100s, InfiniBand.
+DGX1_CLUSTER_64 = _dgx1("8x DGX-1 (InfiniBand)", INFINIBAND_DGX1)
+
+#: Same cluster with InfiniBand disabled (Section 5.3 Ethernet study).
+DGX1_CLUSTER_64_ETHERNET = _dgx1("8x DGX-1 (Ethernet)", ETHERNET_DGX1)
+
+
+def scaled_cluster(base: ClusterSpec, n_gpus: int) -> ClusterSpec:
+    """A copy of ``base`` with capacity for ``n_gpus`` devices.
+
+    Used by the Section 5.4 extrapolation, which scales data parallelism to
+    larger clusters at constant per-GPU behaviour.
+    """
+    if n_gpus < 1:
+        raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+    return base.with_nodes(math.ceil(n_gpus / base.node_size))

@@ -1,0 +1,64 @@
+"""GPU device specifications.
+
+Peak flop/s are half-precision tensor-core rates, the figure of merit the
+paper uses when quoting utilization percentages (Tflop/s divided by peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model, described by the quantities the cost model needs.
+
+    Attributes:
+        name: Marketing name, used in reports.
+        peak_flops: Peak half-precision tensor-core throughput (flop/s).
+        memory_bytes: Usable device memory (bytes).
+        memory_bandwidth: HBM bandwidth (bytes/s), used for the optimizer
+            step cost which is memory-bound.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    memory_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError(f"peak_flops must be positive, got {self.peak_flops}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {self.memory_bytes}")
+        if self.memory_bandwidth <= 0:
+            raise ValueError(
+                f"memory_bandwidth must be positive, got {self.memory_bandwidth}"
+            )
+
+
+#: The paper's evaluation GPU: V100-SXM2-32GB (DGX-1).
+V100 = GPUSpec(
+    name="V100-SXM2-32GB",
+    peak_flops=125e12,
+    memory_bytes=32 * GB,
+    memory_bandwidth=900e9,
+)
+
+#: A100-SXM4-80GB, used in the paper's Appendix A numerical examples.
+A100 = GPUSpec(
+    name="A100-SXM4-80GB",
+    peak_flops=312e12,
+    memory_bytes=80 * GB,
+    memory_bandwidth=2039e9,
+)
+
+#: H100-SXM5-80GB, mentioned in the paper's conclusion as future work.
+H100 = GPUSpec(
+    name="H100-SXM5-80GB",
+    peak_flops=989e12,
+    memory_bytes=80 * GB,
+    memory_bandwidth=3350e9,
+)

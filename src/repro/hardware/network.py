@@ -1,0 +1,115 @@
+"""Interconnect specifications.
+
+Bandwidths follow the paper's convention (Appendix A.3): per-GPU *total*
+(input + output) capacity in bytes/s.  The per-message latency term models
+the fixed overhead the paper identifies as dominating pipeline-parallel
+communication cost (Section 5.2: the measured overhead is ~25x the
+bandwidth-only prediction, attributed to latency and synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An interconnect as seen by one GPU.
+
+    Attributes:
+        name: Label used in reports.
+        bandwidth: Per-GPU total (in+out) bandwidth in bytes/s.
+        latency: Fixed per-message cost in seconds (wire latency plus
+            software launch overhead), paid by every point-to-point transfer
+            and every collective.
+        sync_overhead: Additional per-operation cost in seconds paid when
+            the operation is *not* overlapped with computation; models the
+            kernel-launch / stream-synchronization / allocator stalls
+            discussed in Section 5.2 and Appendix D.2 (the paper measures
+            a >=40% overhead at N_loop = 8 against a 1.6% bandwidth-only
+            prediction, i.e. the per-message fixed cost dominates).
+        overlap_compute_cost: Small per-message time charged to the
+            *compute* stream even when the transfer itself is overlapped:
+            kernel launch plus the few SMs the NIC traffic occupies
+            (Section 3's footnote).  This is why the breadth-first
+            schedule "avoids most but not all" of the network overhead
+            and its optimum sits at N_loop = 4 rather than 8 (Section 5.2).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    sync_overhead: float = 0.0
+    overlap_compute_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+        if self.sync_overhead < 0:
+            raise ValueError(
+                f"sync_overhead must be non-negative, got {self.sync_overhead}"
+            )
+        if self.overlap_compute_cost < 0:
+            raise ValueError(
+                "overlap_compute_cost must be non-negative, got "
+                f"{self.overlap_compute_cost}"
+            )
+
+    def transfer_time(self, n_bytes: float, *, overlapped: bool = True) -> float:
+        """Time to move ``n_bytes`` as one message.
+
+        Non-overlapped transfers additionally pay ``sync_overhead``,
+        reproducing the latency/synchronization penalty the paper measures
+        for the depth-first schedule (Figure 6).
+        """
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        time = self.latency + n_bytes / self.bandwidth
+        if not overlapped:
+            time += self.sync_overhead
+        return time
+
+
+#: NVLink as seen by one V100 in a DGX-1 (6 NVLink2 links).
+NVLINK_V100 = NetworkSpec(
+    name="NVLink (V100)",
+    bandwidth=300e9,
+    latency=5e-6,
+    sync_overhead=20e-6,
+    overlap_compute_cost=5e-6,
+)
+
+#: NVLink as seen by one A100 (paper Appendix A.3: 559 GB/s total).
+NVLINK_A100 = NetworkSpec(
+    name="NVLink (A100)",
+    bandwidth=559e9,
+    latency=5e-6,
+    sync_overhead=20e-6,
+    overlap_compute_cost=5e-6,
+)
+
+#: DGX-1 InfiniBand: 4x100 Gb/s EDR ports per 8-GPU node, so 12.5 GB/s
+#: each way per GPU — 25 GB/s in+out in the paper's total-bandwidth
+#: convention.  This reproduces the measured beta_net ~ 4 at sequence
+#: length 1024 (I_hw = 125e12 / 25e9 = 5000 ~ 4 * 1024 tokens).  The
+#: sync_overhead is calibrated so the non-overlapped depth-first pipeline
+#: loses ~40% at N_loop = 8 as measured in Figure 6b.
+INFINIBAND_DGX1 = NetworkSpec(
+    name="InfiniBand (DGX-1)",
+    bandwidth=25e9,
+    latency=50e-6,
+    sync_overhead=4e-3,
+    overlap_compute_cost=150e-6,
+)
+
+#: Degraded Ethernet fabric used for the slow-network study (Fig. 7c/8c).
+#: Calibrated to beta_net ~ 32 (8x InfiniBand's ~4, per Section 5.3).
+ETHERNET_DGX1 = NetworkSpec(
+    name="Ethernet (DGX-1)",
+    bandwidth=3.125e9,
+    latency=150e-6,
+    sync_overhead=5e-3,
+    overlap_compute_cost=300e-6,
+)

@@ -1,0 +1,85 @@
+"""Implementation profiles: what each training library can overlap.
+
+Section 5 compares two implementations: the paper's custom library
+("ours"), which overlaps both data-parallel and pipeline-parallel
+communication with computation and supports sharded data parallelism, and
+Megatron-LM (commit e156d2f), which overlaps neither and supports only
+replicated data parallelism.  The measured gap between the depth-first and
+breadth-first schedules is largely this policy difference (Figures 5-6),
+so the simulator treats it as first-class configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.config import ScheduleKind, Sharding
+
+
+@dataclass(frozen=True)
+class ImplementationProfile:
+    """Capabilities of a training library, as the simulator sees them.
+
+    Attributes:
+        name: Label used in reports ("Ours" / "Megatron-LM").
+        dp_overlap: Whether gradient reduction / weight reconstruction run
+            on a parallel stream (overlapping compute) or serialize after
+            the backward pass.
+        pp_overlap: Whether stage-to-stage activation transfers run on a
+            parallel stream or block the compute stream (with the
+            synchronization penalty of Section 5.2).
+        supported_sharding: Data-parallel sharding modes the library
+            implements.
+        state_bytes_per_param: Peak training-state bytes per (unsharded)
+            parameter.  20 for ours (fp32 weights + Adam momenta = 12,
+            pre-allocated fp32 gradients = 4, fp16 weight/grad buffers =
+            4); 18 for Megatron-LM, whose fp32 gradients are allocated on
+            the fly and miss the peak (Appendix E).
+        shardable_bytes_per_param: The part of the above that sharded data
+            parallelism can amortize — 16 for ours, 12 for Megatron-LM
+            (Appendix E's "memory min" accounting).
+    """
+
+    name: str
+    dp_overlap: bool
+    pp_overlap: bool
+    supported_sharding: frozenset[Sharding]
+    state_bytes_per_param: float
+    shardable_bytes_per_param: float
+
+    def supports(self, sharding: Sharding) -> bool:
+        return sharding in self.supported_sharding
+
+
+#: The paper's custom library (Appendix D).
+OUR_IMPLEMENTATION = ImplementationProfile(
+    name="Ours",
+    dp_overlap=True,
+    pp_overlap=True,
+    supported_sharding=frozenset(
+        {Sharding.NONE, Sharding.PARTIAL, Sharding.FULL}
+    ),
+    state_bytes_per_param=20.0,
+    shardable_bytes_per_param=16.0,
+)
+
+#: Megatron-LM at commit e156d2f (pre-Korthikanti), as evaluated.
+MEGATRON_LM = ImplementationProfile(
+    name="Megatron-LM",
+    dp_overlap=False,
+    pp_overlap=False,
+    supported_sharding=frozenset({Sharding.NONE}),
+    state_bytes_per_param=18.0,
+    shardable_bytes_per_param=12.0,
+)
+
+
+def default_implementation_for(kind: ScheduleKind) -> ImplementationProfile:
+    """The implementation the paper used for each schedule (Section 5).
+
+    The paper's library implements GPipe-style non-looped and breadth-first
+    schedules; 1F1B and depth-first come from Megatron-LM.
+    """
+    if kind in (ScheduleKind.ONE_F_ONE_B, ScheduleKind.DEPTH_FIRST):
+        return MEGATRON_LM
+    return OUR_IMPLEMENTATION

@@ -1,0 +1,19 @@
+"""Transformer model specifications and the paper's flop/memory formulas."""
+
+from repro.models.spec import TransformerSpec
+from repro.models.presets import (
+    GPT3_175B,
+    MODEL_1T,
+    MODEL_6_6B,
+    MODEL_52B,
+    PRESETS,
+)
+
+__all__ = [
+    "GPT3_175B",
+    "MODEL_1T",
+    "MODEL_52B",
+    "MODEL_6_6B",
+    "PRESETS",
+    "TransformerSpec",
+]

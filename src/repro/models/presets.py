@@ -1,0 +1,58 @@
+"""Model presets from the paper.
+
+Table 5.1 defines the two evaluation models (52B and 6.6B, BERT
+architecture, sequence length 1024).  Appendix A.1 additionally uses GPT-3
+and a trillion-parameter example, both at sequence length 2048.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import TransformerSpec
+
+#: Table 5.1, row 1: the 52-billion-parameter evaluation model.
+MODEL_52B = TransformerSpec(
+    name="52B",
+    n_layers=64,
+    n_heads=64,
+    head_size=128,
+    hidden_size=8192,
+    seq_length=1024,
+)
+
+#: Table 5.1, row 2: the 6.6-billion-parameter evaluation model.
+MODEL_6_6B = TransformerSpec(
+    name="6.6B",
+    n_layers=32,
+    n_heads=32,
+    head_size=128,
+    hidden_size=4096,
+    seq_length=1024,
+)
+
+#: Appendix A.1 example: GPT-3 (175B).
+GPT3_175B = TransformerSpec(
+    name="GPT-3",
+    n_layers=96,
+    n_heads=96,
+    head_size=128,
+    hidden_size=12288,
+    seq_length=2048,
+)
+
+#: Appendix A.1 example: the trillion-parameter model "1T".
+#: (S_hidden = 25600 so that 12 L h^2 ~ 1e12; the paper's printed 12288 for
+#: 1T appears to be a copy of the GPT-3 row — 12288 with 128 layers gives
+#: only 232B parameters.  We follow Narayanan et al. 2021's 1T config.)
+MODEL_1T = TransformerSpec(
+    name="1T",
+    n_layers=128,
+    n_heads=160,
+    head_size=160,
+    hidden_size=25600,
+    seq_length=2048,
+)
+
+#: All presets keyed by name.
+PRESETS: dict[str, TransformerSpec] = {
+    spec.name: spec for spec in (MODEL_52B, MODEL_6_6B, GPT3_175B, MODEL_1T)
+}

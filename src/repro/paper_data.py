@@ -1,0 +1,93 @@
+"""Published numbers from the paper, for programmatic comparison.
+
+A curated subset of Tables E.1-E.3 (the anchor configurations used in
+EXPERIMENTS.md) plus the headline constants.  Keeping the paper's values
+as data lets tests and benches assert reproduction bands instead of
+burying magic numbers in assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    """One published configuration row.
+
+    Attributes:
+        table: Paper table id ("E.1", "E.2", "E.3").
+        label: Short description.
+        model: "52B" or "6.6B".
+        ethernet: True for Table E.3 rows.
+        config: The full configuration as published.
+        throughput_tflops: Published Tflop/s per GPU.
+        memory_gb: Published measured memory (GB).
+        memory_min_gb: Published predicted-minimum memory (GB).
+    """
+
+    table: str
+    label: str
+    model: str
+    ethernet: bool
+    config: ParallelConfig
+    throughput_tflops: float
+    memory_gb: float
+    memory_min_gb: float
+
+
+def _cfg(ndp, npp, ntp, smb, nmb, loop, schedule, sharded=False):
+    sharding = Sharding.NONE
+    if sharded:
+        sharding = (
+            Sharding.FULL
+            if schedule is ScheduleKind.BREADTH_FIRST or npp == 1
+            else Sharding.PARTIAL
+        )
+    return ParallelConfig(
+        n_dp=ndp, n_pp=npp, n_tp=ntp, microbatch_size=smb,
+        n_microbatches=nmb, n_loop=loop, sharding=sharding,
+        schedule=schedule,
+    )
+
+
+BF, DF = ScheduleKind.BREADTH_FIRST, ScheduleKind.DEPTH_FIRST
+GP, FB = ScheduleKind.GPIPE, ScheduleKind.ONE_F_ONE_B
+
+#: Anchor rows transcribed from Tables E.1-E.3.
+PAPER_ANCHORS: tuple[PaperAnchor, ...] = (
+    PaperAnchor("E.1", "BF B=9 loop8 DP0", "52B", False,
+                _cfg(1, 8, 8, 1, 9, 8, BF), 42.33, 14.74, 2.25),
+    PaperAnchor("E.1", "BF B=16 pp4 loop8 FS", "52B", False,
+                _cfg(2, 4, 8, 1, 8, 8, BF, sharded=True), 44.49, 16.60, 3.60),
+    PaperAnchor("E.1", "BF B=48 tp2 loop8 FS", "52B", False,
+                _cfg(4, 8, 2, 1, 12, 8, BF, sharded=True), 55.34, 19.73, 5.80),
+    PaperAnchor("E.1", "DF B=8 loop2", "52B", False,
+                _cfg(1, 8, 8, 1, 8, 2, DF), 29.53, 15.78, 6.42),
+    PaperAnchor("E.1", "DF B=128 loop4", "52B", False,
+                _cfg(1, 8, 8, 4, 32, 4, DF), 51.46, 19.18, 9.81),
+    PaperAnchor("E.1", "NL B=8 GPipe", "52B", False,
+                _cfg(1, 8, 8, 1, 8, 1, GP), 26.04, 16.87, 4.38),
+    PaperAnchor("E.1", "NL B=512 1F1B", "52B", False,
+                _cfg(1, 8, 8, 4, 128, 1, FB), 55.52, 17.68, 8.31),
+    PaperAnchor("E.1", "NP B=512 tp2 FS", "52B", False,
+                _cfg(32, 1, 2, 4, 4, 1, BF, sharded=True), 62.40, 21.44, 9.19),
+    PaperAnchor("E.2", "BF B=256 FS", "6.6B", False,
+                _cfg(32, 2, 1, 2, 4, 8, BF, sharded=True), 60.45, 7.02, 5.36),
+    PaperAnchor("E.2", "NP B=256 tp1 FS", "6.6B", False,
+                _cfg(64, 1, 1, 4, 1, 1, BF, sharded=True), 60.02, 6.01, 4.43),
+    PaperAnchor("E.3", "BF B=64 (Ethernet)", "6.6B", True,
+                _cfg(4, 4, 4, 2, 8, 4, BF), 31.31, 8.70, 2.21),
+    PaperAnchor("E.3", "DF B=512 (Ethernet)", "6.6B", True,
+                _cfg(8, 8, 1, 2, 32, 2, DF), 40.75, 17.45, 7.00),
+)
+
+#: Paper-quoted headline gains near beta_min (Section 5.3).
+HEADLINE_GAIN_VS_DEPTH_FIRST = 1.43
+HEADLINE_GAIN_VS_NON_LOOPED = 1.53
+
+#: Reproduction tolerance bands (see EXPERIMENTS.md).
+THROUGHPUT_BAND = (0.75, 1.35)
+MEMORY_BAND = (0.6, 1.5)

@@ -1,0 +1,10 @@
+"""Distributed-training configuration: the (DP, PP, TP) grid and batch algebra."""
+
+from repro.parallel.config import (
+    Method,
+    ParallelConfig,
+    ScheduleKind,
+    Sharding,
+)
+
+__all__ = ["Method", "ParallelConfig", "ScheduleKind", "Sharding"]

@@ -1,0 +1,175 @@
+"""Parallel configuration: the Table A.1 symbols as a validated dataclass.
+
+A :class:`ParallelConfig` fixes the device grid (``N_DP x N_PP x N_TP``),
+the input split (``S_mb`` micro-batch size, ``N_mb`` sequential
+micro-batches), the pipeline shape (``N_loop`` stages per device) and the
+data-parallel sharding mode.  The batch size is derived:
+``B = N_DP * N_mb * S_mb`` (Appendix A.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Sharding(enum.Enum):
+    """Data-parallel sharding mode (Section 3.1 / ZeRO stages).
+
+    ``NONE`` is DP0 (replicated state, gradient all-reduce), ``PARTIAL`` is
+    DP_PS (sharded optimizer state, reduce-scatter + all-gather, ZeRO
+    stage 2) and ``FULL`` is DP_FS (sharded weights reconstructed before
+    every use, ZeRO stage 3).
+    """
+
+    NONE = "dp0"
+    PARTIAL = "dp_ps"
+    FULL = "dp_fs"
+
+
+class ScheduleKind(enum.Enum):
+    """Pipeline schedule (Section 3.2 and 4.1).
+
+    With ``N_PP == 1`` these degenerate to gradient-accumulation orders:
+    ``BREADTH_FIRST`` runs all forwards then all backwards (Appendix C) and
+    ``ONE_F_ONE_B``/``DEPTH_FIRST`` alternate forward and backward.
+    """
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+    DEPTH_FIRST = "depth_first"
+    BREADTH_FIRST = "breadth_first"
+
+    @property
+    def is_looped(self) -> bool:
+        """Whether the schedule supports multiple stages per device."""
+        return self in (ScheduleKind.DEPTH_FIRST, ScheduleKind.BREADTH_FIRST)
+
+
+class Method(enum.Enum):
+    """The four methods compared in Section 5.3 / Figure 7."""
+
+    BREADTH_FIRST = "Breadth-first"
+    DEPTH_FIRST = "Depth-first"
+    NON_LOOPED = "Non-looped"
+    NO_PIPELINE = "No pipeline"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A full distributed-training configuration.
+
+    Attributes:
+        n_dp: Data-parallel group size ``N_DP``.
+        n_pp: Pipeline-parallel group size ``N_PP``.
+        n_tp: Tensor-parallel group size ``N_TP``.
+        microbatch_size: Samples per micro-batch ``S_mb``.
+        n_microbatches: Sequential micro-batches ``N_mb``.
+        n_loop: Stages per pipeline device ``N_loop`` (1 = non-looped).
+        sharding: Data-parallel sharding mode.
+        schedule: Pipeline schedule.
+    """
+
+    n_dp: int
+    n_pp: int
+    n_tp: int
+    microbatch_size: int
+    n_microbatches: int
+    n_loop: int = 1
+    sharding: Sharding = Sharding.NONE
+    schedule: ScheduleKind = ScheduleKind.GPIPE
+
+    def __post_init__(self) -> None:
+        for field in ("n_dp", "n_pp", "n_tp", "microbatch_size",
+                      "n_microbatches", "n_loop"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{field} must be a positive integer, got {value!r}")
+        if not self.schedule.is_looped and self.n_loop != 1:
+            raise ValueError(
+                f"{self.schedule.value} is a non-looped schedule; it requires "
+                f"n_loop == 1, got {self.n_loop}"
+            )
+        if (
+            self.schedule is ScheduleKind.DEPTH_FIRST
+            and self.n_pp > 1
+            and self.n_microbatches % self.n_pp != 0
+        ):
+            raise ValueError(
+                "the depth-first schedule runs micro-batches in sequences of "
+                f"N_PP, so N_mb ({self.n_microbatches}) must be a multiple of "
+                f"N_PP ({self.n_pp}) — Section 4.1"
+            )
+
+    # ----------------------------------------------------------- derived
+
+    @property
+    def n_gpus(self) -> int:
+        """Total devices ``N_GPU = N_DP * N_PP * N_TP``."""
+        return self.n_dp * self.n_pp * self.n_tp
+
+    @property
+    def n_stages(self) -> int:
+        """Pipeline stages ``N_stage = N_loop * N_PP``."""
+        return self.n_loop * self.n_pp
+
+    @property
+    def batch_size(self) -> int:
+        """Global batch size ``B = N_DP * N_mb * S_mb``."""
+        return self.n_dp * self.n_microbatches * self.microbatch_size
+
+    @property
+    def batch_per_gpu(self) -> float:
+        """Batch size per GPU, ``beta = B / N_GPU``."""
+        return self.batch_size / self.n_gpus
+
+    @property
+    def method(self) -> Method:
+        """Which of the paper's four compared methods this config belongs to."""
+        if self.n_pp == 1:
+            return Method.NO_PIPELINE
+        if self.n_loop == 1 and self.schedule in (
+            ScheduleKind.GPIPE,
+            ScheduleKind.ONE_F_ONE_B,
+        ):
+            return Method.NON_LOOPED
+        if self.schedule is ScheduleKind.DEPTH_FIRST:
+            return Method.DEPTH_FIRST
+        return Method.BREADTH_FIRST
+
+    @property
+    def uses_full_sharding(self) -> bool:
+        """True for DP_FS (weights reconstructed before every use)."""
+        return self.sharding is Sharding.FULL
+
+    def with_(self, **changes: object) -> "ParallelConfig":
+        """Functional update returning a new validated config."""
+        return replace(self, **changes)
+
+    def validate_against(self, n_layers: int, node_size: int = 8) -> None:
+        """Check constraints that involve the model or the cluster.
+
+        Raises ValueError if there are more stages than layers (a stage
+        must contain at least one transformer layer) or if tensor
+        parallelism spans more than one node (Section 3.3 restricts TP to
+        NVLink distances).
+        """
+        if self.n_stages > n_layers:
+            raise ValueError(
+                f"{self.n_stages} stages exceed the model's {n_layers} layers"
+            )
+        if self.n_tp > node_size:
+            raise ValueError(
+                f"N_TP = {self.n_tp} exceeds the node size {node_size}; tensor "
+                "parallelism requires NVLink (Section 3.3)"
+            )
+
+    def describe(self) -> str:
+        """Compact one-line description used in experiment tables."""
+        shard = {Sharding.NONE: "DP0", Sharding.PARTIAL: "PS", Sharding.FULL: "FS"}
+        return (
+            f"{self.schedule.value} B={self.batch_size} "
+            f"dp={self.n_dp} pp={self.n_pp} tp={self.n_tp} "
+            f"smb={self.microbatch_size} nmb={self.n_microbatches} "
+            f"loop={self.n_loop} {shard[self.sharding]}"
+        )

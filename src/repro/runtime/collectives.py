@@ -1,0 +1,98 @@
+"""In-process collectives over lists of per-rank arrays.
+
+Deterministic (ranks summed in index order) and instrumented: the module
+tracks payload volume per operation kind so tests can verify the traffic
+accounting of Appendix A.3 (e.g. DP_FS moving ~1.5x the bytes of DP0, and
+the breadth-first schedule's once-per-pass reconstruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CollectiveStats:
+    """Payload element counts by collective kind."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    elements: dict[str, float] = field(default_factory=dict)
+
+    def record(self, kind: str, n_elements: float) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.elements[kind] = self.elements.get(kind, 0.0) + n_elements
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.elements.clear()
+
+
+#: Global stats, reset by trainers at step start.
+STATS = CollectiveStats()
+
+
+def all_reduce(arrays: list[np.ndarray], op: str = "mean") -> list[np.ndarray]:
+    """Reduce across ranks; every rank receives the full result."""
+    if not arrays:
+        raise ValueError("all_reduce needs at least one rank")
+    total = arrays[0].copy()
+    for other in arrays[1:]:
+        total += other
+    if op == "mean":
+        total /= len(arrays)
+    elif op != "sum":
+        raise ValueError(f"unknown op {op!r}")
+    STATS.record("all_reduce", float(total.size) * len(arrays))
+    return [total.copy() for _ in arrays]
+
+
+def _shard_bounds(n: int, n_ranks: int) -> list[tuple[int, int]]:
+    base, extra = divmod(n, n_ranks)
+    bounds = []
+    start = 0
+    for rank in range(n_ranks):
+        size = base + (1 if rank < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def reduce_scatter(arrays: list[np.ndarray], op: str = "mean") -> list[np.ndarray]:
+    """Reduce across ranks; rank ``r`` receives shard ``r`` of the result.
+
+    Arrays must be 1-d (flatten parameters first, as real ZeRO does).
+    """
+    if not arrays:
+        raise ValueError("reduce_scatter needs at least one rank")
+    for a in arrays:
+        if a.ndim != 1:
+            raise ValueError("reduce_scatter operates on flat arrays")
+    total = arrays[0].copy()
+    for other in arrays[1:]:
+        total += other
+    if op == "mean":
+        total /= len(arrays)
+    elif op != "sum":
+        raise ValueError(f"unknown op {op!r}")
+    bounds = _shard_bounds(total.size, len(arrays))
+    STATS.record("reduce_scatter", float(total.size))
+    return [total[s:e].copy() for s, e in bounds]
+
+
+def all_gather(shards: list[np.ndarray]) -> list[np.ndarray]:
+    """Concatenate per-rank shards; every rank receives the full array."""
+    if not shards:
+        raise ValueError("all_gather needs at least one rank")
+    full = np.concatenate(shards)
+    STATS.record("all_gather", float(full.size))
+    return [full.copy() for _ in shards]
+
+
+def broadcast(array: np.ndarray, n_ranks: int) -> list[np.ndarray]:
+    """Rank 0's array delivered to every rank."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    STATS.record("broadcast", float(array.size) * (n_ranks - 1))
+    return [array.copy() for _ in range(n_ranks)]

@@ -1,0 +1,316 @@
+"""NumPy layers with hand-written backward passes.
+
+Everything operates on ``(batch, seq, hidden)`` float arrays.  Each layer
+stores its parameters in ``self.params`` (name -> array), accumulates
+gradients in ``self.grads`` under the same names, and caches forward
+intermediates per micro-batch id so pipeline schedules can interleave
+many in-flight micro-batches — exactly the state a pipeline stage holds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class Module:
+    """Base class: parameter/gradient books and micro-batch caches."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self._cache: dict[int, dict[str, np.ndarray]] = {}
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for name, value in self.params.items():
+            self.grads[name] = np.zeros_like(value)
+
+    def _save(self, microbatch: int, **tensors: np.ndarray) -> None:
+        self._cache[microbatch] = tensors
+
+    def _load(self, microbatch: int) -> dict[str, np.ndarray]:
+        try:
+            return self._cache.pop(microbatch)
+        except KeyError:
+            raise RuntimeError(
+                f"{type(self).__name__}: backward for micro-batch "
+                f"{microbatch} has no cached forward (schedule bug?)"
+            ) from None
+
+    @property
+    def live_microbatches(self) -> int:
+        """Micro-batches whose activations are currently held."""
+        return len(self._cache)
+
+    def _accumulate(self, name: str, grad: np.ndarray) -> None:
+        if name not in self.grads:
+            self.grads[name] = np.zeros_like(self.params[name])
+        self.grads[name] += grad
+
+    def n_params(self) -> int:
+        """Total scalar parameters in this module."""
+        return int(sum(p.size for p in self.params.values()))
+
+
+def _init(rng: np.random.Generator, *shape: int, scale: float | None = None) -> np.ndarray:
+    fan_in = shape[0] if len(shape) > 1 else 1
+    scale = scale if scale is not None else 1.0 / math.sqrt(max(1, fan_in))
+    return rng.normal(0.0, scale, size=shape)
+
+
+class Linear(Module):
+    """Affine map on the last axis: ``y = x @ W + b``."""
+
+    def __init__(self, rng: np.random.Generator, d_in: int, d_out: int) -> None:
+        super().__init__()
+        self.d_in, self.d_out = d_in, d_out
+        self.params["W"] = _init(rng, d_in, d_out)
+        self.params["b"] = np.zeros(d_out)
+
+    def forward(self, x: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        self._save(microbatch, x=x)
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        x = self._load(microbatch)["x"]
+        x2 = x.reshape(-1, self.d_in)
+        dy2 = dy.reshape(-1, self.d_out)
+        self._accumulate("W", x2.T @ dy2)
+        self._accumulate("b", dy2.sum(axis=0))
+        return dy @ self.params["W"].T
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned gain/bias."""
+
+    def __init__(self, d: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.params["g"] = np.ones(d)
+        self.params["b"] = np.zeros(d)
+
+    def forward(self, x: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv
+        self._save(microbatch, x_hat=x_hat, inv=inv)
+        return x_hat * self.params["g"] + self.params["b"]
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        cache = self._load(microbatch)
+        x_hat, inv = cache["x_hat"], cache["inv"]
+        d = x_hat.shape[-1]
+        self._accumulate("g", (dy * x_hat).reshape(-1, d).sum(axis=0))
+        self._accumulate("b", dy.reshape(-1, d).sum(axis=0))
+        dx_hat = dy * self.params["g"]
+        # Standard layer-norm backward: remove the mean and the x_hat
+        # component so the output stays normalized.
+        mean_dx = dx_hat.mean(axis=-1, keepdims=True)
+        mean_dx_xhat = (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+        return (dx_hat - mean_dx - x_hat * mean_dx_xhat) * inv
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    c = math.sqrt(2.0 / math.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    c = math.sqrt(2.0 / math.pi)
+    u = c * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    du = c * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * du
+
+
+class Gelu(Module):
+    """Tanh-approximated GELU (the fused kernel of Appendix D)."""
+
+    def forward(self, x: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        self._save(microbatch, x=x)
+        return _gelu(x)
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        x = self._load(microbatch)["x"]
+        return dy * _gelu_grad(x)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class SelfAttention(Module):
+    """Multi-head self-attention (no masking: BERT-style, as in the paper)."""
+
+    def __init__(
+        self, rng: np.random.Generator, hidden: int, n_heads: int
+    ) -> None:
+        super().__init__()
+        if hidden % n_heads != 0:
+            raise ValueError(f"hidden {hidden} not divisible by heads {n_heads}")
+        self.hidden, self.n_heads = hidden, n_heads
+        self.head_dim = hidden // n_heads
+        self.params["Wqkv"] = _init(rng, hidden, 3 * hidden)
+        self.params["bqkv"] = np.zeros(3 * hidden)
+        self.params["Wo"] = _init(rng, hidden, hidden)
+        self.params["bo"] = np.zeros(hidden)
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def forward(self, x: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        qkv = x @ self.params["Wqkv"] + self.params["bqkv"]
+        q, k, v = np.split(qkv, 3, axis=-1)
+        qh, kh, vh = self._split(q), self._split(k), self._split(v)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / math.sqrt(self.head_dim)
+        probs = _softmax(scores)
+        ctx = probs @ vh
+        merged = self._merge(ctx)
+        out = merged @ self.params["Wo"] + self.params["bo"]
+        self._save(
+            microbatch, x=x, qh=qh, kh=kh, vh=vh, probs=probs, merged=merged
+        )
+        return out
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        cache = self._load(microbatch)
+        x, qh, kh, vh = cache["x"], cache["qh"], cache["kh"], cache["vh"]
+        probs, merged = cache["probs"], cache["merged"]
+        hidden = self.hidden
+
+        d_merged = dy @ self.params["Wo"].T
+        self._accumulate("Wo", merged.reshape(-1, hidden).T @ dy.reshape(-1, hidden))
+        self._accumulate("bo", dy.reshape(-1, hidden).sum(axis=0))
+
+        d_ctx = self._split(d_merged)
+        d_probs = d_ctx @ vh.transpose(0, 1, 3, 2)
+        d_vh = probs.transpose(0, 1, 3, 2) @ d_ctx
+        # Softmax backward: p * (dp - sum(dp * p)).
+        d_scores = probs * (d_probs - (d_probs * probs).sum(axis=-1, keepdims=True))
+        d_scores /= math.sqrt(self.head_dim)
+        d_qh = d_scores @ kh
+        d_kh = d_scores.transpose(0, 1, 3, 2) @ qh
+
+        d_qkv = np.concatenate(
+            [self._merge(d_qh), self._merge(d_kh), self._merge(d_vh)], axis=-1
+        )
+        self._accumulate(
+            "Wqkv", x.reshape(-1, hidden).T @ d_qkv.reshape(-1, 3 * hidden)
+        )
+        self._accumulate("bqkv", d_qkv.reshape(-1, 3 * hidden).sum(axis=0))
+        return d_qkv @ self.params["Wqkv"].T
+
+
+class TransformerLayer(Module):
+    """Pre-LN transformer layer: attention and 4x MLP, both residual."""
+
+    def __init__(
+        self, rng: np.random.Generator, hidden: int, n_heads: int
+    ) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(hidden)
+        self.attn = SelfAttention(rng, hidden, n_heads)
+        self.ln2 = LayerNorm(hidden)
+        self.fc1 = Linear(rng, hidden, 4 * hidden)
+        self.act = Gelu()
+        self.fc2 = Linear(rng, 4 * hidden, hidden)
+        self.children = {
+            "ln1": self.ln1, "attn": self.attn, "ln2": self.ln2,
+            "fc1": self.fc1, "act": self.act, "fc2": self.fc2,
+        }
+        for cname, child in self.children.items():
+            for pname, value in child.params.items():
+                self.params[f"{cname}.{pname}"] = value
+
+    def zero_grads(self) -> None:
+        for child in self.children.values():
+            child.zero_grads()
+        self._collect_grads()
+
+    def _collect_grads(self) -> None:
+        for cname, child in self.children.items():
+            for pname, value in child.grads.items():
+                self.grads[f"{cname}.{pname}"] = value
+
+    def forward(self, x: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        a = x + self.attn.forward(self.ln1.forward(x, microbatch), microbatch)
+        y = a + self.fc2.forward(
+            self.act.forward(self.fc1.forward(self.ln2.forward(a, microbatch), microbatch), microbatch),
+            microbatch,
+        )
+        return y
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        d_mlp = self.ln2.backward(
+            self.fc1.backward(
+                self.act.backward(self.fc2.backward(dy, microbatch), microbatch),
+                microbatch,
+            ),
+            microbatch,
+        )
+        da = dy + d_mlp
+        dx = da + self.ln1.backward(self.attn.backward(da, microbatch), microbatch)
+        self._collect_grads()
+        return dx
+
+    @property
+    def live_microbatches(self) -> int:
+        return max(child.live_microbatches for child in self.children.values())
+
+
+class Embedding(Module):
+    """Token embedding: ``(batch, seq) int -> (batch, seq, hidden)``."""
+
+    def __init__(
+        self, rng: np.random.Generator, vocab: int, hidden: int
+    ) -> None:
+        super().__init__()
+        self.vocab = vocab
+        self.params["E"] = _init(rng, vocab, hidden, scale=0.02)
+
+    def forward(self, tokens: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        self._save(microbatch, tokens=tokens)
+        return self.params["E"][tokens]
+
+    def backward(self, dy: np.ndarray, microbatch: int = 0) -> np.ndarray:
+        tokens = self._load(microbatch)["tokens"]
+        grad = np.zeros_like(self.params["E"])
+        np.add.at(grad, tokens.reshape(-1), dy.reshape(-1, dy.shape[-1]))
+        self._accumulate("E", grad)
+        return dy  # no meaningful input gradient for integer tokens
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over the vocabulary, mean over tokens.
+
+    Stateless across micro-batches except for the per-microbatch cache.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def forward(
+        self, logits: np.ndarray, targets: np.ndarray, microbatch: int = 0
+    ) -> float:
+        probs = _softmax(logits)
+        self._cache[microbatch] = (probs, targets)
+        b, t, _ = logits.shape
+        picked = probs[np.arange(b)[:, None], np.arange(t)[None, :], targets]
+        return float(-np.log(np.maximum(picked, 1e-30)).mean())
+
+    def backward(self, microbatch: int = 0, scale: float = 1.0) -> np.ndarray:
+        probs, targets = self._cache.pop(microbatch)
+        b, t, _ = probs.shape
+        grad = probs.copy()
+        grad[np.arange(b)[:, None], np.arange(t)[None, :], targets] -= 1.0
+        return grad * (scale / (b * t))

@@ -1,0 +1,245 @@
+"""Stage modules: the model as the pipeline sees it.
+
+A :class:`StageModule` owns a contiguous set of transformer layers plus,
+per the placement rules (Appendix D.1), the token embedding on stage 0
+and the output head + loss on the last stage.  Initialization is fully
+determined by the seed and the *global* layer index, so any partition of
+the same model — and the serial reference — starts from identical weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.runtime.layers import (
+    CrossEntropyLoss,
+    Embedding,
+    Linear,
+    Module,
+    TransformerLayer,
+)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Tiny-transformer configuration for the runtime.
+
+    Attributes:
+        vocab: Vocabulary size.
+        hidden: Hidden size.
+        n_heads: Attention heads.
+        n_layers: Transformer layers.
+        seq: Sequence length.
+        dtype: Compute dtype (float64 for exact equivalence tests,
+            float32 for speed, float16-ish behaviour via mixed precision
+            in the optimizer).
+    """
+
+    vocab: int = 64
+    hidden: int = 32
+    n_heads: int = 4
+    n_layers: int = 4
+    seq: int = 8
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.n_heads != 0:
+            raise ValueError("hidden must be divisible by n_heads")
+        for field in ("vocab", "hidden", "n_heads", "n_layers", "seq"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+
+
+def _cast_module(module: Module, dtype: np.dtype) -> None:
+    for name in module.params:
+        module.params[name] = module.params[name].astype(dtype)
+    for child in getattr(module, "children", {}).values():
+        _cast_module(child, dtype)
+    if hasattr(module, "children"):
+        # Re-link parent views after casting children.
+        for cname, child in module.children.items():
+            for pname in child.params:
+                module.params[f"{cname}.{pname}"] = child.params[pname]
+
+
+# Seed-stream tags keeping layer/embedding/head initialization independent
+# of the partitioning (entropy tuples must be integers for numpy).
+_LAYER_TAG, _EMBEDDING_TAG, _HEAD_TAG = 1, 2, 3
+
+
+def _build_layer(config: ModelConfig, layer_index: int, seed: int) -> TransformerLayer:
+    rng = np.random.default_rng((seed, _LAYER_TAG, layer_index))
+    layer = TransformerLayer(rng, config.hidden, config.n_heads)
+    _cast_module(layer, np.dtype(config.dtype))
+    return layer
+
+
+def _build_embedding(config: ModelConfig, seed: int) -> Embedding:
+    rng = np.random.default_rng((seed, _EMBEDDING_TAG))
+    emb = Embedding(rng, config.vocab, config.hidden)
+    _cast_module(emb, np.dtype(config.dtype))
+    return emb
+
+
+def _build_head(config: ModelConfig, seed: int) -> Linear:
+    rng = np.random.default_rng((seed, _HEAD_TAG))
+    head = Linear(rng, config.hidden, config.vocab)
+    _cast_module(head, np.dtype(config.dtype))
+    return head
+
+
+class StageModule:
+    """One pipeline stage: layers plus optional embedding/head.
+
+    Exposes the forward/backward interface the schedule executor drives,
+    keyed by micro-batch id.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        stage: int,
+        placement: Placement,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.stage = stage
+        self.layer_ids = list(placement.layers_of_stage(stage))
+        self.layers = [
+            _build_layer(config, layer_index, seed)
+            for layer_index in self.layer_ids
+        ]
+        self.embedding = (
+            _build_embedding(config, seed) if placement.has_embedding(stage) else None
+        )
+        self.head = (
+            _build_head(config, seed) if placement.has_output_head(stage) else None
+        )
+        self.loss = CrossEntropyLoss() if self.head is not None else None
+        self._losses: dict[int, float] = {}
+
+    # -------------------------------------------------------------- books
+
+    def modules(self) -> list[Module]:
+        mods: list[Module] = []
+        if self.embedding is not None:
+            mods.append(self.embedding)
+        mods.extend(self.layers)
+        if self.head is not None:
+            mods.append(self.head)
+        return mods
+
+    def _named_modules(self) -> list[tuple[str, Module]]:
+        """Placement-independent canonical names (global layer indices),
+        so parameters from different partitions can be compared."""
+        named: list[tuple[str, Module]] = []
+        if self.embedding is not None:
+            named.append(("embedding", self.embedding))
+        named.extend(
+            (f"layer{gid}", layer)
+            for gid, layer in zip(self.layer_ids, self.layers)
+        )
+        if self.head is not None:
+            named.append(("head", self.head))
+        return named
+
+    def named_params(self) -> dict[str, np.ndarray]:
+        """Parameters keyed by canonical global names."""
+        out = {}
+        for mname, module in self._named_modules():
+            for pname, value in module.params.items():
+                out[f"{mname}.{pname}"] = value
+        return out
+
+    def named_grads(self) -> dict[str, np.ndarray]:
+        out = {}
+        for mname, module in self._named_modules():
+            for pname, value in module.grads.items():
+                out[f"{mname}.{pname}"] = value
+        return out
+
+    def set_params(self, named: dict[str, np.ndarray]) -> None:
+        """Write updated parameters back (inverse of :meth:`named_params`)."""
+        for mname, module in self._named_modules():
+            for pname in module.params:
+                np.copyto(module.params[pname], named[f"{mname}.{pname}"])
+            if isinstance(module, TransformerLayer):
+                for cname, child in module.children.items():
+                    for pname in child.params:
+                        np.copyto(
+                            child.params[pname],
+                            module.params[f"{cname}.{pname}"],
+                        )
+
+    def zero_grads(self) -> None:
+        for module in self.modules():
+            module.zero_grads()
+
+    def n_params(self) -> int:
+        return sum(m.n_params() for m in self.modules())
+
+    @property
+    def live_microbatches(self) -> int:
+        """Peak-tracking helper: activations currently held on this stage."""
+        return max((m.live_microbatches for m in self.modules()), default=0)
+
+    # ------------------------------------------------------------ compute
+
+    def forward(
+        self,
+        microbatch: int,
+        x: np.ndarray,
+        targets: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Run the stage forward; returns the activation for the next
+        stage, or None on the last stage (loss is stashed instead)."""
+        h = x
+        if self.embedding is not None:
+            h = self.embedding.forward(h, microbatch)
+        for layer in self.layers:
+            h = layer.forward(h, microbatch)
+        if self.head is not None:
+            if targets is None:
+                raise ValueError("last stage needs targets")
+            logits = self.head.forward(h, microbatch)
+            assert self.loss is not None
+            self._losses[microbatch] = self.loss.forward(logits, targets, microbatch)
+            return None
+        return h
+
+    def backward(
+        self, microbatch: int, dy: np.ndarray | None, loss_scale: float = 1.0
+    ) -> np.ndarray | None:
+        """Run the stage backward; returns the gradient for the previous
+        stage, or None on stage 0."""
+        if self.head is not None:
+            assert self.loss is not None
+            grad = self.loss.backward(microbatch, scale=loss_scale)
+            grad = self.head.backward(grad.astype(self.head.params["W"].dtype), microbatch)
+        else:
+            if dy is None:
+                raise ValueError("non-final stage needs an incoming gradient")
+            grad = dy
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad, microbatch)
+        if self.embedding is not None:
+            self.embedding.backward(grad, microbatch)
+            return None
+        return grad
+
+    def pop_loss(self, microbatch: int) -> float:
+        return self._losses.pop(microbatch)
+
+
+def build_stages(
+    config: ModelConfig, placement: Placement, seed: int = 0
+) -> list[StageModule]:
+    """All stages of the model under ``placement``, deterministically
+    initialized so every partition (and the reference) agrees."""
+    return [
+        StageModule(config, stage, placement, seed)
+        for stage in range(placement.n_stages)
+    ]

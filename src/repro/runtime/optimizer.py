@@ -1,0 +1,74 @@
+"""Adam with optional fp32/fp64 master weights (mixed-precision training).
+
+The optimizer operates on flat vectors so the ZeRO sharding modes can
+hand it whole parameters (DP0), or just the local shard (DP_PS/DP_FS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdamConfig:
+    """Adam hyper-parameters.
+
+    Attributes:
+        lr: Learning rate.
+        beta1: First-moment decay.
+        beta2: Second-moment decay.
+        eps: Denominator fuzz.
+        master_dtype: Dtype of the master copy of the weights; compute
+            copies are cast back to the parameter dtype after each step
+            (mixed precision, Appendix A.1's setup).
+    """
+
+    lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    master_dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+
+
+class Adam:
+    """Flat-vector Adam with master weights.
+
+    The training state (master weights + two momenta) is what the memory
+    model's 12 bytes/parameter refers to.
+    """
+
+    def __init__(self, config: AdamConfig, initial: np.ndarray) -> None:
+        self.config = config
+        dtype = np.dtype(config.master_dtype)
+        self.master = initial.astype(dtype).copy()
+        self.m = np.zeros_like(self.master)
+        self.v = np.zeros_like(self.master)
+        self.t = 0
+
+    @property
+    def n_params(self) -> int:
+        return int(self.master.size)
+
+    def step(self, grad: np.ndarray) -> np.ndarray:
+        """One update; returns the new weights in master precision."""
+        if grad.shape != self.master.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} != state shape {self.master.shape}"
+            )
+        cfg = self.config
+        g = grad.astype(self.master.dtype)
+        self.t += 1
+        self.m = cfg.beta1 * self.m + (1 - cfg.beta1) * g
+        self.v = cfg.beta2 * self.v + (1 - cfg.beta2) * g * g
+        m_hat = self.m / (1 - cfg.beta1**self.t)
+        v_hat = self.v / (1 - cfg.beta2**self.t)
+        self.master -= cfg.lr * m_hat / (np.sqrt(v_hat) + cfg.eps)
+        return self.master

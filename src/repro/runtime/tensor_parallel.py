@@ -1,0 +1,256 @@
+"""Tensor parallelism on the virtual cluster (Megatron-style, Section 3.3).
+
+Splits one transformer layer across ``N_TP`` virtual devices the way
+Shoeybi et al. 2019 does:
+
+- **MLP**: the first linear is column-parallel (each rank owns a slice of
+  the 4h hidden), the second row-parallel; one all-reduce after the
+  row-parallel matmul in the forward pass and one for the input gradient
+  in the backward pass.
+- **Attention**: heads are partitioned across ranks (each rank computes
+  ``N_heads / N_TP`` full heads); the output projection is row-parallel
+  with the same all-reduce pattern.
+
+Each rank holds ``~1/N_TP`` of the layer parameters — the memory division
+the paper's Eq. (13)-(15) denominators rely on — and the per-token
+all-reduce traffic is exactly the 48 bytes/hidden-unit of Eq. (31)'s
+accounting.  The tests verify numerical equivalence with the serial
+:class:`~repro.runtime.layers.TransformerLayer` for both the forward
+output and every parameter gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import collectives
+from repro.runtime.layers import TransformerLayer
+
+
+def _split_cols(matrix: np.ndarray, n_tp: int, rank: int) -> np.ndarray:
+    return np.array_split(matrix, n_tp, axis=-1)[rank]
+
+
+def _split_rows(matrix: np.ndarray, n_tp: int, rank: int) -> np.ndarray:
+    return np.array_split(matrix, n_tp, axis=0)[rank]
+
+
+def _split_qkv_heads(
+    wqkv: np.ndarray, hidden: int, n_heads: int, n_tp: int, rank: int
+) -> np.ndarray:
+    """Slice a fused (h, 3h) QKV weight by attention head.
+
+    The fused layout is [Q | K | V] along the output axis; each of Q/K/V
+    is itself laid out head-major, so a head slice takes the same rows of
+    each third.
+    """
+    head_dim = hidden // n_heads
+    heads_local = n_heads // n_tp
+    lo = rank * heads_local * head_dim
+    hi = (rank + 1) * heads_local * head_dim
+    q, k, v = wqkv[..., :hidden], wqkv[..., hidden : 2 * hidden], wqkv[..., 2 * hidden :]
+    return np.concatenate([q[..., lo:hi], k[..., lo:hi], v[..., lo:hi]], axis=-1)
+
+
+class TensorParallelLayer:
+    """One transformer layer sharded across ``n_tp`` virtual devices.
+
+    Built *from* a serial :class:`TransformerLayer` so equivalence is
+    testable: rank ``r`` receives head slice ``r`` of the attention and
+    column/row slices of the MLP.  LayerNorm parameters are replicated
+    (as in Megatron); their gradients are all-reduced.
+    """
+
+    def __init__(self, reference: TransformerLayer, n_tp: int) -> None:
+        attn = reference.attn
+        if attn.n_heads % n_tp != 0:
+            raise ValueError(
+                f"N_heads ({attn.n_heads}) must be divisible by N_TP ({n_tp})"
+            )
+        self.n_tp = n_tp
+        self.hidden = attn.hidden
+        self.n_heads = attn.n_heads
+        self.head_dim = attn.head_dim
+        self.heads_local = attn.n_heads // n_tp
+        self.reference = reference
+
+        h = self.hidden
+        self.shards = []
+        for rank in range(n_tp):
+            shard = {
+                # Attention: QKV column-parallel by head, Wo row-parallel.
+                "Wqkv": _split_qkv_heads(
+                    attn.params["Wqkv"], h, self.n_heads, n_tp, rank
+                ),
+                "bqkv": _split_qkv_heads(
+                    attn.params["bqkv"][None, :], h, self.n_heads, n_tp, rank
+                )[0],
+                "Wo": _split_rows(attn.params["Wo"], n_tp, rank),
+                "bo": attn.params["bo"] / n_tp,  # summed by the all-reduce
+                # MLP: fc1 column-parallel, fc2 row-parallel.
+                "W1": _split_cols(reference.fc1.params["W"], n_tp, rank),
+                "b1": _split_cols(reference.fc1.params["b"][None, :], n_tp, rank)[0],
+                "W2": _split_rows(reference.fc2.params["W"], n_tp, rank),
+                "b2": reference.fc2.params["b"] / n_tp,
+                # Replicated layer norms.
+                "g1": reference.ln1.params["g"].copy(),
+                "c1": reference.ln1.params["b"].copy(),
+                "g2": reference.ln2.params["g"].copy(),
+                "c2": reference.ln2.params["b"].copy(),
+            }
+            self.shards.append(shard)
+        self._cache: dict | None = None
+
+    def params_per_rank(self) -> list[int]:
+        """Scalar parameters held by each rank (~1/N_TP of the layer)."""
+        return [
+            sum(int(np.size(v)) for v in shard.values())
+            for shard in self.shards
+        ]
+
+    # ------------------------------------------------------------ compute
+
+    @staticmethod
+    def _layernorm(x, g, b, eps=1e-5):
+        mean = x.mean(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(x.var(axis=-1, keepdims=True) + eps)
+        x_hat = (x - mean) * inv
+        return x_hat * g + b, (x_hat, inv)
+
+    @staticmethod
+    def _layernorm_bwd(dy, g, cache):
+        x_hat, inv = cache
+        dg = (dy * x_hat).reshape(-1, x_hat.shape[-1]).sum(axis=0)
+        db = dy.reshape(-1, x_hat.shape[-1]).sum(axis=0)
+        dx_hat = dy * g
+        mean_dx = dx_hat.mean(axis=-1, keepdims=True)
+        mean_dx_xhat = (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+        return (dx_hat - mean_dx - x_hat * mean_dx_xhat) * inv, dg, db
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward through the sharded layer (all ranks in lockstep).
+
+        The input is replicated on all ranks; the two row-parallel
+        matmuls end in all-reduces (Eq. 31's non-overlapped pair).
+        """
+        import math
+
+        from repro.runtime.layers import _gelu, _softmax
+
+        cache: dict = {"x": x}
+        # --- attention ---
+        ln1, cache["ln1"] = self._layernorm(
+            x, self.shards[0]["g1"], self.shards[0]["c1"]
+        )
+        cache["ln1_out"] = ln1
+        partial_attn = []
+        cache["attn"] = []
+        b, t, _ = x.shape
+        for shard in self.shards:
+            qkv = ln1 @ shard["Wqkv"] + shard["bqkv"]
+            width = self.heads_local * self.head_dim
+            q, k, v = qkv[..., :width], qkv[..., width : 2 * width], qkv[..., 2 * width :]
+
+            def split(z):
+                return z.reshape(b, t, self.heads_local, self.head_dim).transpose(0, 2, 1, 3)
+
+            qh, kh, vh = split(q), split(k), split(v)
+            scores = qh @ kh.transpose(0, 1, 3, 2) / math.sqrt(self.head_dim)
+            probs = _softmax(scores)
+            ctx = probs @ vh
+            merged = ctx.transpose(0, 2, 1, 3).reshape(b, t, width)
+            partial = merged @ shard["Wo"] + shard["bo"]
+            partial_attn.append(partial)
+            cache["attn"].append(
+                {"qh": qh, "kh": kh, "vh": vh, "probs": probs, "merged": merged}
+            )
+        attn_out = collectives.all_reduce(partial_attn, op="sum")[0]
+        a = x + attn_out
+        cache["a"] = a
+
+        # --- MLP ---
+        ln2, cache["ln2"] = self._layernorm(
+            a, self.shards[0]["g2"], self.shards[0]["c2"]
+        )
+        cache["ln2_out"] = ln2
+        partial_mlp = []
+        cache["mlp"] = []
+        for shard in self.shards:
+            pre = ln2 @ shard["W1"] + shard["b1"]
+            act = _gelu(pre)
+            partial = act @ shard["W2"] + shard["b2"]
+            partial_mlp.append(partial)
+            cache["mlp"].append({"pre": pre, "act": act})
+        mlp_out = collectives.all_reduce(partial_mlp, op="sum")[0]
+        self._cache = cache
+        return a + mlp_out
+
+    def backward(self, dy: np.ndarray) -> tuple[np.ndarray, list[dict]]:
+        """Backward pass; returns (dx, per-rank parameter gradients)."""
+        from repro.runtime.layers import _gelu_grad
+
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        cache = self._cache
+        self._cache = None
+        b, t, h = dy.shape
+        grads = [dict() for _ in self.shards]
+
+        # --- MLP backward ---
+        ln2 = cache["ln2_out"]
+        d_ln2_partials = []
+        for rank, shard in enumerate(self.shards):
+            mlp = cache["mlp"][rank]
+            d_act = dy @ shard["W2"].T
+            grads[rank]["W2"] = mlp["act"].reshape(-1, mlp["act"].shape[-1]).T @ dy.reshape(-1, h)
+            grads[rank]["b2"] = dy.reshape(-1, h).sum(axis=0)
+            d_pre = d_act * _gelu_grad(mlp["pre"])
+            grads[rank]["W1"] = ln2.reshape(-1, h).T @ d_pre.reshape(-1, d_pre.shape[-1])
+            grads[rank]["b1"] = d_pre.reshape(-1, d_pre.shape[-1]).sum(axis=0)
+            d_ln2_partials.append(d_pre @ shard["W1"].T)
+        # Row-parallel input gradient all-reduce (the overlapped pair of
+        # footnote 11).
+        d_ln2 = collectives.all_reduce(d_ln2_partials, op="sum")[0]
+        da_mlp, dg2, dc2 = self._layernorm_bwd(
+            d_ln2, self.shards[0]["g2"], cache["ln2"]
+        )
+        for rank in range(self.n_tp):
+            grads[rank]["g2"], grads[rank]["c2"] = dg2 / self.n_tp, dc2 / self.n_tp
+        da = dy + da_mlp
+
+        # --- attention backward ---
+        import math
+
+        ln1 = cache["ln1_out"]
+        d_ln1_partials = []
+        for rank, shard in enumerate(self.shards):
+            at = cache["attn"][rank]
+            width = self.heads_local * self.head_dim
+            d_merged = da @ shard["Wo"].T
+            grads[rank]["Wo"] = at["merged"].reshape(-1, width).T @ da.reshape(-1, h)
+            grads[rank]["bo"] = da.reshape(-1, h).sum(axis=0)
+
+            d_ctx = d_merged.reshape(b, t, self.heads_local, self.head_dim).transpose(0, 2, 1, 3)
+            d_probs = d_ctx @ at["vh"].transpose(0, 1, 3, 2)
+            d_vh = at["probs"].transpose(0, 1, 3, 2) @ d_ctx
+            d_scores = at["probs"] * (
+                d_probs - (d_probs * at["probs"]).sum(axis=-1, keepdims=True)
+            )
+            d_scores /= math.sqrt(self.head_dim)
+            d_qh = d_scores @ at["kh"]
+            d_kh = d_scores.transpose(0, 1, 3, 2) @ at["qh"]
+
+            def merge(z):
+                return z.transpose(0, 2, 1, 3).reshape(b, t, width)
+
+            d_qkv = np.concatenate([merge(d_qh), merge(d_kh), merge(d_vh)], axis=-1)
+            grads[rank]["Wqkv"] = ln1.reshape(-1, h).T @ d_qkv.reshape(-1, 3 * width)
+            grads[rank]["bqkv"] = d_qkv.reshape(-1, 3 * width).sum(axis=0)
+            d_ln1_partials.append(d_qkv @ shard["Wqkv"].T)
+        d_ln1 = collectives.all_reduce(d_ln1_partials, op="sum")[0]
+        dx_attn, dg1, dc1 = self._layernorm_bwd(
+            d_ln1, self.shards[0]["g1"], cache["ln1"]
+        )
+        for rank in range(self.n_tp):
+            grads[rank]["g1"], grads[rank]["c1"] = dg1 / self.n_tp, dc1 / self.n_tp
+        return da + dx_attn, grads

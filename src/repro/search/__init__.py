@@ -1,0 +1,6 @@
+"""Appendix E configuration grid search."""
+
+from repro.search.space import configuration_space
+from repro.search.grid import SearchOutcome, best_configuration
+
+__all__ = ["SearchOutcome", "best_configuration", "configuration_space"]

@@ -1,0 +1,74 @@
+"""Best-configuration search: simulate every candidate, keep the fastest.
+
+Mirrors Section 5.3: configurations whose predicted peak memory exceeds
+the device are excluded (the paper excluded configurations "certain or
+highly likely to run out of memory"); the remaining ones are simulated
+and ranked by throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Method
+from repro.search.space import configuration_space
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.simulator import SimulationResult, simulate
+
+#: Fraction of device memory usable before fragmentation makes OOM likely
+#: (Appendix D.2 motivates the safety margin).
+MEMORY_HEADROOM = 0.92
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one (method, batch size) search cell.
+
+    Attributes:
+        method: The method searched.
+        batch_size: Global batch size of the cell.
+        best: The winning simulation, or None if nothing fit in memory.
+        n_tried: Configurations simulated (after memory filtering).
+        n_excluded: Configurations rejected by the memory filter.
+    """
+
+    method: Method
+    batch_size: int
+    best: SimulationResult | None
+    n_tried: int
+    n_excluded: int
+
+
+def best_configuration(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    method: Method,
+    batch_size: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> SearchOutcome:
+    """Search one cell of the Figure 7 grid."""
+    best: SimulationResult | None = None
+    n_tried = 0
+    n_excluded = 0
+    memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
+    for config, impl in configuration_space(method, spec, cluster, batch_size):
+        if config.n_stages > spec.n_layers:
+            continue
+        result = simulate(
+            spec, config, cluster, implementation=impl, calibration=calibration
+        )
+        if result.memory.total > memory_limit:
+            n_excluded += 1
+            continue
+        n_tried += 1
+        if best is None or result.throughput_per_gpu > best.throughput_per_gpu:
+            best = result
+    return SearchOutcome(
+        method=method,
+        batch_size=batch_size,
+        best=best,
+        n_tried=n_tried,
+        n_excluded=n_excluded,
+    )

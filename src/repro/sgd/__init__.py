@@ -1,0 +1,28 @@
+"""Batch-size effects on SGD: noise scale, sample overhead, cost/time trade-off."""
+
+from repro.sgd.noise_scale import (
+    noise_scale_exact,
+    noise_scale_paired,
+    NoiseScaleEstimator,
+)
+from repro.sgd.batch import samples_to_target, steps_to_target
+from repro.sgd.tradeoff import (
+    BCRIT_52B,
+    BCRIT_6_6B,
+    TradeoffPoint,
+    UtilizationCurve,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "BCRIT_52B",
+    "BCRIT_6_6B",
+    "NoiseScaleEstimator",
+    "TradeoffPoint",
+    "UtilizationCurve",
+    "noise_scale_exact",
+    "noise_scale_paired",
+    "samples_to_target",
+    "steps_to_target",
+    "tradeoff_curve",
+]

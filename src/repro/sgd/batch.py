@@ -1,0 +1,24 @@
+"""Batch-size overhead on sample efficiency, Eq. (7) / Eq. (37)."""
+
+from __future__ import annotations
+
+
+def samples_to_target(
+    batch_size: float, critical_batch_size: float, base_samples: float
+) -> float:
+    """Samples needed to reach the target loss at batch size ``B``.
+
+    Eq. (7): ``Samples = base * (1 + B / B_crit)`` where ``base`` is the
+    small-batch sample requirement.  Training at ``B = B_crit`` costs
+    twice the samples of the small-batch limit.
+    """
+    if batch_size <= 0 or critical_batch_size <= 0 or base_samples <= 0:
+        raise ValueError("batch_size, critical_batch_size and base_samples must be > 0")
+    return base_samples * (1.0 + batch_size / critical_batch_size)
+
+
+def steps_to_target(
+    batch_size: float, critical_batch_size: float, base_samples: float
+) -> float:
+    """Optimizer steps to the target loss (Eq. 37): ``samples / B``."""
+    return samples_to_target(batch_size, critical_batch_size, base_samples) / batch_size

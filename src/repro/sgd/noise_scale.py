@@ -1,0 +1,124 @@
+"""Gradient-noise-scale estimation (Appendix B / McCandlish et al. 2018).
+
+The critical batch size is well approximated by the *simple noise scale*
+``B_noise = tr(Sigma) / |G|^2`` where ``G`` is the true gradient and
+``Sigma`` the per-sample gradient covariance (Eq. 35).  Two estimators are
+provided:
+
+- :func:`noise_scale_exact`, from a matrix of per-sample gradients
+  (feasible in the NumPy runtime, where per-sample gradients are cheap);
+- :func:`noise_scale_paired`, the two-batch-size trick used in practice
+  when only mini-batch gradients are available: unbiased estimates of
+  ``|G|^2`` and ``tr(Sigma)`` from gradient norms at two batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def noise_scale_exact(per_sample_grads: np.ndarray) -> float:
+    """``B_noise`` from per-sample gradients (rows = samples).
+
+    Uses the unbiased estimators ``tr(Sigma) ~ n/(n-1) * mean |g_i - g|^2``
+    and ``|G|^2 ~ |g|^2 - tr(Sigma)/n`` so the result does not shrink with
+    the number of sampled gradients.
+    """
+    grads = np.asarray(per_sample_grads, dtype=np.float64)
+    if grads.ndim != 2:
+        raise ValueError(f"expected a 2-d (samples x params) array, got {grads.ndim}-d")
+    n = grads.shape[0]
+    if n < 2:
+        raise ValueError("need at least two per-sample gradients")
+    mean_grad = grads.mean(axis=0)
+    deviations = grads - mean_grad
+    trace_sigma = float((deviations**2).sum()) / (n - 1)
+    grad_sq = float(mean_grad @ mean_grad) - trace_sigma / n
+    if grad_sq <= 0:
+        raise ValueError(
+            "mean gradient is indistinguishable from noise at this sample "
+            "size; collect more gradients"
+        )
+    return trace_sigma / grad_sq
+
+
+def noise_scale_paired(
+    grad_norm_sq_small: float,
+    grad_norm_sq_big: float,
+    batch_small: int,
+    batch_big: int,
+) -> float:
+    """``B_noise`` from squared gradient norms at two batch sizes.
+
+    ``E|g_B|^2 = |G|^2 + tr(Sigma)/B`` gives two equations in two
+    unknowns (McCandlish et al., Appendix A.1).
+    """
+    if batch_small >= batch_big:
+        raise ValueError("batch_small must be < batch_big")
+    if batch_small < 1:
+        raise ValueError("batch sizes must be >= 1")
+    grad_sq = (
+        batch_big * grad_norm_sq_big - batch_small * grad_norm_sq_small
+    ) / (batch_big - batch_small)
+    trace_sigma = (grad_norm_sq_small - grad_norm_sq_big) / (
+        1.0 / batch_small - 1.0 / batch_big
+    )
+    if grad_sq <= 0:
+        raise ValueError("estimated |G|^2 is non-positive; collect more data")
+    if trace_sigma < 0:
+        raise ValueError("estimated tr(Sigma) is negative; collect more data")
+    return trace_sigma / grad_sq
+
+
+@dataclass
+class NoiseScaleEstimator:
+    """Running paired estimator, as used during real training runs.
+
+    Feed it squared gradient norms measured at two batch sizes (e.g. the
+    per-DP-rank gradient and the all-reduced gradient); it keeps
+    exponential moving averages of the two unbiased statistics and exposes
+    the current ``B_noise``.
+
+    Attributes:
+        batch_small: Batch size of the "small" gradient measurements.
+        batch_big: Batch size of the "big" gradient measurements.
+        decay: EMA decay for the two statistics.
+    """
+
+    batch_small: int
+    batch_big: int
+    decay: float = 0.95
+    _grad_sq: float | None = field(default=None, init=False)
+    _trace: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {self.decay}")
+        if self.batch_small >= self.batch_big:
+            raise ValueError("batch_small must be < batch_big")
+
+    def update(self, grad_norm_sq_small: float, grad_norm_sq_big: float) -> None:
+        """Add one paired measurement."""
+        grad_sq = (
+            self.batch_big * grad_norm_sq_big
+            - self.batch_small * grad_norm_sq_small
+        ) / (self.batch_big - self.batch_small)
+        trace = (grad_norm_sq_small - grad_norm_sq_big) / (
+            1.0 / self.batch_small - 1.0 / self.batch_big
+        )
+        if self._grad_sq is None:
+            self._grad_sq, self._trace = grad_sq, trace
+        else:
+            self._grad_sq = self.decay * self._grad_sq + (1 - self.decay) * grad_sq
+            self._trace = self.decay * self._trace + (1 - self.decay) * trace
+
+    @property
+    def noise_scale(self) -> float:
+        """Current ``B_noise`` estimate."""
+        if self._grad_sq is None or self._trace is None:
+            raise ValueError("no measurements yet")
+        if self._grad_sq <= 0:
+            raise ValueError("averaged |G|^2 is non-positive; keep feeding data")
+        return max(0.0, self._trace) / self._grad_sq

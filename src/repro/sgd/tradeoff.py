@@ -1,0 +1,112 @@
+"""Training cost/time trade-off and cluster-size extrapolation (Section 5.4).
+
+The measured utilization-vs-beta curve of a method on the 64-GPU testbed is
+extrapolated to larger clusters by scaling data parallelism at constant
+batch size per GPU (constant per-GPU compute and network behaviour), then
+combined with the batch-size overhead of Eq. (7):
+
+    Cost  ~ base_samples * (1 + beta * N_GPU / B_crit) / utilization(beta)
+    Time  ~ Cost / N_GPU                                       (Eq. 8)
+
+For each cluster size the best beta minimizes both (they share the
+argmin), producing one (time, cost) point per cluster size — Figure 8's
+curves and Figure 1's headline bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sgd.batch import samples_to_target
+
+#: Critical batch sizes used in Section 5.4 (samples at sequence length
+#: 1024), estimated from Kaplan et al. 2020.
+BCRIT_52B = 6780.0
+BCRIT_6_6B = 3430.0
+
+#: Section 5.4's base training length: 50,000 batches of B_crit samples.
+BASE_LENGTH_MULTIPLIER = 50_000.0
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class UtilizationCurve:
+    """A method's best measured utilization as a function of beta.
+
+    Attributes:
+        method: Label ("Breadth-first", ...).
+        points: ``(beta, utilization)`` pairs from the Figure 7 search,
+            utilization in [0, 1].
+    """
+
+    method: str
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a utilization curve needs at least one point")
+        for beta, util in self.points:
+            if beta <= 0 or not 0.0 < util <= 1.0:
+                raise ValueError(f"invalid curve point ({beta}, {util})")
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One cluster size on a Figure 8 curve."""
+
+    method: str
+    n_gpus: int
+    beta: float
+    batch_size: float
+    utilization: float
+    time_days: float
+    cost_gpu_days: float
+
+
+def tradeoff_curve(
+    curve: UtilizationCurve,
+    cluster_sizes: list[int],
+    critical_batch_size: float,
+    flops_per_sample: float,
+    peak_flops: float,
+    base_samples: float | None = None,
+) -> list[TradeoffPoint]:
+    """Extrapolate a utilization curve to each cluster size (Figure 8).
+
+    Args:
+        curve: Best measured ``(beta, utilization)`` per method.
+        cluster_sizes: GPU counts to extrapolate to.
+        critical_batch_size: ``B_crit`` in samples.
+        flops_per_sample: Training flop per sample (Eq. 11 convention).
+        peak_flops: Per-GPU peak flop/s.
+        base_samples: Small-batch sample requirement; defaults to
+            Section 5.4's ``50,000 * B_crit``.
+    """
+    if base_samples is None:
+        base_samples = BASE_LENGTH_MULTIPLIER * critical_batch_size
+    points = []
+    for n_gpus in cluster_sizes:
+        if n_gpus < 1:
+            raise ValueError(f"cluster sizes must be >= 1, got {n_gpus}")
+        best: TradeoffPoint | None = None
+        for beta, util in curve.points:
+            batch = beta * n_gpus
+            samples = samples_to_target(batch, critical_batch_size, base_samples)
+            total_flops = samples * flops_per_sample
+            time_s = total_flops / (n_gpus * peak_flops * util)
+            cost = time_s * n_gpus / _SECONDS_PER_DAY
+            candidate = TradeoffPoint(
+                method=curve.method,
+                n_gpus=n_gpus,
+                beta=beta,
+                batch_size=batch,
+                utilization=util,
+                time_days=time_s / _SECONDS_PER_DAY,
+                cost_gpu_days=cost,
+            )
+            if best is None or candidate.time_days < best.time_days:
+                best = candidate
+        assert best is not None
+        points.append(best)
+    return points

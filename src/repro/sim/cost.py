@@ -1,0 +1,284 @@
+"""Cost model: durations and volumes for every simulated operation.
+
+All formulas follow Appendix A:
+
+- Compute: flop counts per layer/head (Eq. 11) over peak flop/s times a
+  calibrated kernel efficiency; backward costs 3x forward because the
+  paper's setup recomputes activations from checkpoints.
+- Tensor parallelism: per-layer all-reduces of which 2/3 cannot overlap
+  (Eq. 31 and footnote 11), charged into the compute op durations.
+- Pipeline transfers: ~2 bytes/element fp16 activations, ``S_mb * S_seq *
+  S_hidden / N_TP`` elements per message (Eq. 30).
+- Data parallelism: ~8 bytes/parameter/batch for DP0/DP_PS split into its
+  reduce and reconstruct halves, 12 for DP_FS, times the schedule's
+  repetition factor (Eqs. 20-29), scaled by the ring-collective factor
+  ``(N_DP - 1) / N_DP``.
+- Optimizer: memory-bound update of the local (possibly sharded) state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.placement import Placement
+from repro.hardware.cluster import ClusterSpec, ParallelDim
+from repro.hardware.network import NetworkSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ParallelConfig, Sharding
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.implementation import ImplementationProfile
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Durations for one (model, config, cluster, implementation) tuple.
+
+    Attributes:
+        spec: The transformer being trained.
+        config: The distributed configuration.
+        cluster: The hardware.
+        implementation: Library capability profile (overlap support).
+        calibration: Phenomenological constants.
+    """
+
+    spec: TransformerSpec
+    config: ParallelConfig
+    cluster: ClusterSpec
+    implementation: ImplementationProfile
+    calibration: Calibration = DEFAULT_CALIBRATION
+    placement: Placement = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.config.validate_against(self.spec.n_layers, self.cluster.node_size)
+        if not self.implementation.supports(self.config.sharding):
+            raise ValueError(
+                f"{self.implementation.name} does not support "
+                f"{self.config.sharding.value}"
+            )
+        if self.config.n_gpus > self.cluster.n_gpus:
+            raise ValueError(
+                f"config needs {self.config.n_gpus} GPUs, cluster has "
+                f"{self.cluster.n_gpus}"
+            )
+        object.__setattr__(
+            self,
+            "placement",
+            Placement(self.spec.n_layers, self.config.n_pp, self.config.n_loop),
+        )
+
+    # ------------------------------------------------------------ networks
+
+    @property
+    def pp_network(self) -> NetworkSpec:
+        cfg = self.config
+        return self.cluster.network_for(
+            ParallelDim.PIPELINE, cfg.n_dp, cfg.n_pp, cfg.n_tp
+        )
+
+    @property
+    def dp_network(self) -> NetworkSpec:
+        cfg = self.config
+        return self.cluster.network_for(
+            ParallelDim.DATA, cfg.n_dp, cfg.n_pp, cfg.n_tp
+        )
+
+    @property
+    def tp_network(self) -> NetworkSpec:
+        cfg = self.config
+        return self.cluster.network_for(
+            ParallelDim.TENSOR, cfg.n_dp, cfg.n_pp, cfg.n_tp
+        )
+
+    # ------------------------------------------------------------- compute
+
+    @property
+    def tokens_per_microbatch(self) -> float:
+        return self.config.microbatch_size * self.spec.seq_length
+
+    @property
+    def kernel_efficiency(self) -> float:
+        return self.calibration.kernel_efficiency(
+            self.tokens_per_microbatch, self.spec.hidden_size / self.config.n_tp
+        )
+
+    def _effective_flops(self) -> float:
+        return self.cluster.gpu.peak_flops * self.kernel_efficiency
+
+    def _tp_exposed_time(self, n_layers: int, *, n_allreduces: int) -> float:
+        """Non-overlapped tensor-parallel all-reduce time for a stage pass.
+
+        Each exposed all-reduce moves ~8 bytes per hidden unit per token
+        (footnote 11); forward and backward each expose two per layer.
+        """
+        if self.config.n_tp == 1:
+            return 0.0
+        bytes_per_layer = (
+            8.0 * n_allreduces * self.spec.hidden_size * self.tokens_per_microbatch
+        )
+        net = self.tp_network
+        return n_layers * (bytes_per_layer / net.bandwidth + n_allreduces * net.latency)
+
+    def forward_time(self, stage: int) -> float:
+        """Duration of one micro-batch forward through ``stage``."""
+        n_layers = self.placement.n_layers_of_stage(stage)
+        flops = (
+            n_layers
+            * self.spec.flops_per_layer_per_sample(forward_only=True)
+            * self.config.microbatch_size
+            / self.config.n_tp
+        )
+        if self.placement.has_output_head(stage):
+            flops += (
+                self.spec.head_flops_per_sample(forward_only=True)
+                * self.config.microbatch_size
+                / self.config.n_tp
+            )
+        return flops / self._effective_flops() + self._tp_exposed_time(
+            n_layers, n_allreduces=2
+        )
+
+    def backward_time(self, stage: int) -> float:
+        """Duration of one micro-batch backward through ``stage``.
+
+        3x the forward's layer flops: backward proper (2x) plus the
+        forward recomputation implied by activation checkpointing, whose
+        all-reduces are also exposed (footnote 11).
+        """
+        n_layers = self.placement.n_layers_of_stage(stage)
+        flops = (
+            3.0
+            * n_layers
+            * self.spec.flops_per_layer_per_sample(forward_only=True)
+            * self.config.microbatch_size
+            / self.config.n_tp
+        )
+        if self.placement.has_output_head(stage):
+            flops += (
+                2.0
+                * self.spec.head_flops_per_sample(forward_only=True)
+                * self.config.microbatch_size
+                / self.config.n_tp
+            )
+        return flops / self._effective_flops() + self._tp_exposed_time(
+            n_layers, n_allreduces=2
+        )
+
+    # ------------------------------------------------------------ pipeline
+
+    @property
+    def pp_message_bytes(self) -> float:
+        """fp16 activation (or gradient) message between adjacent stages."""
+        return (
+            2.0
+            * self.config.microbatch_size
+            * self.spec.seq_length
+            * self.spec.hidden_size
+            / self.config.n_tp
+        )
+
+    def pp_transfer_time(self) -> float:
+        """One stage-to-stage transfer, on whichever stream it runs."""
+        return self.pp_network.transfer_time(
+            self.pp_message_bytes, overlapped=self.implementation.pp_overlap
+        )
+
+    def pp_launch_overhead(self) -> float:
+        """Compute-stream cost of issuing one overlapped transfer.
+
+        Zero when the implementation does not overlap (the whole transfer
+        is already charged inline), otherwise the network's per-message
+        launch cost — the residual overhead that makes N_loop = 4 rather
+        than 8 optimal for the breadth-first schedule (Section 5.2).
+        """
+        if not self.implementation.pp_overlap:
+            return 0.0
+        return self.pp_network.overlap_compute_cost
+
+    # ------------------------------------------------------- data parallel
+
+    def stage_params_local(self, stage: int) -> float:
+        """Parameters of ``stage`` held per device (per TP shard).
+
+        The embedding table (tied with the output head) is attached to
+        stage 0, following Appendix D.1.
+        """
+        params = (
+            self.placement.n_layers_of_stage(stage) * self.spec.params_per_layer
+        )
+        if stage == 0:
+            params += self.spec.embedding_params
+        return params / self.config.n_tp
+
+    def rank_params_local(self, rank: int) -> float:
+        """Parameters held by pipeline rank ``rank`` (per TP shard)."""
+        return sum(
+            self.stage_params_local(stage)
+            for stage in self.placement.stages_of_device(rank)
+        )
+
+    @property
+    def _ring_factor(self) -> float:
+        """Per-GPU wire-volume factor of ring collectives."""
+        n_dp = self.config.n_dp
+        return (n_dp - 1) / n_dp
+
+    def _dp_time(self, params: float, bytes_per_param: float) -> float:
+        volume = params * bytes_per_param * self._ring_factor
+        if volume <= 0:
+            return 0.0
+        return self.dp_network.transfer_time(
+            volume, overlapped=self.implementation.dp_overlap
+        )
+
+    def reduce_time(self, stage: int) -> float:
+        """Gradient reduction of one stage: all-reduce (DP0, 8 B/param) or
+        reduce-scatter (sharded, 4 B/param)."""
+        bytes_per_param = 8.0 if self.config.sharding is Sharding.NONE else 4.0
+        return self._dp_time(self.stage_params_local(stage), bytes_per_param)
+
+    def gather_time(self, stage: int) -> float:
+        """DP_FS weight reconstruction of one stage (4 B/param)."""
+        return self._dp_time(self.stage_params_local(stage), 4.0)
+
+    def post_step_gather_time(self, rank: int) -> float:
+        """DP_PS post-optimizer weight all-gather (4 B/param)."""
+        if self.config.sharding is not Sharding.PARTIAL:
+            return 0.0
+        return self._dp_time(self.rank_params_local(rank), 4.0)
+
+    def dp_serial_time(self, rank: int) -> float:
+        """All DP traffic as one non-overlapped block (Megatron-LM mode)."""
+        return self._dp_time(self.rank_params_local(rank), 8.0)
+
+    # ------------------------------------------------------------ optimizer
+
+    def optimizer_time(self, rank: int) -> float:
+        """Memory-bound Adam update of the rank's (possibly sharded) state."""
+        params = self.rank_params_local(rank)
+        if self.config.sharding is not Sharding.NONE:
+            params /= self.config.n_dp
+        return (
+            params
+            * self.calibration.optimizer_bytes_per_param
+            / self.cluster.gpu.memory_bandwidth
+        )
+
+    # ------------------------------------------------------------- metrics
+
+    def model_flops_per_batch(self) -> float:
+        """Eq. (11) flop per batch — the paper's throughput numerator."""
+        return self.config.batch_size * self.spec.flops_per_sample(
+            with_recompute=True
+        )
+
+    def utilization(self, step_time: float) -> float:
+        """Fraction of cluster peak flop/s achieved over one step."""
+        if step_time <= 0:
+            raise ValueError(f"step_time must be positive, got {step_time}")
+        return self.model_flops_per_batch() / (
+            step_time * self.config.n_gpus * self.cluster.gpu.peak_flops
+        )
+
+    def throughput_per_gpu(self, step_time: float) -> float:
+        """Tflop/s per GPU (reported in Appendix E tables), in flop/s."""
+        return self.utilization(step_time) * self.cluster.gpu.peak_flops

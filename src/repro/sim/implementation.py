@@ -1,0 +1,20 @@
+"""Compatibility re-export; profiles live in :mod:`repro.implementations`.
+
+They are consumed by the analytical memory model and the configuration
+search as well as the simulator, so they sit above the :mod:`repro.sim`
+package to keep the import graph acyclic.
+"""
+
+from repro.implementations import (
+    MEGATRON_LM,
+    OUR_IMPLEMENTATION,
+    ImplementationProfile,
+    default_implementation_for,
+)
+
+__all__ = [
+    "MEGATRON_LM",
+    "OUR_IMPLEMENTATION",
+    "ImplementationProfile",
+    "default_implementation_for",
+]

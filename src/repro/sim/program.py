@@ -1,0 +1,309 @@
+"""Lower a pipeline schedule to per-stream instruction queues.
+
+This is where the paper's policy differences become concrete:
+
+- **Pipeline transfers** go on the dedicated "pp" stream when the
+  implementation overlaps them (ours), or inline on the compute stream
+  with the synchronization penalty when it does not (Megatron-LM).
+- **Data-parallel operations** go on the "dp" stream per stage as soon as
+  the stage's gradients are complete (ours — the Figure 4 odd rows), or
+  as one serial block after the whole backward pass (Megatron-LM).
+- **DP_FS repetition** follows Eqs. (24)-(26): once per micro-batch for
+  non-looped schedules, once per sequence of ``N_PP`` micro-batches for
+  depth-first, once per stage pass for breadth-first.
+
+Data-parallel collectives proceed layer by layer in a real system (the
+paper's Appendix D double-buffers reconstruction against compute), so each
+gather/reduce is split into a one-layer *head* — the only part that truly
+gates or trails compute — and a *bulk* that pipelines against it on the
+DP stream, which provides backpressure when the network, not compute, is
+the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import ComputeOp, OpKind
+from repro.core.schedules.base import Schedule, dpfs_repetition_key as _rep_key
+from repro.parallel.config import Sharding
+from repro.sim.cost import CostModel
+from repro.sim.engine import Instruction
+
+#: Stream names.
+COMPUTE, PP, DP = "compute", "pp", "dp"
+
+
+def _uid_of(op: ComputeOp) -> tuple:
+    return (op.kind.value, op.microbatch, op.stage)
+
+
+class _ProgramBuilder:
+    """Accumulates instruction queues for one configuration."""
+
+    def __init__(self, cost: CostModel, schedule: Schedule) -> None:
+        self.cost = cost
+        self.schedule = schedule
+        self.config = cost.config
+        self.impl = cost.implementation
+        self.n_stages = schedule.n_stages
+        self.dp_active = self.config.n_dp > 1
+        self.sharded_full = (
+            self.config.sharding is Sharding.FULL and self.dp_active
+        )
+        self.pp_time = cost.pp_transfer_time()
+        self.pp_launch = cost.pp_launch_overhead()
+        self.streams: dict[tuple[int, str], list[Instruction]] = {}
+
+    # ----------------------------------------------------------- helpers
+
+    def _head_fraction(self, stage: int) -> float:
+        """Share of a stage's DP volume in one layer (the gating head)."""
+        return 1.0 / self.cost.placement.n_layers_of_stage(stage)
+
+    def _emit_split(
+        self,
+        queue: list[Instruction],
+        prefix: str,
+        stage: int,
+        key: int,
+        duration: float,
+        category: str,
+        *,
+        head_deps: tuple = (),
+        bulk_deps: tuple = (),
+        head_last: bool = False,
+    ) -> tuple[tuple, tuple]:
+        """Emit a head+bulk pair on ``queue``; return (head, tail) uids.
+
+        The *head* is one layer's worth of traffic — the only part that
+        strictly gates (gathers) or trails (reductions) compute; the
+        *bulk* pipelines layer-by-layer against compute.  With
+        ``head_last=False`` the head comes first (gathers: compute can
+        start once the first layer arrived); with ``head_last=True`` it
+        comes last (reductions: only the final layer's reduce trails the
+        last backward).  Single-layer stages emit one instruction.
+        """
+        frac = self._head_fraction(stage)
+        head_uid = (prefix + "H", stage, key)
+        if frac >= 1.0:
+            queue.append(
+                Instruction(
+                    uid=head_uid,
+                    duration=duration,
+                    deps=head_deps,
+                    label=f"{prefix}(s={stage}, g={key})",
+                    category=category,
+                )
+            )
+            return head_uid, head_uid
+        bulk_uid = (prefix + "R", stage, key)
+        head = Instruction(
+            uid=head_uid,
+            duration=duration * frac,
+            deps=head_deps,
+            label=f"{prefix}-head(s={stage}, g={key})",
+            category=category,
+        )
+        bulk = Instruction(
+            uid=bulk_uid,
+            duration=duration * (1.0 - frac),
+            deps=bulk_deps,
+            label=f"{prefix}-bulk(s={stage}, g={key})",
+            category=category,
+        )
+        if head_last:
+            queue.extend((bulk, head))
+            return head_uid, head_uid
+        queue.extend((head, bulk))
+        return head_uid, bulk_uid
+
+    # ------------------------------------------------------------- build
+
+    def build(self) -> dict[tuple[int, str], list[Instruction]]:
+        for rank in range(self.schedule.n_pp):
+            self.streams[(rank, COMPUTE)] = []
+            if self.impl.pp_overlap:
+                self.streams[(rank, PP)] = []
+            if self.impl.dp_overlap and self.dp_active:
+                self.streams[(rank, DP)] = []
+        for rank in range(self.schedule.n_pp):
+            self._build_rank(rank)
+        return self.streams
+
+    def _build_rank(self, rank: int) -> None:
+        cost, config, impl = self.cost, self.config, self.impl
+        order = self.schedule.ops_of(rank)
+        compute_q = self.streams[(rank, COMPUTE)]
+        pp_q = self.streams.get((rank, PP), compute_q)
+        dp_q = self.streams.get((rank, DP))
+        overlap_dp = self.dp_active and impl.dp_overlap and dp_q is not None
+
+        def group_of(op: ComputeOp) -> tuple[int, int]:
+            # Only DP_FS repeats its network operations per group
+            # (Eqs. 24-26); with DP0/DP_PS gradients accumulate locally
+            # and each stage reduces exactly once per batch.
+            if not self.sharded_full:
+                return (op.stage, 0)
+            return (
+                op.stage,
+                _rep_key(self.schedule.kind, op.microbatch, self.schedule.n_pp),
+            )
+
+        # Positions of each DP group's last forward/backward: the last use
+        # must wait for the *whole* gather (Eq. 29 — a pass's
+        # reconstruction can only hide behind other micro-batches), and
+        # the reduction follows the last backward.
+        last_fwd_of_group: dict[tuple[int, int], int] = {}
+        last_bwd_of_group: dict[tuple[int, int], int] = {}
+        if overlap_dp:
+            for position, op in enumerate(order):
+                if op.kind is OpKind.BACKWARD:
+                    last_bwd_of_group[group_of(op)] = position
+                else:
+                    last_fwd_of_group[group_of(op)] = position
+
+        gather_uids_fwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
+        gather_uids_bwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
+        reduce_heads: list[tuple] = []
+
+        for position, op in enumerate(order):
+            group = group_of(op)
+            deps: list[tuple] = []
+            if op.kind is OpKind.FORWARD:
+                if op.stage > 0:
+                    deps.append(("XA", op.microbatch, op.stage - 1))
+                if self.sharded_full and overlap_dp:
+                    if group not in gather_uids_fwd:
+                        gather_uids_fwd[group] = self._emit_split(
+                            dp_q,
+                            "GF",
+                            op.stage,
+                            group[1],
+                            cost.gather_time(op.stage),
+                            "gather",
+                        )
+                    head, tail = gather_uids_fwd[group]
+                    deps.append(head)
+                    if last_fwd_of_group.get(group) == position:
+                        deps.append(tail)
+                duration = cost.forward_time(op.stage)
+                category = "forward"
+            else:
+                deps.append(("F", op.microbatch, op.stage))
+                if op.stage < self.n_stages - 1:
+                    deps.append(("XG", op.microbatch, op.stage + 1))
+                if self.sharded_full and overlap_dp:
+                    if group not in gather_uids_bwd:
+                        gather_uids_bwd[group] = self._emit_split(
+                            dp_q,
+                            "GB",
+                            op.stage,
+                            group[1],
+                            cost.gather_time(op.stage),
+                            "gather",
+                        )
+                    head, tail = gather_uids_bwd[group]
+                    deps.append(head)
+                    if last_bwd_of_group.get(group) == position:
+                        deps.append(tail)
+                duration = cost.backward_time(op.stage)
+                category = "backward"
+
+            # Issuing an overlapped transfer still costs the compute
+            # stream its launch overhead.
+            produces_send = (
+                op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1
+            ) or (op.kind is OpKind.BACKWARD and op.stage > 0)
+            if produces_send:
+                duration += self.pp_launch
+
+            uid = _uid_of(op)
+            compute_q.append(
+                Instruction(
+                    uid=uid,
+                    duration=duration,
+                    deps=tuple(deps),
+                    label=str(op),
+                    category=category,
+                )
+            )
+
+            if op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1:
+                pp_q.append(
+                    Instruction(
+                        uid=("XA", op.microbatch, op.stage),
+                        duration=self.pp_time,
+                        deps=(uid,),
+                        label=f"send-act(mb={op.microbatch}, s={op.stage})",
+                        category="pp_comm",
+                    )
+                )
+            if op.kind is OpKind.BACKWARD and op.stage > 0:
+                pp_q.append(
+                    Instruction(
+                        uid=("XG", op.microbatch, op.stage),
+                        duration=self.pp_time,
+                        deps=(uid,),
+                        label=f"send-grad(mb={op.microbatch}, s={op.stage})",
+                        category="pp_comm",
+                    )
+                )
+
+            # Gradient reduction once the group's last backward ran: the
+            # bulk may overlap that backward (real reductions trail the
+            # per-layer backward front), only the head strictly follows it.
+            if overlap_dp and last_bwd_of_group.get(group) == position:
+                bulk_deps = (_uid_of(order[position - 1]),) if position else ()
+                head, _ = self._emit_split(
+                    dp_q,
+                    "RED",
+                    op.stage,
+                    group[1],
+                    cost.reduce_time(op.stage),
+                    "reduce",
+                    head_deps=(uid,),
+                    bulk_deps=bulk_deps,
+                    head_last=True,
+                )
+                reduce_heads.append(head)
+
+        # Tail: serial DP block (Megatron mode), optimizer, post-step gather.
+        opt_deps: list[tuple] = list(reduce_heads)
+        if self.dp_active and not impl.dp_overlap:
+            compute_q.append(
+                Instruction(
+                    uid=("DPALL", rank),
+                    duration=cost.dp_serial_time(rank),
+                    deps=(),
+                    label=f"dp-all(rank={rank})",
+                    category="dp_comm",
+                )
+            )
+            opt_deps.append(("DPALL", rank))
+
+        compute_q.append(
+            Instruction(
+                uid=("OPT", rank),
+                duration=cost.optimizer_time(rank),
+                deps=tuple(opt_deps),
+                label=f"optimizer(rank={rank})",
+                category="optimizer",
+            )
+        )
+
+        if overlap_dp and config.sharding is Sharding.PARTIAL:
+            dp_q.append(
+                Instruction(
+                    uid=("POST", rank),
+                    duration=cost.post_step_gather_time(rank),
+                    deps=(("OPT", rank),),
+                    label=f"post-gather(rank={rank})",
+                    category="gather",
+                )
+            )
+
+
+def build_program(
+    cost: CostModel, schedule: Schedule
+) -> dict[tuple[int, str], list[Instruction]]:
+    """Build the instruction queues for every rank and stream."""
+    return _ProgramBuilder(cost, schedule).build()

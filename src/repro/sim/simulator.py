@@ -1,0 +1,119 @@
+"""High-level simulation API: one training step of one configuration.
+
+:func:`simulate` builds the schedule, lowers it to instruction streams,
+executes them on the event engine and reports the paper's metrics:
+step time, per-GPU throughput (Eq. 11 flops over time), utilization,
+per-category busy-time breakdown and the memory model's peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.memory import MemoryBreakdown, memory_model
+from repro.core.schedules.base import Schedule, build_schedule
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ParallelConfig
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.cost import CostModel
+from repro.sim.engine import run_streams
+from repro.sim.implementation import (
+    ImplementationProfile,
+    default_implementation_for,
+)
+from repro.sim.program import build_program
+from repro.sim.timeline import TimelineEvent
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated training step.
+
+    Attributes:
+        config: The configuration simulated.
+        implementation_name: Which library profile ran it.
+        step_time: Batch time in seconds (includes the fixed step overhead).
+        throughput_per_gpu: Model flop/s per GPU (the Appendix E metric).
+        utilization: ``throughput_per_gpu / peak_flops``.
+        compute_busy: Mean busy seconds of the compute streams.
+        pp_comm_busy: Mean busy seconds of pipeline communication.
+        dp_comm_busy: Mean busy seconds of data-parallel communication.
+        bubble_fraction: Mean compute-stream idle share of the step.
+        memory: Peak-memory breakdown for this configuration.
+        timeline: Executed events (empty if ``record_events`` was False).
+    """
+
+    config: ParallelConfig
+    implementation_name: str
+    step_time: float
+    throughput_per_gpu: float
+    utilization: float
+    compute_busy: float
+    pp_comm_busy: float
+    dp_comm_busy: float
+    bubble_fraction: float
+    memory: MemoryBreakdown
+    timeline: tuple[TimelineEvent, ...]
+
+
+def simulate(
+    spec: TransformerSpec,
+    config: ParallelConfig,
+    cluster: ClusterSpec,
+    implementation: ImplementationProfile | None = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    schedule: Schedule | None = None,
+    record_events: bool = False,
+) -> SimulationResult:
+    """Simulate one training step.
+
+    Args:
+        spec: Model to train.
+        config: Distributed configuration (validated against the model and
+            cluster).
+        cluster: Hardware description.
+        implementation: Library profile; defaults to the one the paper
+            used for the config's schedule (ours for GPipe/breadth-first,
+            Megatron-LM for 1F1B/depth-first).
+        calibration: Cost-model constants.
+        schedule: Pre-built schedule (rebuilt from the config if omitted).
+        record_events: Keep the full timeline (needed for Figure 4).
+    """
+    if implementation is None:
+        implementation = default_implementation_for(config.schedule)
+    cost = CostModel(
+        spec=spec,
+        config=config,
+        cluster=cluster,
+        implementation=implementation,
+        calibration=calibration,
+    )
+    if schedule is None:
+        schedule = build_schedule(
+            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+        )
+    streams = build_program(cost, schedule)
+    result = run_streams(streams, record_events=record_events)
+
+    step_time = result.makespan + calibration.fixed_step_overhead
+    n_pp = config.n_pp
+    compute_busy = (
+        sum(result.stream_busy.get((r, "compute"), 0.0) for r in range(n_pp)) / n_pp
+    )
+    pp_busy = sum(result.stream_busy.get((r, "pp"), 0.0) for r in range(n_pp)) / n_pp
+    dp_busy = sum(result.stream_busy.get((r, "dp"), 0.0) for r in range(n_pp)) / n_pp
+
+    return SimulationResult(
+        config=config,
+        implementation_name=implementation.name,
+        step_time=step_time,
+        throughput_per_gpu=cost.throughput_per_gpu(step_time),
+        utilization=cost.utilization(step_time),
+        compute_busy=compute_busy,
+        pp_comm_busy=pp_busy,
+        dp_comm_busy=dp_busy,
+        bubble_fraction=1.0 - compute_busy / step_time,
+        memory=memory_model(spec, config, implementation, schedule),
+        timeline=tuple(result.events),
+    )

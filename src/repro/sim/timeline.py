@@ -1,0 +1,31 @@
+"""Timeline records produced by the simulator, consumed by the ASCII viz."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One executed instruction.
+
+    Attributes:
+        rank: Pipeline rank.
+        stream: Stream name ("compute", "pp", "dp").
+        start: Start time (seconds).
+        end: End time (seconds).
+        label: Human-readable instruction label (e.g. "F(mb=3, s=5)").
+        category: Coarse class for rendering: "forward", "backward",
+            "pp_comm", "reduce", "gather", "optimizer", "dp_comm".
+    """
+
+    rank: int
+    stream: str
+    start: float
+    end: float
+    label: str
+    category: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

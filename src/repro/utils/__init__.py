@@ -1,0 +1,27 @@
+"""Shared utilities: unit helpers, ASCII tables and plots."""
+
+from repro.utils.units import (
+    GB,
+    GIGA,
+    KILO,
+    MEGA,
+    TERA,
+    fmt_bytes,
+    fmt_count,
+    fmt_flops,
+    fmt_time,
+)
+from repro.utils.tables import ascii_table
+
+__all__ = [
+    "GB",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "TERA",
+    "ascii_table",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_flops",
+    "fmt_time",
+]

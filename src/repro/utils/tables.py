@@ -1,0 +1,45 @@
+"""Minimal ASCII table renderer used by experiment drivers and benches."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats are
+    rendered with two decimals.  Returns the table as a single string.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

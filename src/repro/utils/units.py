@@ -1,0 +1,62 @@
+"""Unit constants and human-readable formatting helpers.
+
+All internal quantities use SI base units: bytes, flop, seconds, flop/s,
+bytes/s.  These helpers only matter at the presentation boundary
+(experiment drivers, examples, benchmark output).
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: One gibibyte-ish gigabyte (we follow the paper and use base-2 for memory).
+GB = float(2**30)
+
+
+def fmt_count(x: float) -> str:
+    """Format a raw count with K/M/B suffixes (e.g. parameter counts)."""
+    if x >= 1e12:
+        return f"{x / 1e12:.2f}T"
+    if x >= 1e9:
+        return f"{x / 1e9:.2f}B"
+    if x >= 1e6:
+        return f"{x / 1e6:.2f}M"
+    if x >= 1e3:
+        return f"{x / 1e3:.2f}K"
+    return f"{x:.0f}"
+
+
+def fmt_bytes(x: float) -> str:
+    """Format a byte count in base-2 units."""
+    for unit, scale in (("TB", 2**40), ("GB", 2**30), ("MB", 2**20), ("KB", 2**10)):
+        if abs(x) >= scale:
+            return f"{x / scale:.2f} {unit}"
+    return f"{x:.0f} B"
+
+
+def fmt_flops(x: float) -> str:
+    """Format a flop/s rate."""
+    for unit, scale in (("Pflop/s", 1e15), ("Tflop/s", 1e12), ("Gflop/s", 1e9)):
+        if abs(x) >= scale:
+            return f"{x / scale:.2f} {unit}"
+    return f"{x:.0f} flop/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration, scaling from microseconds to days."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds >= 86400:
+        return f"{seconds / 86400:.2f} d"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f} min"
+    if seconds >= 1:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,6 @@
+"""ASCII visualization: Figure 4 timelines and simple charts for benches."""
+
+from repro.viz.timeline import render_placement, render_timeline
+from repro.viz.chart import ascii_line_chart
+
+__all__ = ["ascii_line_chart", "render_placement", "render_timeline"]

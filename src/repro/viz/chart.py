@@ -1,0 +1,56 @@
+"""Tiny ASCII line chart used by the figure benches."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named series of (x, y) points on a character grid.
+
+    Each series is drawn with its own marker (first letter of its name,
+    uppercased, cycling through alternatives on collision); x positions
+    are mapped by rank order within the merged x range.
+    """
+    if height < 3 or width < 10:
+        raise ValueError("chart too small")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = sorted({x for x, _ in points})
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@%&"
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in pts:
+            col = int((xs.index(x) / max(1, len(xs) - 1)) * (width - 1))
+            row = int((1 - (y - y_min) / (y_max - y_min)) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:8.1f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_min:8.1f} +" + "-" * width)
+    lines.append(
+        " " * 10 + f"x: {xs[0]:g} .. {xs[-1]:g}" + (f"   y: {y_label}" if y_label else "")
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Figure 3/4-style ASCII rendering of placements and simulated timelines.
+
+Each pipeline rank gets one row per stream; time is discretized into
+character columns.  Forward ops print the micro-batch digit, backward ops
+print it as a letter offset (matching the paper's light/dark halves),
+communication prints ``-`` (pp), ``G`` (reduce), ``W`` (gather), ``S``
+(optimizer) — the same glyph language as Figures 4 and 9.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import Placement
+from repro.sim.timeline import TimelineEvent
+
+_CATEGORY_GLYPHS = {
+    "pp_comm": "-",
+    "reduce": "G",
+    "gather": "W",
+    "dp_comm": "G",
+    "optimizer": "S",
+}
+
+
+def _glyph(event: TimelineEvent) -> str:
+    if event.category in ("forward", "backward"):
+        # Micro-batch index, as in Figure 4; backward shown in lower case
+        # (letters a..z continue past digit 9).
+        label = event.label
+        try:
+            mb = int(label.split("mb=")[1].split(",")[0])
+        except (IndexError, ValueError):
+            mb = 0
+        symbol = "0123456789abcdefghijklmnopqrstuvwxyz"[mb % 36]
+        return symbol.upper() if event.category == "backward" else symbol
+    return _CATEGORY_GLYPHS.get(event.category, "?")
+
+
+def render_timeline(
+    events: list[TimelineEvent] | tuple[TimelineEvent, ...],
+    width: int = 100,
+) -> str:
+    """Render simulated events as a fixed-width ASCII Gantt chart."""
+    if not events:
+        return "(empty timeline)"
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    t_end = max(e.end for e in events)
+    if t_end <= 0:
+        return "(zero-length timeline)"
+    scale = width / t_end
+
+    rows: dict[tuple[int, str], list[str]] = {}
+    for event in events:
+        key = (event.rank, event.stream)
+        row = rows.setdefault(key, [" "] * width)
+        start_col = int(event.start * scale)
+        end_col = max(start_col + 1, int(event.end * scale))
+        for col in range(start_col, min(end_col, width)):
+            row[col] = _glyph(event)
+
+    lines = []
+    for rank, stream in sorted(rows):
+        prefix = f"rank {rank} [{stream:7s}] "
+        lines.append(prefix + "".join(rows[(rank, stream)]))
+    return "\n".join(lines)
+
+
+def render_placement(placement: Placement) -> str:
+    """Figure 3-style rendering: layer indices per device."""
+    lines = [
+        f"{placement.n_layers} layers on {placement.n_pp} devices, "
+        f"{placement.n_loop} stage(s) per device "
+        f"({'looping' if placement.is_looping else 'standard'}):"
+    ]
+    for device in range(placement.n_pp):
+        layers = " ".join(f"{l:3d}" for l in placement.layers_of_device(device))
+        lines.append(f"  GPU {device}: {layers}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import DGX1_CLUSTER_64, DGX1_CLUSTER_64_ETHERNET
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.runtime.model import ModelConfig
+from repro.runtime.reference import ReferenceTrainer
+
+
+@pytest.fixture
+def cluster():
+    return DGX1_CLUSTER_64
+
+
+@pytest.fixture
+def ethernet_cluster():
+    return DGX1_CLUSTER_64_ETHERNET
+
+
+@pytest.fixture
+def model_52b():
+    return MODEL_52B
+
+
+@pytest.fixture
+def model_6_6b():
+    return MODEL_6_6B
+
+
+@pytest.fixture
+def tiny_model_config():
+    """Small-but-real transformer for runtime tests."""
+    return ModelConfig(vocab=32, hidden=16, n_heads=2, n_layers=4, seq=6)
+
+
+@pytest.fixture
+def tiny_batch(tiny_model_config):
+    return ReferenceTrainer.make_batch(tiny_model_config, batch=8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,108 @@
+"""Edge cases and error branches across the experiment/simulation stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import Fig7Panel, panel_setup
+from repro.experiments.tableE import format_table_e
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind
+from repro.search.grid import SearchOutcome
+from repro.sim.simulator import simulate
+from repro.viz.timeline import render_timeline
+
+
+class TestDriverErrors:
+    def test_fig5_unknown_panel(self):
+        with pytest.raises(ValueError, match="unknown panel"):
+            run_fig5("13B")
+
+    def test_fig7_unknown_panel(self):
+        with pytest.raises(ValueError, match="unknown panel"):
+            panel_setup("900B")
+
+    def test_fig7_known_panels(self):
+        assert panel_setup("52B")[0] is MODEL_52B
+        assert panel_setup("6.6B")[0] is MODEL_6_6B
+        assert panel_setup("6.6B-ethernet")[1].inter_node.name.startswith("Ethernet")
+
+    def test_table_e_renders_oom_rows(self):
+        panel = Fig7Panel(
+            name="52B",
+            spec=MODEL_52B,
+            cluster=DGX1_CLUSTER_64,
+            outcomes={
+                Method.NO_PIPELINE: [
+                    SearchOutcome(
+                        method=Method.NO_PIPELINE, batch_size=1,
+                        best=None, n_tried=0, n_excluded=5,
+                    )
+                ]
+            },
+        )
+        out = format_table_e(panel)
+        assert "OOM" in out
+
+
+class TestSimulatorEdgeCases:
+    def test_single_gpu_config(self):
+        config = ParallelConfig(
+            n_dp=1, n_pp=1, n_tp=1, microbatch_size=1, n_microbatches=1,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        result = simulate(MODEL_6_6B, config, DGX1_CLUSTER_64)
+        assert result.step_time > 0
+        assert result.pp_comm_busy == 0.0
+        assert result.dp_comm_busy == 0.0
+
+    def test_two_stage_minimal_pipeline(self):
+        config = ParallelConfig(
+            n_dp=1, n_pp=2, n_tp=1, microbatch_size=1, n_microbatches=2,
+            schedule=ScheduleKind.GPIPE,
+        )
+        result = simulate(MODEL_6_6B, config, DGX1_CLUSTER_64)
+        assert 0 < result.utilization < 1
+
+    def test_more_bandwidth_never_slower(self):
+        import dataclasses
+
+        config = ParallelConfig(
+            n_dp=8, n_pp=4, n_tp=2, microbatch_size=1, n_microbatches=8,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        slow = simulate(MODEL_6_6B, config, DGX1_CLUSTER_64)
+        fast_net = dataclasses.replace(
+            DGX1_CLUSTER_64.inter_node, bandwidth=DGX1_CLUSTER_64.inter_node.bandwidth * 4
+        )
+        fast_cluster = dataclasses.replace(DGX1_CLUSTER_64, inter_node=fast_net)
+        fast = simulate(MODEL_6_6B, config, fast_cluster)
+        assert fast.step_time <= slow.step_time
+
+    def test_larger_batch_more_utilization_fixed_grid(self):
+        def util(n_mb):
+            config = ParallelConfig(
+                n_dp=1, n_pp=8, n_tp=8, microbatch_size=1,
+                n_microbatches=n_mb, n_loop=4,
+                schedule=ScheduleKind.BREADTH_FIRST,
+            )
+            return simulate(MODEL_52B, config, DGX1_CLUSTER_64).utilization
+
+        assert util(64) > util(8)
+
+
+class TestTimelineEdgeCases:
+    def test_zero_length_timeline(self):
+        from repro.sim.timeline import TimelineEvent
+
+        events = [TimelineEvent(0, "compute", 0.0, 0.0, "x", "forward")]
+        assert "zero-length" in render_timeline(events)
+
+    def test_malformed_label_does_not_crash(self):
+        from repro.sim.timeline import TimelineEvent
+
+        events = [TimelineEvent(0, "compute", 0.0, 1.0, "weird", "forward")]
+        out = render_timeline(events, width=10)
+        assert "rank 0" in out

@@ -1,0 +1,97 @@
+"""Tests for the multi-stream list-scheduling engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EngineDeadlock, Instruction, run_streams
+
+
+def instr(uid, dur=1.0, deps=(), label=""):
+    return Instruction(uid=uid, duration=dur, deps=tuple(deps), label=label)
+
+
+class TestBasics:
+    def test_sequential_stream(self):
+        result = run_streams({(0, "c"): [instr(("a",)), instr(("b",))]})
+        assert result.finish_times[("a",)] == pytest.approx(1.0)
+        assert result.finish_times[("b",)] == pytest.approx(2.0)
+
+    def test_parallel_streams_overlap(self):
+        result = run_streams({
+            (0, "c"): [instr(("a",), 2.0)],
+            (0, "d"): [instr(("b",), 3.0)],
+        })
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_dependency_delays_start(self):
+        result = run_streams({
+            (0, "c"): [instr(("a",), 2.0)],
+            (1, "c"): [instr(("b",), 1.0, deps=[("a",)])],
+        })
+        assert result.finish_times[("b",)] == pytest.approx(3.0)
+
+    def test_head_of_line_blocking(self):
+        # Second instruction on stream 1 could run immediately, but the
+        # blocked head holds it back (FIFO semantics).
+        result = run_streams({
+            (0, "c"): [instr(("slow",), 5.0)],
+            (1, "c"): [instr(("blocked",), 1.0, deps=[("slow",)]), instr(("free",), 1.0)],
+        })
+        assert result.finish_times[("free",)] == pytest.approx(7.0)
+
+    def test_zero_duration_allowed(self):
+        result = run_streams({(0, "c"): [instr(("z",), 0.0)]})
+        assert result.makespan == 0.0
+
+    def test_empty_program(self):
+        assert run_streams({}).makespan == 0.0
+
+
+class TestAccounting:
+    def test_busy_time(self):
+        result = run_streams({(0, "c"): [instr(("a",), 2.0), instr(("b",), 3.0)]})
+        assert result.stream_busy[(0, "c")] == pytest.approx(5.0)
+
+    def test_events_recorded_in_order(self):
+        result = run_streams(
+            {(0, "c"): [instr(("a",)), instr(("b",))]}, record_events=True
+        )
+        assert [e.label for e in result.events] == ["", ""]
+        assert result.events[0].start <= result.events[1].start
+
+    def test_events_skipped_when_disabled(self):
+        result = run_streams(
+            {(0, "c"): [instr(("a",))]}, record_events=False
+        )
+        assert result.events == []
+
+    def test_event_duration(self):
+        result = run_streams({(0, "c"): [instr(("a",), 2.5)]})
+        assert result.events[0].duration == pytest.approx(2.5)
+
+
+class TestErrors:
+    def test_deadlock_raises_with_blocked_heads(self):
+        with pytest.raises(EngineDeadlock, match="missing"):
+            run_streams({
+                (0, "c"): [instr(("a",), deps=[("missing",)], label="a-op")],
+            })
+
+    def test_cyclic_deadlock(self):
+        with pytest.raises(EngineDeadlock):
+            run_streams({
+                (0, "c"): [instr(("a",), deps=[("b",)])],
+                (1, "c"): [instr(("b",), deps=[("a",)])],
+            })
+
+    def test_duplicate_uid_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_streams({
+                (0, "c"): [instr(("a",))],
+                (1, "c"): [instr(("a",))],
+            })
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            Instruction(uid=("x",), duration=-1.0)

@@ -1,0 +1,151 @@
+"""Tests for the experiment drivers (fast paths only; the benches run the
+full versions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.table41 import run_table41
+from repro.experiments.table51 import format_table51, run_table51
+from repro.parallel.config import Method
+from repro.sgd.tradeoff import TradeoffPoint, UtilizationCurve, tradeoff_curve
+
+
+class TestFig2:
+    def test_four_curves(self):
+        curves = run_fig2(overlap=True)
+        assert set(curves) == {
+            "Looped (8x)", "Looped (2x)", "Non-looped", "Data-parallel"
+        }
+
+    def test_looped_8x_dominates_at_small_beta(self):
+        curves = run_fig2(overlap=True)
+        at_one = {name: pts[0][1] for name, pts in curves.items()}
+        assert at_one["Looped (8x)"] > at_one["Looped (2x)"] > at_one["Non-looped"]
+
+    def test_overlap_panel_beats_no_overlap(self):
+        a = run_fig2(overlap=True)
+        b = run_fig2(overlap=False)
+        for name in a:
+            for (beta1, u1), (beta2, u2) in zip(a[name], b[name]):
+                assert beta1 == beta2
+                assert u1 >= u2 - 1e-9
+
+
+class TestFig3:
+    def test_placements(self):
+        p = run_fig3()
+        assert p["standard"].layers_of_device(0) == [0, 1, 2, 3]
+        assert p["looping"].layers_of_device(0) == [0, 4, 8, 12]
+
+    def test_format(self):
+        out = format_fig3()
+        assert "standard" in out and "looping" in out
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_fig4(width=60)
+
+    def test_four_panels(self, panels):
+        assert len(panels) == 4
+
+    def test_looped_faster_than_non_looped(self, panels):
+        by_name = {p.name: p.result for p in panels}
+        assert (
+            by_name["(d) Looped, breadth-first"].step_time
+            < by_name["(a) Non-looped, GPipe"].step_time
+        )
+
+    def test_breadth_first_fastest(self, panels):
+        times = {p.name: p.result.step_time for p in panels}
+        assert min(times, key=times.get) == "(d) Looped, breadth-first"
+
+    def test_renderings_non_empty(self, panels):
+        for p in panels:
+            assert "rank 0" in p.rendering
+
+
+class TestFig6:
+    def test_depth_first_declines_at_large_batch(self):
+        curves = run_fig6(64)
+        df = dict(curves["Depth-first"])
+        assert df[8] < df[1]
+
+    def test_breadth_first_improves_at_small_batch(self):
+        curves = run_fig6(16)
+        bf = dict(curves["Breadth-first"])
+        assert bf[8] > bf[1]
+
+
+class TestFig9:
+    def test_breadth_first_fs_fastest_fs(self):
+        panels = {p.name: p.result.step_time for p in run_fig9()}
+        assert (
+            panels["(d) Breadth-first (DP_FS)"]
+            < panels["(b) Depth-first (DP_FS)"]
+        )
+
+    def test_dp0_breadth_no_slower_than_depth(self):
+        panels = {p.name: p.result.step_time for p in run_fig9()}
+        assert (
+            panels["(c) Breadth-first (DP0)"]
+            <= panels["(a) Depth-first (DP0)"] * 1.05
+        )
+
+
+class TestTables:
+    def test_table41_breadth_first_good_everywhere(self):
+        rows = {r.method: r for r in run_table41(n_mb=32)}
+        bf_fs = rows["Breadth-first (DP_FS)"]
+        # Small bubble, minimal state memory, full DP overlap.
+        assert bf_fs.bubble < 0.1
+        assert bf_fs.state_memory == 2.0
+        assert bf_fs.dp_overlap > 0.8
+
+    def test_table41_depth_first_poor_dp_overlap(self):
+        # With N_mb > N_PP the depth-first window (N_PP micro-batches)
+        # falls below breadth-first's (the whole batch).
+        rows = {r.method: r for r in run_table41(n_mb=32)}
+        assert rows["Depth-first"].dp_overlap < rows["Breadth-first"].dp_overlap
+
+    def test_table41_no_pipeline_fs_heavy_network(self):
+        rows = {r.method: r for r in run_table41()}
+        assert rows["No pipeline (DP_FS)"].dp_network > 10
+
+    def test_table41_invalid_setting(self):
+        with pytest.raises(ValueError, match="stages"):
+            run_table41(n_layers=4, n_pp=8, n_loop=4)
+
+    def test_table51_models(self):
+        rows = run_table51()
+        assert [m.name for m in rows] == ["52B", "6.6B"]
+
+    def test_table51_format(self):
+        out = format_table51()
+        assert "8192" in out and "4096" in out
+
+
+class TestFig8Machinery:
+    def test_tradeoff_points_have_paper_scale(self):
+        curve = UtilizationCurve("Breadth-first", ((0.14, 0.39), (2.0, 0.45)))
+        points = tradeoff_curve(
+            curve, [4096], 6780.0, 4.3e14, 125e12
+        )
+        p = points[0]
+        assert isinstance(p, TradeoffPoint)
+        # Figure 1a: best method trains the 52B model in O(10) days on
+        # 4096 V100s at ~30-60k GPU-days.
+        assert 2 < p.time_days < 60
+        assert 10_000 < p.cost_gpu_days < 150_000
+
+
+class TestMethodEnum:
+    def test_four_methods(self):
+        assert len(list(Method)) == 4

@@ -1,0 +1,149 @@
+"""Tests for the transformer spec and the paper's counting formulas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.presets import GPT3_175B, MODEL_1T, MODEL_6_6B, MODEL_52B, PRESETS
+from repro.models.spec import TransformerSpec
+
+
+class TestPresets:
+    def test_table_5_1_dimensions_52b(self):
+        assert (MODEL_52B.n_layers, MODEL_52B.n_heads) == (64, 64)
+        assert (MODEL_52B.head_size, MODEL_52B.hidden_size) == (128, 8192)
+        assert MODEL_52B.seq_length == 1024
+
+    def test_table_5_1_dimensions_6_6b(self):
+        assert (MODEL_6_6B.n_layers, MODEL_6_6B.n_heads) == (32, 32)
+        assert (MODEL_6_6B.head_size, MODEL_6_6B.hidden_size) == (128, 4096)
+
+    def test_52b_parameter_count(self):
+        assert MODEL_52B.n_params == pytest.approx(52e9, rel=0.02)
+
+    def test_6_6b_parameter_count(self):
+        assert MODEL_6_6B.n_params == pytest.approx(6.6e9, rel=0.05)
+
+    def test_gpt3_parameter_count(self):
+        assert GPT3_175B.n_params == pytest.approx(175e9, rel=0.02)
+
+    def test_1t_parameter_count(self):
+        assert MODEL_1T.n_params == pytest.approx(1e12, rel=0.05)
+
+    def test_presets_keyed_by_name(self):
+        assert PRESETS["52B"] is MODEL_52B
+
+
+class TestValidation:
+    def test_head_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="N_heads"):
+            TransformerSpec("bad", 2, 4, 100, 128, 16)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="n_layers"):
+            TransformerSpec("bad", 0, 4, 32, 128, 16)
+
+
+class TestFlops:
+    def test_flops_per_token_matches_8_flops_per_param(self):
+        # Eq. (12): the layer term is 96 L h^2 = 8 x (12 L h^2) flop/token.
+        spec = MODEL_52B
+        layer_params = spec.n_layers * spec.params_per_layer
+        layer_flops = 96.0 * spec.n_layers * spec.hidden_size**2
+        assert layer_flops == pytest.approx(8.0 * layer_params)
+
+    def test_recompute_ratio(self):
+        # Recompute adds a forward pass: 96/72 ratio (Eq. 11 coefficient).
+        with_r = MODEL_52B.flops_per_token(with_recompute=True)
+        without = MODEL_52B.flops_per_token(with_recompute=False)
+        assert with_r / without == pytest.approx(96.0 / 72.0)
+
+    def test_per_sample_scales_with_seq(self):
+        assert MODEL_52B.flops_per_sample() == pytest.approx(
+            MODEL_52B.flops_per_token() * MODEL_52B.seq_length
+        )
+
+    def test_backward_is_twice_forward(self):
+        fwd = MODEL_52B.flops_per_layer_per_sample(forward_only=True)
+        bwd = MODEL_52B.flops_per_layer_per_sample(forward_only=False)
+        assert bwd == pytest.approx(2.0 * fwd)
+
+    def test_backward_with_recompute_is_3x_forward(self):
+        fwd = MODEL_52B.flops_per_layer_per_sample(forward_only=True)
+        bwd = MODEL_52B.flops_per_layer_per_sample(
+            forward_only=False, with_recompute=True
+        )
+        assert bwd == pytest.approx(3.0 * fwd)
+
+    def test_layer_flops_sum_matches_eq11(self):
+        # forward (1x) + backward-with-recompute (3x) per layer, plus the
+        # head's forward (1x) and backward (2x), must reassemble Eq. (11).
+        spec = MODEL_6_6B
+        total = (
+            spec.n_layers * spec.flops_per_layer_per_sample(forward_only=True)
+            + spec.n_layers
+            * spec.flops_per_layer_per_sample(forward_only=False, with_recompute=True)
+            + spec.head_flops_per_sample(forward_only=True)
+            + spec.head_flops_per_sample(forward_only=False)
+        )
+        assert total == pytest.approx(
+            spec.flops_per_sample(with_recompute=True), rel=0.01
+        )
+
+
+class TestMemoryFormulas:
+    def test_activation_memory_example_gpt3(self):
+        # Appendix A.2.2: GPT-3 uses ~552 MB per sample (N_TP = 8).
+        assert GPT3_175B.activation_bytes_per_sample(8) == pytest.approx(
+            552e6, rel=0.1
+        )
+
+    def test_activation_memory_example_1t(self):
+        # Appendix A.2.2: 1T uses ~1050 MB per sample (N_TP = 8).
+        assert MODEL_1T.activation_bytes_per_sample(8) == pytest.approx(
+            1050e6, rel=0.15
+        )
+
+    def test_checkpoint_bytes_eq17_factor(self):
+        spec = MODEL_52B
+        assert spec.checkpoint_bytes_per_sample_per_layer(8) == pytest.approx(
+            2 * spec.seq_length * spec.hidden_size / 8
+        )
+
+    def test_tp_divides_activation_memory(self):
+        one = MODEL_52B.activation_bytes_per_sample(1)
+        eight = MODEL_52B.activation_bytes_per_sample(8)
+        assert eight < one
+
+    def test_invalid_tp(self):
+        with pytest.raises(ValueError, match="n_tp"):
+            MODEL_52B.activation_bytes_per_sample(0)
+
+
+class TestSpecProperties:
+    @given(
+        n_layers=st.integers(1, 16),
+        n_heads=st.integers(1, 8),
+        head_size=st.sampled_from([32, 64, 128]),
+        seq=st.sampled_from([128, 1024]),
+    )
+    def test_flops_positive_and_monotone_in_layers(
+        self, n_layers, n_heads, head_size, seq
+    ):
+        spec = TransformerSpec(
+            "h", n_layers, n_heads, head_size, n_heads * head_size, seq
+        )
+        assert spec.flops_per_sample() > 0
+        if n_layers > 1:
+            smaller = TransformerSpec(
+                "h", n_layers - 1, n_heads, head_size, n_heads * head_size, seq
+            )
+            assert smaller.flops_per_sample() < spec.flops_per_sample()
+
+    def test_str_contains_params(self):
+        assert "52" in str(MODEL_52B)
+
+    def test_mlp_size(self):
+        assert MODEL_52B.mlp_size == 4 * MODEL_52B.hidden_size

@@ -1,0 +1,46 @@
+"""Tests for the transcribed paper data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.paper_data import (
+    HEADLINE_GAIN_VS_DEPTH_FIRST,
+    HEADLINE_GAIN_VS_NON_LOOPED,
+    PAPER_ANCHORS,
+)
+from repro.parallel.config import Method
+
+
+class TestAnchors:
+    def test_all_anchor_configs_valid(self):
+        for anchor in PAPER_ANCHORS:
+            spec = MODEL_52B if anchor.model == "52B" else MODEL_6_6B
+            anchor.config.validate_against(spec.n_layers)
+            assert anchor.config.n_gpus <= 64
+
+    def test_batch_sizes_match_labels(self):
+        for anchor in PAPER_ANCHORS:
+            batch = int(anchor.label.split("B=")[1].split(" ")[0])
+            assert anchor.config.batch_size == batch, anchor.label
+
+    def test_every_method_represented(self):
+        methods = {a.config.method for a in PAPER_ANCHORS}
+        assert methods == set(Method)
+
+    def test_every_table_represented(self):
+        assert {a.table for a in PAPER_ANCHORS} == {"E.1", "E.2", "E.3"}
+
+    def test_published_values_positive(self):
+        for anchor in PAPER_ANCHORS:
+            assert anchor.throughput_tflops > 0
+            assert anchor.memory_gb > anchor.memory_min_gb > 0
+
+    def test_headline_constants(self):
+        assert HEADLINE_GAIN_VS_DEPTH_FIRST == pytest.approx(1.43)
+        assert HEADLINE_GAIN_VS_NON_LOOPED == pytest.approx(1.53)
+
+    def test_ethernet_only_in_e3(self):
+        for anchor in PAPER_ANCHORS:
+            assert anchor.ethernet == (anchor.table == "E.3")

@@ -1,0 +1,108 @@
+"""Tests for ParallelConfig validation and batch algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
+
+
+def cfg(**kw):
+    base = dict(n_dp=2, n_pp=4, n_tp=2, microbatch_size=1, n_microbatches=8)
+    base.update(kw)
+    return ParallelConfig(**base)
+
+
+class TestBatchAlgebra:
+    def test_batch_size(self):
+        assert cfg().batch_size == 2 * 8 * 1
+
+    def test_n_gpus(self):
+        assert cfg().n_gpus == 16
+
+    def test_batch_per_gpu(self):
+        # B = 2 * 8 * 1 = 16 over 16 GPUs.
+        assert cfg().batch_per_gpu == pytest.approx(1.0)
+        assert cfg(n_tp=4).batch_per_gpu == pytest.approx(0.5)
+
+    def test_n_stages(self):
+        assert cfg(n_loop=4, schedule=ScheduleKind.BREADTH_FIRST).n_stages == 16
+
+
+class TestValidation:
+    def test_positive_fields_required(self):
+        with pytest.raises(ValueError, match="n_dp"):
+            cfg(n_dp=0)
+
+    def test_non_looped_rejects_n_loop(self):
+        with pytest.raises(ValueError, match="n_loop == 1"):
+            cfg(schedule=ScheduleKind.GPIPE, n_loop=2)
+
+    def test_depth_first_requires_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            cfg(schedule=ScheduleKind.DEPTH_FIRST, n_loop=2, n_microbatches=6)
+
+    def test_depth_first_single_device_any_nmb(self):
+        c = cfg(
+            n_pp=1, schedule=ScheduleKind.DEPTH_FIRST, n_loop=1, n_microbatches=3
+        )
+        assert c.n_stages == 1
+
+    def test_validate_against_too_many_stages(self):
+        c = cfg(n_loop=8, schedule=ScheduleKind.BREADTH_FIRST)
+        with pytest.raises(ValueError, match="stages exceed"):
+            c.validate_against(n_layers=16)
+
+    def test_validate_against_tp_exceeds_node(self):
+        c = cfg(n_tp=16)
+        with pytest.raises(ValueError, match="node size"):
+            c.validate_against(n_layers=64, node_size=8)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="n_pp"):
+            cfg(n_pp=2.5)
+
+
+class TestMethodClassification:
+    def test_no_pipeline(self):
+        assert cfg(n_pp=1).method is Method.NO_PIPELINE
+
+    def test_non_looped_gpipe(self):
+        assert cfg(schedule=ScheduleKind.GPIPE).method is Method.NON_LOOPED
+
+    def test_non_looped_1f1b(self):
+        assert cfg(schedule=ScheduleKind.ONE_F_ONE_B).method is Method.NON_LOOPED
+
+    def test_depth_first(self):
+        c = cfg(schedule=ScheduleKind.DEPTH_FIRST, n_loop=2)
+        assert c.method is Method.DEPTH_FIRST
+
+    def test_breadth_first(self):
+        c = cfg(schedule=ScheduleKind.BREADTH_FIRST, n_loop=2)
+        assert c.method is Method.BREADTH_FIRST
+
+    def test_breadth_first_unlooped_counts_as_breadth_first(self):
+        c = cfg(schedule=ScheduleKind.BREADTH_FIRST, n_loop=1)
+        assert c.method is Method.BREADTH_FIRST
+
+
+class TestMisc:
+    def test_with_updates(self):
+        assert cfg().with_(n_dp=4).n_dp == 4
+
+    def test_with_revalidates(self):
+        with pytest.raises(ValueError):
+            cfg().with_(n_pp=0)
+
+    def test_describe_mentions_sharding(self):
+        assert "FS" in cfg(sharding=Sharding.FULL).describe()
+
+    def test_uses_full_sharding(self):
+        assert cfg(sharding=Sharding.FULL).uses_full_sharding
+        assert not cfg(sharding=Sharding.PARTIAL).uses_full_sharding
+
+    def test_is_looped_kinds(self):
+        assert ScheduleKind.BREADTH_FIRST.is_looped
+        assert ScheduleKind.DEPTH_FIRST.is_looped
+        assert not ScheduleKind.GPIPE.is_looped
+        assert not ScheduleKind.ONE_F_ONE_B.is_looped

@@ -1,0 +1,100 @@
+"""Tests for layer placement (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.placement import Placement
+
+
+class TestFigure3:
+    def test_standard_placement(self):
+        p = Placement(16, 4, 1)
+        assert p.layers_of_device(0) == [0, 1, 2, 3]
+        assert p.layers_of_device(3) == [12, 13, 14, 15]
+
+    def test_looping_placement(self):
+        p = Placement(16, 4, 4)
+        assert p.layers_of_device(0) == [0, 4, 8, 12]
+        assert p.layers_of_device(1) == [1, 5, 9, 13]
+        assert p.layers_of_device(3) == [3, 7, 11, 15]
+
+    def test_coil_device_of_stage(self):
+        p = Placement(16, 4, 4)
+        assert [p.device_of_stage(s) for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestStructure:
+    def test_boundaries_cover_all_layers(self):
+        p = Placement(10, 3, 1)
+        bounds = p.stage_boundaries()
+        assert bounds[0] == 0 and bounds[-1] == 10
+
+    def test_uneven_split_near_identical(self):
+        p = Placement(10, 3, 1)
+        sizes = [p.n_layers_of_stage(s) for s in range(3)]
+        assert sorted(sizes) == [3, 3, 4]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_stage_of_layer_roundtrip(self):
+        p = Placement(13, 2, 3)
+        for layer in range(13):
+            stage = p.stage_of_layer(layer)
+            assert layer in p.layers_of_stage(stage)
+
+    def test_embedding_and_head_stages(self):
+        p = Placement(16, 4, 2)
+        assert p.has_embedding(0)
+        assert not p.has_embedding(1)
+        assert p.has_output_head(7)
+        assert not p.has_output_head(0)
+
+    def test_describe_lists_devices(self):
+        assert "device 0" in Placement(4, 2).describe()
+
+
+class TestValidation:
+    def test_more_stages_than_layers_rejected(self):
+        with pytest.raises(ValueError, match="stages exceed"):
+            Placement(4, 4, 2)
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Placement(8, 2).layers_of_stage(2)
+
+    def test_device_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Placement(8, 2).stages_of_device(2)
+
+    def test_layer_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Placement(8, 2).stage_of_layer(8)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(0, 1)
+
+
+@given(
+    n_pp=st.integers(1, 8),
+    n_loop=st.integers(1, 4),
+    extra=st.integers(0, 17),
+)
+def test_partition_property(n_pp, n_loop, extra):
+    """Every layer belongs to exactly one stage; stages near-identical."""
+    n_stages = n_pp * n_loop
+    n_layers = n_stages + extra
+    p = Placement(n_layers, n_pp, n_loop)
+    seen = []
+    for stage in range(n_stages):
+        seen.extend(p.layers_of_stage(stage))
+    assert seen == list(range(n_layers))
+    sizes = [p.n_layers_of_stage(s) for s in range(n_stages)]
+    assert max(sizes) - min(sizes) <= 1
+    # Devices partition the stages.
+    all_stages = sorted(
+        s for d in range(n_pp) for s in p.stages_of_device(d)
+    )
+    assert all_stages == list(range(n_stages))

@@ -1,0 +1,169 @@
+"""The centerpiece: every schedule x sharding x grid trains identically
+to the serial reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ops import backward, forward
+from repro.core.schedules.base import Schedule, build_schedule
+from repro.parallel.config import ScheduleKind, Sharding
+from repro.runtime.executor import PipelineTrainer
+from repro.runtime.model import ModelConfig
+from repro.runtime.reference import ReferenceTrainer
+
+CFG = ModelConfig(vocab=32, hidden=16, n_heads=2, n_layers=4, seq=6)
+STEPS = 3
+TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def reference():
+    tokens, targets = ReferenceTrainer.make_batch(CFG, batch=8)
+    trainer = ReferenceTrainer(CFG)
+    losses = [trainer.step(tokens, targets) for _ in range(STEPS)]
+    return tokens, targets, losses, trainer.named_params()
+
+
+EQUIVALENCE_CASES = [
+    # (kind, n_pp, n_mb, n_loop, n_dp, sharding)
+    (ScheduleKind.GPIPE, 2, 4, 1, 1, Sharding.NONE),
+    (ScheduleKind.GPIPE, 4, 8, 1, 1, Sharding.NONE),
+    (ScheduleKind.ONE_F_ONE_B, 2, 4, 1, 1, Sharding.NONE),
+    (ScheduleKind.ONE_F_ONE_B, 4, 8, 1, 1, Sharding.NONE),
+    (ScheduleKind.BREADTH_FIRST, 2, 4, 2, 1, Sharding.NONE),
+    (ScheduleKind.BREADTH_FIRST, 2, 8, 2, 1, Sharding.NONE),
+    (ScheduleKind.BREADTH_FIRST, 4, 8, 1, 1, Sharding.NONE),
+    (ScheduleKind.DEPTH_FIRST, 2, 4, 2, 1, Sharding.NONE),
+    (ScheduleKind.DEPTH_FIRST, 4, 4, 1, 1, Sharding.NONE),
+    (ScheduleKind.GPIPE, 2, 2, 1, 2, Sharding.NONE),
+    (ScheduleKind.GPIPE, 2, 2, 1, 2, Sharding.PARTIAL),
+    (ScheduleKind.BREADTH_FIRST, 2, 2, 2, 2, Sharding.FULL),
+    (ScheduleKind.ONE_F_ONE_B, 2, 2, 1, 2, Sharding.FULL),
+    (ScheduleKind.BREADTH_FIRST, 1, 4, 1, 2, Sharding.FULL),
+    (ScheduleKind.ONE_F_ONE_B, 1, 2, 1, 4, Sharding.PARTIAL),
+    (ScheduleKind.BREADTH_FIRST, 1, 1, 1, 8, Sharding.NONE),
+]
+
+
+@pytest.mark.parametrize(
+    "kind,n_pp,n_mb,n_loop,n_dp,sharding",
+    EQUIVALENCE_CASES,
+    ids=[
+        f"{k.value}-pp{p}-mb{m}-loop{l}-dp{d}-{s.value}"
+        for k, p, m, l, d, s in EQUIVALENCE_CASES
+    ],
+)
+def test_schedule_equivalence(reference, kind, n_pp, n_mb, n_loop, n_dp, sharding):
+    """Trained weights match serial SGD for every configuration."""
+    tokens, targets, ref_losses, ref_params = reference
+    schedule = build_schedule(kind, n_pp, n_mb, n_loop)
+    trainer = PipelineTrainer(CFG, schedule, n_dp=n_dp, sharding=sharding)
+    losses = [trainer.step(tokens, targets).loss for _ in range(STEPS)]
+    for got, want in zip(losses, ref_losses):
+        assert got == pytest.approx(want, abs=TOL)
+    params = trainer.named_params()
+    for name, want in ref_params.items():
+        np.testing.assert_allclose(
+            params[name], want, atol=TOL, err_msg=f"parameter {name}"
+        )
+
+
+class TestMemorySignatures:
+    def test_1f1b_in_flight_cap(self):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=8)
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        trainer = PipelineTrainer(CFG, schedule)
+        result = trainer.step(tokens, targets)
+        # Rank r holds at most N_PP - r live micro-batches (Table 4.1).
+        for rank, peak in result.peak_in_flight.items():
+            assert peak <= 4 - rank
+
+    def test_gpipe_holds_all_microbatches(self):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=8)
+        schedule = build_schedule(ScheduleKind.GPIPE, 2, 8)
+        trainer = PipelineTrainer(CFG, schedule)
+        result = trainer.step(tokens, targets)
+        assert result.peak_in_flight[0] == 8
+
+
+class TestDpfsRepetition:
+    """Eqs. (24)-(26) measured on the real runtime."""
+
+    def _gathers(self, kind, n_pp, n_mb, n_loop):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=2 * n_mb)
+        schedule = build_schedule(kind, n_pp, n_mb, n_loop)
+        trainer = PipelineTrainer(
+            CFG, schedule, n_dp=2, sharding=Sharding.FULL
+        )
+        return trainer.step(tokens, targets).gather_events
+
+    def test_breadth_first_once_per_stage_pass(self):
+        # 4 stages x (fwd + bwd) x 2 replicas.
+        assert self._gathers(ScheduleKind.BREADTH_FIRST, 2, 4, 2) == 16
+
+    def test_non_looped_once_per_microbatch(self):
+        # 2 stages x 4 micro-batches x (fwd + bwd) x 2 replicas.
+        assert self._gathers(ScheduleKind.GPIPE, 2, 4, 1) == 32
+
+    def test_depth_first_once_per_sequence(self):
+        # 2 stages x 2 sequences x (fwd + bwd) x 2 replicas.
+        assert self._gathers(ScheduleKind.DEPTH_FIRST, 2, 4, 1) == 16
+
+    def test_collective_volume_recorded(self):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=4)
+        schedule = build_schedule(ScheduleKind.BREADTH_FIRST, 2, 2, 1)
+        trainer = PipelineTrainer(CFG, schedule, n_dp=2, sharding=Sharding.FULL)
+        result = trainer.step(tokens, targets)
+        assert result.collective_elements["reduce_scatter"] > 0
+        assert result.collective_elements["all_gather"] > 0
+
+
+class TestExecutorErrors:
+    def test_bad_batch_split(self):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=6)
+        schedule = build_schedule(ScheduleKind.GPIPE, 2, 4)
+        trainer = PipelineTrainer(CFG, schedule)
+        with pytest.raises(ValueError, match="divisible"):
+            trainer.step(tokens, targets)
+
+    def test_sharding_requires_dp(self):
+        schedule = build_schedule(ScheduleKind.GPIPE, 2, 2)
+        with pytest.raises(ValueError, match="n_dp"):
+            PipelineTrainer(CFG, schedule, n_dp=1, sharding=Sharding.FULL)
+
+    def test_corrupt_schedule_deadlocks(self):
+        # Backward scheduled before its own forward on the same rank is
+        # caught by the executor (the op never becomes ready).
+        orders = (
+            (backward(0, 0), forward(0, 0)),
+            (forward(0, 1), backward(0, 1)),
+        )
+        bad = Schedule(
+            kind=ScheduleKind.GPIPE, n_pp=2, n_microbatches=1, n_loop=1,
+            device_orders=orders,
+        )
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=1)
+        trainer = PipelineTrainer(CFG, bad)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            trainer.step(tokens, targets)
+
+
+class TestTrainingMakesProgress:
+    def test_loss_decreases(self):
+        tokens, targets = ReferenceTrainer.make_batch(CFG, batch=8)
+        schedule = build_schedule(ScheduleKind.BREADTH_FIRST, 2, 4, 2)
+        trainer = PipelineTrainer(CFG, schedule)
+        losses = [trainer.step(tokens, targets).loss for _ in range(8)]
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_float32_close_to_float64(self):
+        cfg32 = ModelConfig(
+            vocab=32, hidden=16, n_heads=2, n_layers=4, seq=6, dtype="float32"
+        )
+        tokens, targets = ReferenceTrainer.make_batch(cfg32, batch=8)
+        schedule = build_schedule(ScheduleKind.BREADTH_FIRST, 2, 4, 2)
+        lo = PipelineTrainer(cfg32, schedule).step(tokens, targets).loss
+        hi = PipelineTrainer(CFG, schedule).step(tokens, targets).loss
+        assert lo == pytest.approx(hi, rel=1e-3)

@@ -1,0 +1,197 @@
+"""Gradient checks for every NumPy layer against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.layers import (
+    CrossEntropyLoss,
+    Embedding,
+    Gelu,
+    LayerNorm,
+    Linear,
+    SelfAttention,
+    TransformerLayer,
+)
+
+RNG = np.random.default_rng(7)
+EPS = 1e-6
+
+
+def numerical_grad(f, x, eps=EPS):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_input_grad(module, x, atol=1e-7):
+    """Compare analytic input gradient with finite differences of sum(y)."""
+    y = module.forward(x.copy(), 0)
+    dx = module.backward(np.ones_like(y), 0)
+
+    def loss():
+        out = module.forward(x, 1)
+        module._cache.pop(1, None)
+        return float(out.sum())
+
+    expected = numerical_grad(loss, x)
+    np.testing.assert_allclose(dx, expected, atol=atol)
+
+
+def check_param_grads(module, x, atol=1e-6):
+    module.zero_grads()
+    y = module.forward(x.copy(), 0)
+    module.backward(np.ones_like(y), 0)
+    analytic = {k: v.copy() for k, v in module.grads.items()}
+
+    for name, param in module.params.items():
+        def loss():
+            out = module.forward(x, 1)
+            module._cache.pop(1, None)
+            return float(out.sum())
+
+        expected = numerical_grad(loss, param)
+        np.testing.assert_allclose(
+            analytic[name], expected, atol=atol,
+            err_msg=f"parameter {name}",
+        )
+
+
+class TestLinear:
+    def test_input_grad(self):
+        check_input_grad(Linear(RNG, 5, 3), RNG.normal(size=(2, 4, 5)))
+
+    def test_param_grads(self):
+        check_param_grads(Linear(RNG, 4, 3), RNG.normal(size=(2, 3, 4)))
+
+    def test_shape(self):
+        lin = Linear(RNG, 4, 7)
+        assert lin.forward(RNG.normal(size=(2, 3, 4))).shape == (2, 3, 7)
+
+
+class TestLayerNorm:
+    def test_input_grad(self):
+        check_input_grad(LayerNorm(6), RNG.normal(size=(2, 3, 6)), atol=1e-6)
+
+    def test_param_grads(self):
+        check_param_grads(LayerNorm(5), RNG.normal(size=(2, 2, 5)))
+
+    def test_output_normalized(self):
+        ln = LayerNorm(16)
+        y = ln.forward(RNG.normal(size=(2, 4, 16)) * 10 + 3)
+        assert abs(float(y.mean())) < 1e-10
+        assert float(y.var(axis=-1).mean()) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestGelu:
+    def test_input_grad(self):
+        check_input_grad(Gelu(), RNG.normal(size=(2, 3, 4)), atol=1e-6)
+
+    def test_values(self):
+        g = Gelu()
+        y = g.forward(np.array([[[-10.0, 0.0, 10.0]]]))
+        assert y[0, 0, 0] == pytest.approx(0.0, abs=1e-4)
+        assert y[0, 0, 1] == 0.0
+        assert y[0, 0, 2] == pytest.approx(10.0, abs=1e-4)
+
+
+class TestSelfAttention:
+    def test_input_grad(self):
+        attn = SelfAttention(RNG, 8, 2)
+        check_input_grad(attn, RNG.normal(size=(2, 3, 8)), atol=1e-6)
+
+    def test_param_grads(self):
+        attn = SelfAttention(RNG, 4, 2)
+        check_param_grads(attn, RNG.normal(size=(1, 3, 4)), atol=1e-6)
+
+    def test_head_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            SelfAttention(RNG, 7, 2)
+
+
+class TestTransformerLayer:
+    def test_input_grad(self):
+        layer = TransformerLayer(RNG, 8, 2)
+        check_input_grad(layer, RNG.normal(size=(1, 3, 8)), atol=1e-5)
+
+    def test_grads_collected_under_prefixed_names(self):
+        layer = TransformerLayer(RNG, 8, 2)
+        layer.zero_grads()
+        x = RNG.normal(size=(1, 2, 8))
+        y = layer.forward(x, 0)
+        layer.backward(np.ones_like(y), 0)
+        assert "attn.Wqkv" in layer.grads
+        assert "fc1.W" in layer.grads
+
+    def test_multiple_in_flight_microbatches(self):
+        layer = TransformerLayer(RNG, 8, 2)
+        layer.zero_grads()
+        xs = [RNG.normal(size=(1, 2, 8)) for _ in range(3)]
+        ys = [layer.forward(x, mb) for mb, x in enumerate(xs)]
+        assert layer.live_microbatches == 3
+        # Backward out of order must still work (each uses its own cache).
+        for mb in (1, 0, 2):
+            layer.backward(np.ones_like(ys[mb]), mb)
+        assert layer.live_microbatches == 0
+
+    def test_backward_without_forward_raises(self):
+        layer = TransformerLayer(RNG, 8, 2)
+        with pytest.raises(RuntimeError, match="no cached forward"):
+            layer.ln1.backward(np.ones((1, 2, 8)), 99)
+
+
+class TestEmbedding:
+    def test_gather(self):
+        emb = Embedding(RNG, 10, 4)
+        tokens = np.array([[1, 2], [3, 1]])
+        y = emb.forward(tokens)
+        np.testing.assert_array_equal(y[0, 0], emb.params["E"][1])
+
+    def test_scatter_add_grad(self):
+        emb = Embedding(RNG, 5, 3)
+        emb.zero_grads()
+        tokens = np.array([[1, 1]])
+        y = emb.forward(tokens, 0)
+        emb.backward(np.ones_like(y), 0)
+        # Token 1 used twice: gradient accumulates.
+        np.testing.assert_allclose(emb.grads["E"][1], 2.0)
+        np.testing.assert_allclose(emb.grads["E"][0], 0.0)
+
+
+class TestCrossEntropy:
+    def test_loss_value_uniform(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((1, 2, 4))
+        targets = np.array([[0, 3]])
+        assert loss.forward(logits, targets) == pytest.approx(np.log(4))
+
+    def test_grad_sums_to_zero(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.normal(size=(2, 3, 5))
+        targets = RNG.integers(0, 5, size=(2, 3))
+        loss.forward(logits, targets, 0)
+        grad = loss.backward(0)
+        np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-12)
+
+    def test_grad_matches_numerical(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.normal(size=(1, 2, 4))
+        targets = np.array([[1, 2]])
+        loss.forward(logits.copy(), targets, 0)
+        analytic = loss.backward(0)
+
+        def f():
+            return loss.forward(logits, targets, 1)
+
+        expected = numerical_grad(f, logits)
+        np.testing.assert_allclose(analytic, expected, atol=1e-6)

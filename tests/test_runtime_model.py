@@ -1,0 +1,101 @@
+"""Tests for stage partitioning and canonical parameter naming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement
+from repro.runtime.model import ModelConfig, build_stages
+
+
+CFG = ModelConfig(vocab=16, hidden=8, n_heads=2, n_layers=4, seq=4)
+
+
+class TestPartitioning:
+    def test_param_count_conserved_across_placements(self):
+        totals = []
+        for n_pp, n_loop in [(1, 1), (2, 1), (2, 2), (4, 1)]:
+            stages = build_stages(CFG, Placement(CFG.n_layers, n_pp, n_loop))
+            totals.append(sum(s.n_params() for s in stages))
+        assert len(set(totals)) == 1
+
+    def test_identical_init_across_placements(self):
+        single = build_stages(CFG, Placement(4, 1, 1))[0].named_params()
+        split = {}
+        for stage in build_stages(CFG, Placement(4, 2, 2)):
+            split.update(stage.named_params())
+        assert set(single) == set(split)
+        for name in single:
+            np.testing.assert_array_equal(single[name], split[name])
+
+    def test_different_seed_different_weights(self):
+        a = build_stages(CFG, Placement(4, 1, 1), seed=0)[0].named_params()
+        b = build_stages(CFG, Placement(4, 1, 1), seed=1)[0].named_params()
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+    def test_embedding_on_first_head_on_last(self):
+        stages = build_stages(CFG, Placement(4, 2, 2))
+        assert stages[0].embedding is not None
+        assert stages[0].head is None
+        assert stages[3].head is not None
+        assert stages[3].embedding is None
+        assert all(s.embedding is None for s in stages[1:])
+
+
+class TestForwardEquivalence:
+    def test_stagewise_forward_matches_full_model(self):
+        rng = np.random.default_rng(3)
+        tokens = rng.integers(0, CFG.vocab, size=(2, CFG.seq))
+        targets = rng.integers(0, CFG.vocab, size=(2, CFG.seq))
+
+        full = build_stages(CFG, Placement(4, 1, 1))[0]
+        full.forward(0, tokens, targets=targets)
+        loss_full = full.pop_loss(0)
+
+        stages = build_stages(CFG, Placement(4, 2, 2))
+        h = tokens
+        for i, stage in enumerate(stages):
+            out = stage.forward(
+                0, h, targets=targets if i == len(stages) - 1 else None
+            )
+            h = out
+        loss_split = stages[-1].pop_loss(0)
+        assert loss_split == pytest.approx(loss_full, rel=1e-12)
+
+    def test_set_params_roundtrip(self):
+        stage = build_stages(CFG, Placement(4, 1, 1))[0]
+        params = {k: v + 1.0 for k, v in stage.named_params().items()}
+        stage.set_params(params)
+        after = stage.named_params()
+        for name in params:
+            np.testing.assert_array_equal(after[name], params[name])
+
+    def test_set_params_keeps_children_in_sync(self):
+        # TransformerLayer exposes both flat and child views; both must
+        # see the update (the forward uses the child arrays).
+        stage = build_stages(CFG, Placement(4, 1, 1))[0]
+        params = {k: v * 2.0 for k, v in stage.named_params().items()}
+        stage.set_params(params)
+        layer = stage.layers[0]
+        np.testing.assert_array_equal(
+            layer.attn.params["Wqkv"], layer.params["attn.Wqkv"]
+        )
+
+
+class TestErrors:
+    def test_last_stage_needs_targets(self):
+        stage = build_stages(CFG, Placement(4, 1, 1))[0]
+        with pytest.raises(ValueError, match="targets"):
+            stage.forward(0, np.zeros((1, 4), dtype=int))
+
+    def test_mid_stage_needs_gradient(self):
+        stages = build_stages(CFG, Placement(4, 2, 1))
+        with pytest.raises(ValueError, match="incoming gradient"):
+            stages[0].backward(0, None)
+
+    def test_invalid_model_config(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig(hidden=10, n_heads=3)
+        with pytest.raises(ValueError, match="n_layers"):
+            ModelConfig(n_layers=0)

@@ -1,0 +1,55 @@
+"""Tests for the flat-vector Adam with master weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.optimizer import Adam, AdamConfig
+
+
+class TestAdam:
+    def test_first_step_matches_hand_computation(self):
+        cfg = AdamConfig(lr=0.1)
+        opt = Adam(cfg, np.array([1.0]))
+        new = opt.step(np.array([2.0]))
+        # After bias correction the first step is -lr * sign(g) (eps aside).
+        assert new[0] == pytest.approx(1.0 - 0.1, rel=1e-6)
+
+    def test_deterministic(self):
+        a = Adam(AdamConfig(), np.ones(4))
+        b = Adam(AdamConfig(), np.ones(4))
+        g = np.arange(4.0)
+        np.testing.assert_array_equal(a.step(g), b.step(g))
+
+    def test_shape_mismatch(self):
+        opt = Adam(AdamConfig(), np.ones(4))
+        with pytest.raises(ValueError, match="shape"):
+            opt.step(np.ones(5))
+
+    def test_master_dtype(self):
+        opt = Adam(AdamConfig(master_dtype="float64"), np.ones(2, dtype=np.float32))
+        assert opt.master.dtype == np.float64
+
+    def test_zero_grad_still_decays_nothing(self):
+        opt = Adam(AdamConfig(), np.ones(3))
+        new = opt.step(np.zeros(3))
+        np.testing.assert_allclose(new, 1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError, match="lr"):
+            AdamConfig(lr=0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            AdamConfig(beta1=1.0)
+
+    def test_n_params(self):
+        assert Adam(AdamConfig(), np.ones(7)).n_params == 7
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(AdamConfig(lr=0.05), np.array([5.0]))
+        x = opt.master
+        for _ in range(500):
+            x = opt.step(2 * x)  # gradient of x^2
+        assert abs(x[0]) < 0.05

@@ -1,0 +1,120 @@
+"""Tests for the Appendix E configuration search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.parallel.config import Method, ScheduleKind, Sharding
+from repro.search.grid import best_configuration
+from repro.search.space import configuration_space
+from repro.implementations import MEGATRON_LM, OUR_IMPLEMENTATION
+
+
+class TestSpace:
+    def test_batch_size_respected(self):
+        for config, _ in configuration_space(
+            Method.BREADTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 32
+        ):
+            assert config.batch_size == 32
+
+    def test_depth_first_space_uses_megatron(self):
+        pairs = list(configuration_space(
+            Method.DEPTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 64
+        ))
+        assert pairs
+        for config, impl in pairs:
+            assert impl is MEGATRON_LM
+            assert config.schedule is ScheduleKind.DEPTH_FIRST
+            assert config.sharding is Sharding.NONE
+            assert config.n_microbatches % config.n_pp == 0
+            assert config.n_loop >= 2
+
+    def test_breadth_first_space_loops(self):
+        for config, impl in configuration_space(
+            Method.BREADTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 64
+        ):
+            assert impl is OUR_IMPLEMENTATION
+            assert config.n_loop >= 2
+            assert config.sharding in (Sharding.NONE, Sharding.FULL)
+
+    def test_non_looped_space_has_both_impls(self):
+        impls = {
+            impl.name
+            for _, impl in configuration_space(
+                Method.NON_LOOPED, MODEL_52B, DGX1_CLUSTER_64, 64
+            )
+        }
+        assert impls == {"Ours", "Megatron-LM"}
+
+    def test_no_pipeline_space(self):
+        for config, _ in configuration_space(
+            Method.NO_PIPELINE, MODEL_52B, DGX1_CLUSTER_64, 64
+        ):
+            assert config.n_pp == 1
+            assert config.schedule is ScheduleKind.BREADTH_FIRST
+
+    def test_sharding_requires_dp(self):
+        for config, _ in configuration_space(
+            Method.BREADTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 8
+        ):
+            if config.n_dp == 1:
+                assert config.sharding is Sharding.NONE
+
+    def test_grid_fits_cluster(self):
+        for config, _ in configuration_space(
+            Method.BREADTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 128
+        ):
+            assert config.n_gpus <= 64
+            assert config.n_tp <= 8
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(configuration_space(
+                Method.BREADTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 0
+            ))
+
+
+class TestBestConfiguration:
+    def test_52b_small_batch_ordering(self):
+        # Figure 7a at beta = 1/8: breadth-first must win, no-pipeline
+        # must lose badly (the headline result).
+        results = {
+            method: best_configuration(MODEL_52B, DGX1_CLUSTER_64, method, 8)
+            for method in Method
+        }
+        tputs = {
+            m: r.best.throughput_per_gpu for m, r in results.items() if r.best
+        }
+        assert tputs[Method.BREADTH_FIRST] > tputs[Method.DEPTH_FIRST]
+        assert tputs[Method.BREADTH_FIRST] > tputs[Method.NON_LOOPED]
+        assert tputs[Method.BREADTH_FIRST] > 1.5 * tputs[Method.NO_PIPELINE]
+
+    def test_improvement_factor_near_beta_min(self):
+        # Paper: 43% over depth-first, 53% over non-looped at beta ~ 1/8.
+        # Allow a generous band around those factors.
+        bf = best_configuration(MODEL_52B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 8)
+        df = best_configuration(MODEL_52B, DGX1_CLUSTER_64, Method.DEPTH_FIRST, 8)
+        nl = best_configuration(MODEL_52B, DGX1_CLUSTER_64, Method.NON_LOOPED, 8)
+        gain_df = bf.best.throughput_per_gpu / df.best.throughput_per_gpu
+        gain_nl = bf.best.throughput_per_gpu / nl.best.throughput_per_gpu
+        assert 1.1 < gain_df < 1.9
+        assert 1.2 < gain_nl < 2.2
+
+    def test_memory_filter_excludes_oversized(self):
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, Method.NO_PIPELINE, 8
+        )
+        assert outcome.n_excluded > 0
+        if outcome.best is not None:
+            assert outcome.best.memory.total < 32 * 2**30
+
+    def test_winning_config_valid(self):
+        outcome = best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 32
+        )
+        best = outcome.best
+        assert best is not None
+        assert best.config.batch_size == 32
+        best.config.validate_against(MODEL_6_6B.n_layers)

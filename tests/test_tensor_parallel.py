@@ -1,0 +1,98 @@
+"""Tensor-parallel layer equivalence with the serial transformer layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.layers import TransformerLayer
+from repro.runtime.tensor_parallel import TensorParallelLayer
+
+RNG = np.random.default_rng(11)
+HIDDEN, HEADS = 16, 4
+
+
+@pytest.fixture
+def reference():
+    return TransformerLayer(RNG, HIDDEN, HEADS)
+
+
+@pytest.mark.parametrize("n_tp", [1, 2, 4])
+class TestForwardEquivalence:
+    def test_forward_matches_serial(self, reference, n_tp):
+        tp = TensorParallelLayer(reference, n_tp)
+        x = RNG.normal(size=(2, 3, HIDDEN))
+        serial = reference.forward(x.copy(), 0)
+        reference._cache.clear()
+        for child in reference.children.values():
+            child._cache.clear()
+        parallel = tp.forward(x)
+        np.testing.assert_allclose(parallel, serial, atol=1e-10)
+
+    def test_backward_input_grad_matches_serial(self, reference, n_tp):
+        tp = TensorParallelLayer(reference, n_tp)
+        x = RNG.normal(size=(1, 3, HIDDEN))
+        dy = RNG.normal(size=(1, 3, HIDDEN))
+
+        reference.zero_grads()
+        serial_y = reference.forward(x.copy(), 0)
+        serial_dx = reference.backward(dy.copy(), 0)
+
+        tp.forward(x)
+        parallel_dx, _ = tp.backward(dy)
+        np.testing.assert_allclose(parallel_dx, serial_dx, atol=1e-10)
+        del serial_y
+
+    def test_param_grads_reassemble(self, reference, n_tp):
+        """Concatenated per-rank gradients equal the serial gradients."""
+        tp = TensorParallelLayer(reference, n_tp)
+        x = RNG.normal(size=(1, 3, HIDDEN))
+        dy = RNG.normal(size=(1, 3, HIDDEN))
+
+        reference.zero_grads()
+        reference.forward(x.copy(), 0)
+        reference.backward(dy.copy(), 0)
+
+        tp.forward(x)
+        _, grads = tp.backward(dy)
+
+        # MLP fc1 is column-parallel: gradients concatenate on columns.
+        fc1 = np.concatenate([g["W1"] for g in grads], axis=-1)
+        np.testing.assert_allclose(fc1, reference.grads["fc1.W"], atol=1e-10)
+        # fc2 is row-parallel: gradients concatenate on rows.
+        fc2 = np.concatenate([g["W2"] for g in grads], axis=0)
+        np.testing.assert_allclose(fc2, reference.grads["fc2.W"], atol=1e-10)
+        # Wo row-parallel.
+        wo = np.concatenate([g["Wo"] for g in grads], axis=0)
+        np.testing.assert_allclose(wo, reference.grads["attn.Wo"], atol=1e-10)
+        # Replicated layer norms: per-rank shares sum to the serial grad.
+        g1 = sum(g["g1"] for g in grads)
+        np.testing.assert_allclose(g1, reference.grads["ln1.g"], atol=1e-10)
+
+
+class TestShardingProperties:
+    def test_params_divided_evenly(self, reference):
+        tp = TensorParallelLayer(reference, 4)
+        per_rank = tp.params_per_rank()
+        serial = reference.n_params()
+        # Each rank holds ~1/4 of the layer (layer norms replicated).
+        assert max(per_rank) < serial / 4 * 1.2
+        assert len(set(per_rank)) == 1
+
+    def test_heads_must_divide(self, reference):
+        with pytest.raises(ValueError, match="divisible"):
+            TensorParallelLayer(reference, 3)
+
+    def test_backward_requires_forward(self, reference):
+        tp = TensorParallelLayer(reference, 2)
+        with pytest.raises(RuntimeError, match="before forward"):
+            tp.backward(np.zeros((1, 2, HIDDEN)))
+
+    def test_beta_min_is_inverse_ntp(self):
+        # Section 3.3: TP has no batch requirement, so beta_min = 1/N_TP —
+        # here meaning a single sample can be processed by all ranks.
+        ref = TransformerLayer(RNG, HIDDEN, HEADS)
+        tp = TensorParallelLayer(ref, 4)
+        x = RNG.normal(size=(1, 2, HIDDEN))
+        out = tp.forward(x)
+        assert out.shape == x.shape

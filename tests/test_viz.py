@@ -1,0 +1,88 @@
+"""Tests for the ASCII visualization helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.sim.timeline import TimelineEvent
+from repro.viz.chart import ascii_line_chart
+from repro.viz.timeline import render_placement, render_timeline
+
+
+def ev(rank, stream, start, end, label, category):
+    return TimelineEvent(rank, stream, start, end, label, category)
+
+
+class TestTimelineRendering:
+    def test_empty(self):
+        assert "empty" in render_timeline([])
+
+    def test_forward_shows_microbatch_digit(self):
+        out = render_timeline(
+            [ev(0, "compute", 0.0, 1.0, "F(mb=3, s=0)", "forward")], width=10
+        )
+        assert "3" in out
+
+    def test_backward_uppercase_letters_past_nine(self):
+        out = render_timeline(
+            [ev(0, "compute", 0.0, 1.0, "B(mb=10, s=0)", "backward")], width=10
+        )
+        assert "A" in out
+
+    def test_streams_get_own_rows(self):
+        events = [
+            ev(0, "compute", 0.0, 1.0, "F(mb=0, s=0)", "forward"),
+            ev(0, "dp", 0.5, 1.0, "reduce", "reduce"),
+        ]
+        out = render_timeline(events, width=20)
+        assert out.count("rank 0") == 2
+        assert "G" in out
+
+    def test_optimizer_glyph(self):
+        out = render_timeline(
+            [ev(1, "compute", 0.0, 1.0, "optimizer", "optimizer")], width=10
+        )
+        assert "S" in out
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            render_timeline(
+                [ev(0, "compute", 0.0, 1.0, "x", "forward")], width=5
+            )
+
+    def test_event_duration_property(self):
+        assert ev(0, "c", 1.0, 3.5, "", "forward").duration == 2.5
+
+
+class TestPlacementRendering:
+    def test_lists_all_devices(self):
+        out = render_placement(Placement(8, 4, 2))
+        for device in range(4):
+            assert f"GPU {device}" in out
+
+    def test_marks_looping(self):
+        assert "looping" in render_placement(Placement(8, 2, 2))
+        assert "standard" in render_placement(Placement(8, 2, 1))
+
+
+class TestChart:
+    def test_contains_legend_and_bounds(self):
+        out = ascii_line_chart(
+            {"alpha": [(1, 10.0), (2, 20.0)], "beta": [(1, 15.0)]},
+            title="T",
+        )
+        assert "T" in out
+        assert "alpha" in out and "beta" in out
+        assert "20.0" in out and "10.0" in out
+
+    def test_no_data(self):
+        assert ascii_line_chart({"x": []}) == "(no data)"
+
+    def test_flat_series_ok(self):
+        out = ascii_line_chart({"flat": [(1, 5.0), (2, 5.0)]})
+        assert "flat" in out
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="small"):
+            ascii_line_chart({"x": [(1, 1.0)]}, height=1)
