@@ -1,0 +1,418 @@
+"""Micro-benchmark: the event-driven search path vs the seed path.
+
+Guards the PR's speedup claim: one Figure 7 grid cell searched with the
+current :func:`repro.search.grid.best_configuration` (memory filter
+before simulation, cached schedules, label-free programs, event-driven
+engine) must be at least 3x faster than the seed pipeline, and both must
+select the same winner.
+
+The seed pipeline is reproduced faithfully below from the seed commit:
+its program builder re-derived every duration per instruction and always
+built label strings (``_SeedProgramBuilder``, copied verbatim), every
+candidate was simulated on the sweep-relaxation engine
+(:func:`repro.sim.engine_sweep.run_streams_sweep`), and the memory
+filter ran only *after* the simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analytical.memory import memory_model
+from repro.core.ops import ComputeOp, OpKind
+from repro.core.placement import Placement
+from repro.core.schedules.base import Schedule, build_schedule
+from repro.core.schedules.base import dpfs_repetition_key as _rep_key
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_52B
+from repro.parallel.config import Method, Sharding
+from repro.search.grid import MEMORY_HEADROOM, best_configuration, cached_schedule
+from repro.search.space import configuration_space
+from repro.sim.calibration import DEFAULT_CALIBRATION
+from repro.sim.cost import CostModel
+from repro.sim.engine import Instruction
+from repro.sim.engine_sweep import run_streams_sweep
+
+COMPUTE, PP, DP = "compute", "pp", "dp"
+
+#: The guarded cell: 52B depth-first at B=64 — mid-sized space (135
+#: candidates, 100 memory-excluded) with the full simulation stack.
+SPEC, CLUSTER = MODEL_52B, DGX1_CLUSTER_64
+METHOD, BATCH = Method.DEPTH_FIRST, 64
+
+#: Required end-to-end speedup (the PR measured ~3.9x; 3x is the gate).
+MIN_SPEEDUP = 3.0
+
+
+def _uid_of(op: ComputeOp) -> tuple:
+    return (op.kind.value, op.microbatch, op.stage)
+
+
+class _SeedPlacement(Placement):
+    """Placement with the seed's per-call boundary recomputation.
+
+    The current :class:`Placement` caches its stage boundaries; the seed
+    re-derived them on every ``n_layers_of_stage`` call, which the seed
+    program builder hit once per instruction.  A plain property overrides
+    the cached_property so the baseline pays the same cost the seed did.
+    """
+
+    @property
+    def _boundaries(self) -> tuple:
+        base, extra = divmod(self.n_layers, self.n_stages)
+        bounds = [0]
+        for stage in range(self.n_stages):
+            bounds.append(bounds[-1] + base + (1 if stage < extra else 0))
+        return tuple(bounds)
+
+
+# --------------------------------------------------------------------------
+# Seed program builder, copied verbatim from the seed commit (only the
+# class name changed).  Durations are recomputed per instruction and
+# labels are always built — the costs the current builder eliminated.
+# --------------------------------------------------------------------------
+
+
+class _SeedProgramBuilder:
+    """Accumulates instruction queues for one configuration."""
+
+    def __init__(self, cost: CostModel, schedule: Schedule) -> None:
+        self.cost = cost
+        self.schedule = schedule
+        self.config = cost.config
+        self.impl = cost.implementation
+        self.n_stages = schedule.n_stages
+        self.dp_active = self.config.n_dp > 1
+        self.sharded_full = (
+            self.config.sharding is Sharding.FULL and self.dp_active
+        )
+        self.pp_time = cost.pp_transfer_time()
+        self.pp_launch = cost.pp_launch_overhead()
+        self.streams: dict[tuple[int, str], list[Instruction]] = {}
+
+    # ----------------------------------------------------------- helpers
+
+    def _head_fraction(self, stage: int) -> float:
+        """Share of a stage's DP volume in one layer (the gating head)."""
+        return 1.0 / self.cost.placement.n_layers_of_stage(stage)
+
+    def _emit_split(
+        self,
+        queue: list[Instruction],
+        prefix: str,
+        stage: int,
+        key: int,
+        duration: float,
+        category: str,
+        *,
+        head_deps: tuple = (),
+        bulk_deps: tuple = (),
+        head_last: bool = False,
+    ) -> tuple[tuple, tuple]:
+        """Emit a head+bulk pair on ``queue``; return (head, tail) uids.
+
+        The *head* is one layer's worth of traffic — the only part that
+        strictly gates (gathers) or trails (reductions) compute; the
+        *bulk* pipelines layer-by-layer against compute.  With
+        ``head_last=False`` the head comes first (gathers: compute can
+        start once the first layer arrived); with ``head_last=True`` it
+        comes last (reductions: only the final layer's reduce trails the
+        last backward).  Single-layer stages emit one instruction.
+        """
+        frac = self._head_fraction(stage)
+        head_uid = (prefix + "H", stage, key)
+        if frac >= 1.0:
+            queue.append(
+                Instruction(
+                    uid=head_uid,
+                    duration=duration,
+                    deps=head_deps,
+                    label=f"{prefix}(s={stage}, g={key})",
+                    category=category,
+                )
+            )
+            return head_uid, head_uid
+        bulk_uid = (prefix + "R", stage, key)
+        head = Instruction(
+            uid=head_uid,
+            duration=duration * frac,
+            deps=head_deps,
+            label=f"{prefix}-head(s={stage}, g={key})",
+            category=category,
+        )
+        bulk = Instruction(
+            uid=bulk_uid,
+            duration=duration * (1.0 - frac),
+            deps=bulk_deps,
+            label=f"{prefix}-bulk(s={stage}, g={key})",
+            category=category,
+        )
+        if head_last:
+            queue.extend((bulk, head))
+            return head_uid, head_uid
+        queue.extend((head, bulk))
+        return head_uid, bulk_uid
+
+    # ------------------------------------------------------------- build
+
+    def build(self) -> dict[tuple[int, str], list[Instruction]]:
+        for rank in range(self.schedule.n_pp):
+            self.streams[(rank, COMPUTE)] = []
+            if self.impl.pp_overlap:
+                self.streams[(rank, PP)] = []
+            if self.impl.dp_overlap and self.dp_active:
+                self.streams[(rank, DP)] = []
+        for rank in range(self.schedule.n_pp):
+            self._build_rank(rank)
+        return self.streams
+
+    def _build_rank(self, rank: int) -> None:
+        cost, config, impl = self.cost, self.config, self.impl
+        order = self.schedule.ops_of(rank)
+        compute_q = self.streams[(rank, COMPUTE)]
+        pp_q = self.streams.get((rank, PP), compute_q)
+        dp_q = self.streams.get((rank, DP))
+        overlap_dp = self.dp_active and impl.dp_overlap and dp_q is not None
+
+        def group_of(op: ComputeOp) -> tuple[int, int]:
+            # Only DP_FS repeats its network operations per group
+            # (Eqs. 24-26); with DP0/DP_PS gradients accumulate locally
+            # and each stage reduces exactly once per batch.
+            if not self.sharded_full:
+                return (op.stage, 0)
+            return (
+                op.stage,
+                _rep_key(self.schedule.kind, op.microbatch, self.schedule.n_pp),
+            )
+
+        # Positions of each DP group's last forward/backward: the last use
+        # must wait for the *whole* gather (Eq. 29 — a pass's
+        # reconstruction can only hide behind other micro-batches), and
+        # the reduction follows the last backward.
+        last_fwd_of_group: dict[tuple[int, int], int] = {}
+        last_bwd_of_group: dict[tuple[int, int], int] = {}
+        if overlap_dp:
+            for position, op in enumerate(order):
+                if op.kind is OpKind.BACKWARD:
+                    last_bwd_of_group[group_of(op)] = position
+                else:
+                    last_fwd_of_group[group_of(op)] = position
+
+        gather_uids_fwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
+        gather_uids_bwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
+        reduce_heads: list[tuple] = []
+
+        for position, op in enumerate(order):
+            group = group_of(op)
+            deps: list[tuple] = []
+            if op.kind is OpKind.FORWARD:
+                if op.stage > 0:
+                    deps.append(("XA", op.microbatch, op.stage - 1))
+                if self.sharded_full and overlap_dp:
+                    if group not in gather_uids_fwd:
+                        gather_uids_fwd[group] = self._emit_split(
+                            dp_q,
+                            "GF",
+                            op.stage,
+                            group[1],
+                            cost.gather_time(op.stage),
+                            "gather",
+                        )
+                    head, tail = gather_uids_fwd[group]
+                    deps.append(head)
+                    if last_fwd_of_group.get(group) == position:
+                        deps.append(tail)
+                duration = cost.forward_time(op.stage)
+                category = "forward"
+            else:
+                deps.append(("F", op.microbatch, op.stage))
+                if op.stage < self.n_stages - 1:
+                    deps.append(("XG", op.microbatch, op.stage + 1))
+                if self.sharded_full and overlap_dp:
+                    if group not in gather_uids_bwd:
+                        gather_uids_bwd[group] = self._emit_split(
+                            dp_q,
+                            "GB",
+                            op.stage,
+                            group[1],
+                            cost.gather_time(op.stage),
+                            "gather",
+                        )
+                    head, tail = gather_uids_bwd[group]
+                    deps.append(head)
+                    if last_bwd_of_group.get(group) == position:
+                        deps.append(tail)
+                duration = cost.backward_time(op.stage)
+                category = "backward"
+
+            # Issuing an overlapped transfer still costs the compute
+            # stream its launch overhead.
+            produces_send = (
+                op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1
+            ) or (op.kind is OpKind.BACKWARD and op.stage > 0)
+            if produces_send:
+                duration += self.pp_launch
+
+            uid = _uid_of(op)
+            compute_q.append(
+                Instruction(
+                    uid=uid,
+                    duration=duration,
+                    deps=tuple(deps),
+                    label=str(op),
+                    category=category,
+                )
+            )
+
+            if op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1:
+                pp_q.append(
+                    Instruction(
+                        uid=("XA", op.microbatch, op.stage),
+                        duration=self.pp_time,
+                        deps=(uid,),
+                        label=f"send-act(mb={op.microbatch}, s={op.stage})",
+                        category="pp_comm",
+                    )
+                )
+            if op.kind is OpKind.BACKWARD and op.stage > 0:
+                pp_q.append(
+                    Instruction(
+                        uid=("XG", op.microbatch, op.stage),
+                        duration=self.pp_time,
+                        deps=(uid,),
+                        label=f"send-grad(mb={op.microbatch}, s={op.stage})",
+                        category="pp_comm",
+                    )
+                )
+
+            # Gradient reduction once the group's last backward ran: the
+            # bulk may overlap that backward (real reductions trail the
+            # per-layer backward front), only the head strictly follows it.
+            if overlap_dp and last_bwd_of_group.get(group) == position:
+                bulk_deps = (_uid_of(order[position - 1]),) if position else ()
+                head, _ = self._emit_split(
+                    dp_q,
+                    "RED",
+                    op.stage,
+                    group[1],
+                    cost.reduce_time(op.stage),
+                    "reduce",
+                    head_deps=(uid,),
+                    bulk_deps=bulk_deps,
+                    head_last=True,
+                )
+                reduce_heads.append(head)
+
+        # Tail: serial DP block (Megatron mode), optimizer, post-step gather.
+        opt_deps: list[tuple] = list(reduce_heads)
+        if self.dp_active and not impl.dp_overlap:
+            compute_q.append(
+                Instruction(
+                    uid=("DPALL", rank),
+                    duration=cost.dp_serial_time(rank),
+                    deps=(),
+                    label=f"dp-all(rank={rank})",
+                    category="dp_comm",
+                )
+            )
+            opt_deps.append(("DPALL", rank))
+
+        compute_q.append(
+            Instruction(
+                uid=("OPT", rank),
+                duration=cost.optimizer_time(rank),
+                deps=tuple(opt_deps),
+                label=f"optimizer(rank={rank})",
+                category="optimizer",
+            )
+        )
+
+        if overlap_dp and config.sharding is Sharding.PARTIAL:
+            dp_q.append(
+                Instruction(
+                    uid=("POST", rank),
+                    duration=cost.post_step_gather_time(rank),
+                    deps=(("OPT", rank),),
+                    label=f"post-gather(rank={rank})",
+                    category="gather",
+                )
+            )
+
+
+def _seed_best_configuration(spec, cluster, method, batch_size):
+    """The seed search loop: simulate everything, filter afterwards."""
+    calibration = DEFAULT_CALIBRATION
+    best_tput = None
+    n_tried = 0
+    n_excluded = 0
+    memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
+    for config, impl in configuration_space(method, spec, cluster, batch_size):
+        if config.n_stages > spec.n_layers:
+            continue
+        schedule = build_schedule(
+            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+        )
+        cost = CostModel(
+            spec=spec,
+            config=config,
+            cluster=cluster,
+            implementation=impl,
+            calibration=calibration,
+        )
+        object.__setattr__(
+            cost,
+            "placement",
+            _SeedPlacement(spec.n_layers, config.n_pp, config.n_loop),
+        )
+        streams = _SeedProgramBuilder(cost, schedule).build()
+        result = run_streams_sweep(streams, record_events=False)
+        step_time = result.makespan + calibration.fixed_step_overhead
+        memory = memory_model(spec, config, impl, schedule)
+        if memory.total > memory_limit:
+            n_excluded += 1
+            continue
+        n_tried += 1
+        tput = cost.throughput_per_gpu(step_time)
+        if best_tput is None or tput > best_tput:
+            best_tput = tput
+    return best_tput, n_tried, n_excluded
+
+
+def _best_of(fn, rounds=2):
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return value, best
+
+
+def test_search_speedup_vs_seed(benchmark):
+    cached_schedule.cache_clear()  # cold caches: measure a fresh cell
+    new_outcome, new_time = _best_of(
+        lambda: best_configuration(SPEC, CLUSTER, METHOD, BATCH)
+    )
+    (seed_best, seed_tried, seed_excluded), seed_time = _best_of(
+        lambda: _seed_best_configuration(SPEC, CLUSTER, METHOD, BATCH)
+    )
+    benchmark.pedantic(
+        lambda: best_configuration(SPEC, CLUSTER, METHOD, BATCH), rounds=1
+    )
+
+    # Same cell, same winner, same accounting.
+    assert new_outcome.best is not None
+    assert new_outcome.best.throughput_per_gpu == seed_best
+    assert new_outcome.n_tried == seed_tried
+    assert new_outcome.n_excluded == seed_excluded
+    assert new_outcome.n_excluded > 0  # the filter has work to do here
+
+    speedup = seed_time / new_time
+    print(
+        f"\nsearch cell {METHOD.value} B={BATCH}: seed {seed_time:.2f}s, "
+        f"event-driven {new_time:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"search speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(seed {seed_time:.2f}s vs new {new_time:.2f}s)"
+    )

@@ -45,7 +45,7 @@ def main() -> None:
     print(f"Utilization   : {result.utilization * 100:.1f}% of peak")
     print(f"Peak memory   : {fmt_bytes(result.memory.total)} "
           f"(min {fmt_bytes(result.memory.total_min)} on a large cluster)")
-    print(f"Bubble share  : {result.bubble_fraction * 100:.1f}% of the step")
+    print(f"Bubble share  : {result.bubble_fraction * 100:.1f}% of the pipeline makespan")
     print()
     print("Timeline (digits = forward micro-batch, letters = backward,")
     print("          - = pipeline transfer, W/G = gather/reduce, S = optimizer):")

@@ -14,6 +14,7 @@ that they are merged with adjacent layers when that is preferable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -53,33 +54,39 @@ class Placement:
 
     # ------------------------------------------------------------- layers
 
+    @cached_property
+    def _boundaries(self) -> tuple[int, ...]:
+        base, extra = divmod(self.n_layers, self.n_stages)
+        bounds = [0]
+        for stage in range(self.n_stages):
+            bounds.append(bounds[-1] + base + (1 if stage < extra else 0))
+        return tuple(bounds)
+
     def stage_boundaries(self) -> list[int]:
         """Start offsets of each stage plus the final end offset.
 
         Stages are near-identical: the first ``n_layers mod n_stages``
         stages get one extra layer, keeping stage times balanced.
         """
-        base, extra = divmod(self.n_layers, self.n_stages)
-        bounds = [0]
-        for stage in range(self.n_stages):
-            bounds.append(bounds[-1] + base + (1 if stage < extra else 0))
-        return bounds
+        return list(self._boundaries)
 
     def layers_of_stage(self, stage: int) -> range:
         """The contiguous layer interval hosted by ``stage``."""
         self._check_stage(stage)
-        bounds = self.stage_boundaries()
+        bounds = self._boundaries
         return range(bounds[stage], bounds[stage + 1])
 
     def n_layers_of_stage(self, stage: int) -> int:
         """Number of transformer layers in ``stage``."""
-        return len(self.layers_of_stage(stage))
+        self._check_stage(stage)
+        bounds = self._boundaries
+        return bounds[stage + 1] - bounds[stage]
 
     def stage_of_layer(self, layer: int) -> int:
         """The stage hosting ``layer``."""
         if not 0 <= layer < self.n_layers:
             raise ValueError(f"layer {layer} out of range [0, {self.n_layers})")
-        bounds = self.stage_boundaries()
+        bounds = self._boundaries
         for stage in range(self.n_stages):
             if bounds[stage] <= layer < bounds[stage + 1]:
                 return stage

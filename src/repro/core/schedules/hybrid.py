@@ -54,8 +54,17 @@ def hybrid_order(
             ``S = n_pp`` is the depth-first schedule, larger values trade
             activation memory for transfer slack.
     """
+    if n_pp < 1:
+        raise ValueError(f"n_pp must be >= 1, got {n_pp}")
     if not 0 <= rank < n_pp:
         raise ValueError(f"rank {rank} out of range [0, {n_pp})")
+    if n_microbatches < 1:
+        raise ValueError(
+            f"n_microbatches must be >= 1, got {n_microbatches}; an empty "
+            "batch has no schedule"
+        )
+    if n_loop < 1:
+        raise ValueError(f"n_loop must be >= 1, got {n_loop}")
     if sequence_size < n_pp:
         raise ValueError(
             f"sequence_size ({sequence_size}) must be >= N_PP ({n_pp}); "

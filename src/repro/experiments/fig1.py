@@ -38,10 +38,15 @@ class Fig1Bar:
     utilization: float
 
 
-def run_fig1(*, quick: bool = True, fig7_panel: Fig7Panel | None = None) -> list[Fig1Bar]:
+def run_fig1(
+    *,
+    quick: bool = True,
+    fig7_panel: Fig7Panel | None = None,
+    processes: int | None = None,
+) -> list[Fig1Bar]:
     """The four Figure 1 bars, ordered as in the paper."""
     if fig7_panel is None:
-        fig7_panel = run_fig7("52B", quick=quick)
+        fig7_panel = run_fig7("52B", quick=quick, processes=processes)
     fig8 = run_fig8("52B", fig7_panel=fig7_panel)
 
     bars = []

@@ -3,8 +3,10 @@
 Panels: (a) 52B on InfiniBand, (b) 6.6B on InfiniBand, (c) 6.6B on
 Ethernet, all on the 64-V100 cluster.  Each point is the best
 configuration found by the Appendix E grid search
-(:mod:`repro.search`).  The full batch lists match the paper's panels; a
-``quick`` subset keeps benchmark runtime reasonable.
+(:mod:`repro.search`), with the (method, batch) cells fanned out over
+the :mod:`repro.search.sweep` process pool.  The full batch lists match
+the paper's panels; a ``quick`` subset keeps benchmark runtime
+reasonable.
 """
 
 from __future__ import annotations
@@ -19,7 +21,8 @@ from repro.hardware.cluster import (
 from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
-from repro.search.grid import SearchOutcome, best_configuration
+from repro.search.grid import SearchOutcome
+from repro.search.sweep import sweep_grid
 
 #: Batch lists per panel (beta = B / 64 spans the paper's x ranges).
 PANEL_BATCHES: dict[str, list[int]] = {
@@ -73,6 +76,7 @@ def run_fig7(
     quick: bool = True,
     methods: list[Method] | None = None,
     batch_sizes: list[int] | None = None,
+    processes: int | None = None,
 ) -> Fig7Panel:
     """Run the search for one Figure 7 panel.
 
@@ -82,13 +86,16 @@ def run_fig7(
             paper sweep is selected with ``quick=False``.
         methods: Restrict to a subset of methods (all four by default).
         batch_sizes: Override the batch list entirely.
+        processes: Search-pool size (``None`` = CPU count, ``1`` = serial).
     """
     spec, cluster = panel_setup(panel)
     if batch_sizes is None:
         batch_sizes = (QUICK_BATCHES if quick else PANEL_BATCHES)[panel]
-    outcomes: dict[Method, list[SearchOutcome]] = {}
-    for method in methods or list(Method):
-        outcomes[method] = [
-            best_configuration(spec, cluster, method, batch) for batch in batch_sizes
-        ]
+    outcomes = sweep_grid(
+        spec,
+        cluster,
+        methods or list(Method),
+        batch_sizes,
+        processes=processes,
+    )
     return Fig7Panel(name=panel, spec=spec, cluster=cluster, outcomes=outcomes)

@@ -35,6 +35,7 @@ def run_fig8(
     *,
     quick: bool = True,
     fig7_panel: Fig7Panel | None = None,
+    processes: int | None = None,
 ) -> dict[str, list[TradeoffPoint]]:
     """Trade-off curves per method: ``{method: [TradeoffPoint per size]}``.
 
@@ -42,9 +43,10 @@ def run_fig8(
         panel: "52B", "6.6B" or "6.6B-ethernet".
         quick: Passed through to the Figure 7 search when needed.
         fig7_panel: Reuse an existing search result instead of re-running.
+        processes: Search-pool size forwarded to the Figure 7 search.
     """
     if fig7_panel is None:
-        fig7_panel = run_fig7(panel, quick=quick)
+        fig7_panel = run_fig7(panel, quick=quick, processes=processes)
     spec = fig7_panel.spec
     peak = fig7_panel.cluster.gpu.peak_flops
     n_gpus = fig7_panel.cluster.n_gpus

@@ -1,9 +1,10 @@
-"""CLI driver: ``repro-experiments [names...] [--full]``.
+"""CLI driver: ``repro-experiments [names...] [--full] [--jobs N]``.
 
 Runs the requested experiments (all by default) and prints the paper's
 rows/series as text.  ``--full`` uses the complete batch sweeps for the
 search-backed experiments (Figures 1, 7, 8 and the Appendix E tables),
-which takes substantially longer.
+which takes substantially longer; ``--jobs`` sizes the search process
+pool those experiments fan out over (one worker per CPU by default).
 """
 
 from __future__ import annotations
@@ -29,8 +30,8 @@ from repro.utils.tables import ascii_table
 from repro.viz.chart import ascii_line_chart
 
 
-def _print_fig1(full: bool) -> None:
-    bars = run_fig1(quick=not full)
+def _print_fig1(full: bool, jobs: int | None = None) -> None:
+    bars = run_fig1(quick=not full, processes=jobs)
     rows = [
         (b.label, f"{b.training_days:.1f}", f"{b.memory_gb:.2f}",
          f"{b.beta:.3f}", f"{b.utilization * 100:.1f}%")
@@ -43,8 +44,8 @@ def _print_fig1(full: bool) -> None:
     ))
 
 
-def _print_fig2(full: bool) -> None:
-    del full
+def _print_fig2(full: bool, jobs: int | None = None) -> None:
+    del full, jobs
     for overlap, panel in ((True, "(a) with overlap"), (False, "(b) without overlap")):
         curves = run_fig2(overlap=overlap)
         print(ascii_line_chart(
@@ -54,8 +55,8 @@ def _print_fig2(full: bool) -> None:
         print()
 
 
-def _print_fig5(full: bool) -> None:
-    del full
+def _print_fig5(full: bool, jobs: int | None = None) -> None:
+    del full, jobs
     for panel in ("52B", "6.6B"):
         curves = run_fig5(panel)
         print(ascii_line_chart(
@@ -65,8 +66,8 @@ def _print_fig5(full: bool) -> None:
         print()
 
 
-def _print_fig6(full: bool) -> None:
-    del full
+def _print_fig6(full: bool, jobs: int | None = None) -> None:
+    del full, jobs
     for batch in (16, 64):
         curves = run_fig6(batch)
         print(ascii_line_chart(
@@ -77,9 +78,9 @@ def _print_fig6(full: bool) -> None:
         print()
 
 
-def _print_fig7(full: bool) -> None:
+def _print_fig7(full: bool, jobs: int | None = None) -> None:
     for panel in ("52B", "6.6B", "6.6B-ethernet"):
-        result = run_fig7(panel, quick=not full)
+        result = run_fig7(panel, quick=not full, processes=jobs)
         print(ascii_line_chart(
             result.curves(),
             title=f"Figure 7 ({panel}): best utilization vs beta",
@@ -88,9 +89,9 @@ def _print_fig7(full: bool) -> None:
         print()
 
 
-def _print_fig8(full: bool) -> None:
+def _print_fig8(full: bool, jobs: int | None = None) -> None:
     for panel in ("52B", "6.6B"):
-        results = run_fig8(panel, quick=not full)
+        results = run_fig8(panel, quick=not full, processes=jobs)
         rows = []
         for method, points in results.items():
             for p in points:
@@ -106,8 +107,8 @@ def _print_fig8(full: bool) -> None:
         print()
 
 
-def _print_table41(full: bool) -> None:
-    del full
+def _print_table41(full: bool, jobs: int | None = None) -> None:
+    del full, jobs
     rows = [
         (r.method, f"{r.bubble:.3f}", f"{r.state_memory:.1f}",
          f"{r.activation_memory:.1f}", f"{r.dp_network:.1f}",
@@ -124,24 +125,24 @@ def _print_table41(full: bool) -> None:
     ))
 
 
-def _print_table_e(full: bool) -> None:
+def _print_table_e(full: bool, jobs: int | None = None) -> None:
     for panel in ("52B", "6.6B", "6.6B-ethernet"):
-        print(format_table_e(run_table_e(panel, quick=not full)))
+        print(format_table_e(run_table_e(panel, quick=not full, processes=jobs)))
         print()
 
 
-EXPERIMENTS: dict[str, Callable[[bool], None]] = {
+EXPERIMENTS: dict[str, Callable[[bool, int | None], None]] = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
-    "fig3": lambda full: print(format_fig3()),
-    "fig4": lambda full: print(format_fig4()),
+    "fig3": lambda full, jobs=None: print(format_fig3()),
+    "fig4": lambda full, jobs=None: print(format_fig4()),
     "fig5": _print_fig5,
     "fig6": _print_fig6,
     "fig7": _print_fig7,
     "fig8": _print_fig8,
-    "fig9": lambda full: print(format_fig9()),
+    "fig9": lambda full, jobs=None: print(format_fig9()),
     "table4.1": _print_table41,
-    "table5.1": lambda full: print(format_table51()),
+    "table5.1": lambda full, jobs=None: print(format_table51()),
     "tableE": _print_table_e,
 }
 
@@ -163,6 +164,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="run the full batch sweeps (slower, matches the paper exactly)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the search-backed experiments "
+             "(default: one per CPU; 1 disables the pool)",
+    )
     args = parser.parse_args(argv)
     # Validate by hand: argparse (<=3.11) checks nargs="*" defaults
     # against `choices`, rejecting the empty list.
@@ -177,7 +187,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name in names:
         start = time.time()
         print(f"=== {name} ===")
-        EXPERIMENTS[name](args.full)
+        EXPERIMENTS[name](args.full, args.jobs)
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
     return 0
 

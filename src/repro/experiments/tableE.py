@@ -17,9 +17,11 @@ from repro.utils.units import GB
 TABLE_OF_PANEL = {"52B": "E.1", "6.6B": "E.2", "6.6B-ethernet": "E.3"}
 
 
-def run_table_e(panel: str, *, quick: bool = True) -> Fig7Panel:
+def run_table_e(
+    panel: str, *, quick: bool = True, processes: int | None = None
+) -> Fig7Panel:
     """The search outcomes backing one Appendix E table."""
-    return run_fig7(panel, quick=quick)
+    return run_fig7(panel, quick=quick, processes=processes)
 
 
 def format_table_e(fig7_panel: Fig7Panel) -> str:

@@ -1,6 +1,15 @@
 """Appendix E configuration grid search."""
 
 from repro.search.space import configuration_space
-from repro.search.grid import SearchOutcome, best_configuration
+from repro.search.grid import SearchOutcome, best_configuration, cached_schedule
+from repro.search.sweep import SweepCell, sweep_cells, sweep_grid
 
-__all__ = ["SearchOutcome", "best_configuration", "configuration_space"]
+__all__ = [
+    "SearchOutcome",
+    "SweepCell",
+    "best_configuration",
+    "cached_schedule",
+    "configuration_space",
+    "sweep_cells",
+    "sweep_grid",
+]

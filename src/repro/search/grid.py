@@ -1,18 +1,25 @@
-"""Best-configuration search: simulate every candidate, keep the fastest.
+"""Best-configuration search: exclude by memory first, simulate the rest.
 
 Mirrors Section 5.3: configurations whose predicted peak memory exceeds
-the device are excluded (the paper excluded configurations "certain or
-highly likely to run out of memory"); the remaining ones are simulated
-and ranked by throughput.
+the device are excluded *before* any simulation (the paper excluded
+configurations "certain or highly likely to run out of memory" and only
+ran the remainder), and the survivors are simulated and ranked by
+throughput.  The analytical memory model is orders of magnitude cheaper
+than a simulation, so pruning first is what makes the Figure 7 grids
+tractable; ``n_excluded`` counts configurations that were never
+simulated, and ``n_tried`` counts only those that were.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
+from repro.analytical.memory import memory_model
+from repro.core.schedules.base import Schedule, build_schedule
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
-from repro.parallel.config import Method
+from repro.parallel.config import Method, ScheduleKind
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.sim.simulator import SimulationResult, simulate
@@ -20,6 +27,22 @@ from repro.sim.simulator import SimulationResult, simulate
 #: Fraction of device memory usable before fragmentation makes OOM likely
 #: (Appendix D.2 motivates the safety margin).
 MEMORY_HEADROOM = 0.92
+
+
+@lru_cache(maxsize=4096)
+def cached_schedule(
+    kind: ScheduleKind, n_pp: int, n_microbatches: int, n_loop: int
+) -> Schedule:
+    """Memoized :func:`build_schedule` — the search's cost-model cache.
+
+    Schedules depend only on ``(kind, n_pp, n_mb, n_loop)``, so the same
+    one recurs across sharding modes, tensor-parallel widths and
+    micro-batch sizes within a cell, and across cells of a sweep.  The
+    cache is per-process: every worker of a :mod:`repro.search.sweep`
+    pool shares one (and fork-started workers inherit whatever the parent
+    already built).  Schedules are immutable, so sharing is safe.
+    """
+    return build_schedule(kind, n_pp, n_microbatches, n_loop)
 
 
 @dataclass(frozen=True)
@@ -30,8 +53,11 @@ class SearchOutcome:
         method: The method searched.
         batch_size: Global batch size of the cell.
         best: The winning simulation, or None if nothing fit in memory.
-        n_tried: Configurations simulated (after memory filtering).
-        n_excluded: Configurations rejected by the memory filter.
+        n_tried: Configurations simulated (those passing the memory
+            filter).
+        n_excluded: Configurations rejected by the memory filter before
+            simulation (excluded configurations are never simulated, so
+            ``n_tried`` never counts them).
     """
 
     method: Method
@@ -48,7 +74,12 @@ def best_configuration(
     batch_size: int,
     calibration: Calibration = DEFAULT_CALIBRATION,
 ) -> SearchOutcome:
-    """Search one cell of the Figure 7 grid."""
+    """Search one cell of the Figure 7 grid.
+
+    The analytical memory filter runs before simulation: a configuration
+    predicted to exceed the device's usable memory is counted in
+    ``n_excluded`` and skipped without ever building a program.
+    """
     best: SimulationResult | None = None
     n_tried = 0
     n_excluded = 0
@@ -56,12 +87,22 @@ def best_configuration(
     for config, impl in configuration_space(method, spec, cluster, batch_size):
         if config.n_stages > spec.n_layers:
             continue
-        result = simulate(
-            spec, config, cluster, implementation=impl, calibration=calibration
+        schedule = cached_schedule(
+            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
         )
-        if result.memory.total > memory_limit:
+        memory = memory_model(spec, config, impl, schedule)
+        if memory.total > memory_limit:
             n_excluded += 1
             continue
+        result = simulate(
+            spec,
+            config,
+            cluster,
+            implementation=impl,
+            calibration=calibration,
+            schedule=schedule,
+            memory=memory,
+        )
         n_tried += 1
         if best is None or result.throughput_per_gpu > best.throughput_per_gpu:
             best = result

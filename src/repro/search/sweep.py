@@ -1,0 +1,126 @@
+"""Parallel sweep orchestrator for multi-cell grid searches.
+
+Figure 7 and the Appendix E tables run one :func:`best_configuration`
+search per (method, batch size) cell — a dozen or more independent cells
+per panel.  This module fans those cells out over a ``multiprocessing``
+pool: each worker process runs whole cells (coarse-grained, so pickling
+traffic is one :class:`SearchOutcome` per cell) and shares the
+per-process cost-model cache (:func:`repro.search.grid.cached_schedule`),
+which fork-started workers inherit pre-warmed from the parent.
+
+The pool uses the ``fork`` start method when the platform offers it —
+workers then need no re-imports and share the warm cache.  Where only
+``spawn`` is available (or a single process is requested) the sweep runs
+serially in-process, which keeps results byte-identical and avoids
+pickling surprises in exotic environments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Method
+from repro.search.grid import SearchOutcome, best_configuration
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = ["SweepCell", "sweep_cells", "sweep_grid"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently searchable grid cell."""
+
+    method: Method
+    batch_size: int
+
+
+#: Worker-process search context, set once by the pool initializer so the
+#: per-cell task payload is just the (method, batch) pair.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(
+    spec: TransformerSpec, cluster: ClusterSpec, calibration: Calibration
+) -> None:
+    _WORKER_CONTEXT["args"] = (spec, cluster, calibration)
+
+
+def _search_cell(cell: SweepCell) -> SearchOutcome:
+    spec, cluster, calibration = _WORKER_CONTEXT["args"]
+    return best_configuration(
+        spec, cluster, cell.method, cell.batch_size, calibration
+    )
+
+
+def _resolve_processes(processes: int | None, n_cells: int) -> int:
+    if processes is None:
+        processes = os.cpu_count() or 1
+    return max(1, min(processes, n_cells))
+
+
+def sweep_cells(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    cells: Iterable[SweepCell],
+    *,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    processes: int | None = None,
+) -> list[SearchOutcome]:
+    """Search every cell; return outcomes in the input order.
+
+    Args:
+        spec: Model to search for.
+        cluster: Hardware description.
+        cells: The (method, batch size) cells to search.
+        calibration: Cost-model constants, shared by all cells.
+        processes: Pool size; ``None`` uses the CPU count (capped at the
+            number of cells).  With one process — or on platforms without
+            ``fork`` — the sweep runs serially in this process.
+    """
+    cells = list(cells)
+    n_proc = _resolve_processes(processes, len(cells))
+    if n_proc <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        return [
+            best_configuration(
+                spec, cluster, cell.method, cell.batch_size, calibration
+            )
+            for cell in cells
+        ]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(
+        processes=n_proc,
+        initializer=_init_worker,
+        initargs=(spec, cluster, calibration),
+    ) as pool:
+        return pool.map(_search_cell, cells, chunksize=1)
+
+
+def sweep_grid(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    methods: Sequence[Method],
+    batch_sizes: Sequence[int],
+    *,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    processes: int | None = None,
+) -> dict[Method, list[SearchOutcome]]:
+    """Search the full methods x batch-sizes grid of one Figure 7 panel.
+
+    Returns outcomes grouped by method, each list in ``batch_sizes``
+    order — the shape the experiment plotters consume.
+    """
+    cells = [
+        SweepCell(method, batch) for method in methods for batch in batch_sizes
+    ]
+    outcomes = sweep_cells(
+        spec, cluster, cells, calibration=calibration, processes=processes
+    )
+    grouped: dict[Method, list[SearchOutcome]] = {m: [] for m in methods}
+    for cell, outcome in zip(cells, outcomes):
+        grouped[cell.method].append(outcome)
+    return grouped

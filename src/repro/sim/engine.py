@@ -1,19 +1,30 @@
-"""Multi-stream list-scheduling engine.
+"""Event-driven multi-stream discrete-event engine.
 
 Each (rank, stream) pair executes its instruction list strictly in order,
 exactly as CUDA streams consume their kernel queues: the head instruction
 starts when all of its dependencies (anywhere in the system) have
-finished, and blocks everything behind it until then.  Time advances by
-relaxation: we sweep the streams, executing every head whose dependencies
-are met, until all instructions have run or no stream can make progress
-(deadlock — reported with every blocked head for debugging).
+finished, and blocks everything behind it until then.
 
-This is deterministic and, because instructions within a stream are
-FIFO, equivalent to a discrete-event simulation of the same system.
+Time advances through a ready-heap keyed by ``(start_time, rank,
+stream)``: an instruction enters the heap the moment it is both at the
+head of its stream and has no unfinished dependencies, and completing it
+releases its dependents through a reverse-dependency index.  Every
+instruction is therefore visited O(deps) times in total, versus once per
+relaxation pass in the seed sweep engine (preserved as
+:func:`repro.sim.engine_sweep.run_streams_sweep` and held to parity by
+``tests/test_engine_parity.py``).
+
+Because instructions within a stream are FIFO and start times depend only
+on already-finalized finish times, the result is deterministic and
+identical to the sweep engine's, including the deadlock diagnostics: if
+the heap drains with instructions still pending, every blocked stream
+head is reported with the dependencies it is waiting on.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import namedtuple
 from dataclasses import dataclass, field
 
 from repro.sim.timeline import TimelineEvent
@@ -23,9 +34,18 @@ class EngineDeadlock(Exception):
     """No stream could make progress; the program's dependencies cycle."""
 
 
-@dataclass(frozen=True)
-class Instruction:
+_InstructionFields = namedtuple(
+    "_InstructionFields",
+    ("uid", "duration", "deps", "label", "category"),
+)
+
+
+class Instruction(_InstructionFields):
     """One schedulable unit on a stream.
+
+    A named tuple rather than a dataclass: programs allocate hundreds of
+    thousands of these per grid-search cell, and tuple construction is
+    measurably cheaper than frozen-dataclass field assignment.
 
     Attributes:
         uid: Globally unique hashable id; dependency edges point at uids.
@@ -35,15 +55,19 @@ class Instruction:
         category: Coarse class for rendering and accounting.
     """
 
-    uid: tuple
-    duration: float
-    deps: tuple = ()
-    label: str = ""
-    category: str = "compute"
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise ValueError(f"duration must be >= 0, got {self.duration}")
+    def __new__(
+        cls,
+        uid: tuple,
+        duration: float,
+        deps: tuple = (),
+        label: str = "",
+        category: str = "compute",
+    ) -> "Instruction":
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        return tuple.__new__(cls, (uid, duration, deps, label, category))
 
 
 @dataclass
@@ -75,76 +99,144 @@ def run_streams(
         record_events: Set False to skip timeline construction (the grid
             search runs thousands of simulations and only needs times).
     """
-    uids_seen: set = set()
-    for queue in streams.values():
+    # Translate uids to dense integer ids once, so the hot loop runs on
+    # flat lists instead of hashing uid tuples on every visit.  The heap
+    # is keyed (start_time, stream_order, instruction): stream_order is
+    # the stream's rank in (rank, name) order, preserving the documented
+    # (time, rank, stream) pop ordering without comparing tuples.
+    stream_keys = list(streams)
+    key_order = {
+        key: order for order, key in enumerate(sorted(stream_keys))
+    }
+    instrs: list[Instruction] = []
+    id_of: dict = {}
+    stream_id: list[int] = []  # instruction id -> stream index
+    position: list[int] = []  # instruction id -> position in its stream
+    queues: list[list[int]] = []  # stream index -> instruction ids in order
+    orders: list[int] = []  # stream index -> heap tie-break order
+    duration: list[float] = []
+    pending: list[int] = []  # instruction id -> unfinished dependencies
+    next_id = 0
+    for s, (key, queue) in enumerate(streams.items()):
+        orders.append(key_order[key])
+        queues.append(list(range(next_id, next_id + len(queue))))
+        instrs += queue
+        stream_id += [s] * len(queue)
+        position += range(len(queue))
         for instr in queue:
-            if instr.uid in uids_seen:
+            if instr.uid in id_of:
                 raise ValueError(f"duplicate instruction uid {instr.uid!r}")
-            uids_seen.add(instr.uid)
+            id_of[instr.uid] = next_id
+            next_id += 1
+            duration.append(instr.duration)
+            pending.append(len(instr.deps))
 
-    finish: dict = {}
-    heads = {key: 0 for key in streams}
-    free_at = {key: 0.0 for key in streams}
-    busy = {key: 0.0 for key in streams}
+    total = next_id
+    # Dependencies on unknown uids are counted but never released,
+    # surfacing as a deadlock with the uid in the diagnostics — the same
+    # behaviour the sweep engine exhibits.
+    dependents: list[list[int]] = [[] for _ in range(total)]
+    lookup = id_of.get
+    for i, instr in enumerate(instrs):
+        for dep in instr.deps:
+            d = lookup(dep)
+            if d is not None:
+                dependents[d].append(i)
+
+    n_streams = len(queues)
+    heads = [0] * n_streams
+    free_at = [0.0] * n_streams
+    busy = [0.0] * n_streams
+    ready_at = [0.0] * total
+    start_of = [0.0] * total
+    end_of = [0.0] * total
+    done = [False] * total
+
+    heap: list = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for s, ids in enumerate(queues):
+        if ids and not pending[ids[0]]:
+            push(heap, (ready_at[ids[0]], orders[s], ids[0]))
+
+    executed = 0
+    while heap:
+        start, _, i = pop(heap)
+        s = stream_id[i]
+        q = queues[s]
+        # Execute the stream's whole runnable run inline: successive head
+        # instructions whose dependencies are already resolved never need
+        # a heap round-trip, only blocking points do.  Pop order then
+        # deviates from strict time order, which is safe — start times
+        # depend only on already-finalized finish times and the stream's
+        # own tail, never on the order this loop visits instructions.
+        while True:
+            end = start + duration[i]
+            start_of[i] = start
+            end_of[i] = end
+            done[i] = True
+            busy[s] += duration[i]
+            executed += 1
+            for j in dependents[i]:
+                if end > ready_at[j]:
+                    ready_at[j] = end
+                pending[j] -= 1
+                if not pending[j]:
+                    sj = stream_id[j]
+                    if heads[sj] == position[j]:
+                        f = free_at[sj]
+                        r = ready_at[j]
+                        push(heap, (f if f > r else r, orders[sj], j))
+            head = heads[s] = heads[s] + 1
+            free_at[s] = end
+            if head < len(q):
+                j = q[head]
+                if not pending[j]:
+                    r = ready_at[j]
+                    start = end if end > r else r
+                    i = j
+                    continue
+            break
+
+    if executed < total:
+        blocked_heads = []
+        finished_uids = {instrs[i].uid for i in range(total) if done[i]}
+        for s, key in enumerate(stream_keys):
+            q = queues[s]
+            if heads[s] < len(q):
+                instr = instrs[q[heads[s]]]
+                missing = [d for d in instr.deps if d not in finished_uids]
+                blocked_heads.append(
+                    f"{key}: {instr.label or instr.uid} waiting on {missing}"
+                )
+        raise EngineDeadlock(
+            "program deadlocked; blocked stream heads:\n  "
+            + "\n  ".join(blocked_heads)
+        )
+
     events: list[TimelineEvent] = []
-    remaining = sum(len(q) for q in streams.values())
-
-    while remaining > 0:
-        progressed = False
-        for key, queue in streams.items():
-            head = heads[key]
-            while head < len(queue):
-                instr = queue[head]
-                ready = 0.0
-                blocked = False
-                for dep in instr.deps:
-                    done = finish.get(dep)
-                    if done is None:
-                        blocked = True
-                        break
-                    if done > ready:
-                        ready = done
-                if blocked:
-                    break
-                start = max(free_at[key], ready)
-                end = start + instr.duration
-                finish[instr.uid] = end
-                free_at[key] = end
-                busy[key] += instr.duration
-                if record_events:
-                    rank, stream_name = key
-                    events.append(
-                        TimelineEvent(
-                            rank=rank,
-                            stream=stream_name,
-                            start=start,
-                            end=end,
-                            label=instr.label,
-                            category=instr.category,
-                        )
+    if record_events:
+        for s, key in enumerate(stream_keys):
+            rank, stream_name = key
+            for i in queues[s]:
+                instr = instrs[i]
+                events.append(
+                    TimelineEvent(
+                        rank=rank,
+                        stream=stream_name,
+                        start=start_of[i],
+                        end=end_of[i],
+                        label=instr.label,
+                        category=instr.category,
                     )
-                head += 1
-                remaining -= 1
-                progressed = True
-            heads[key] = head
-        if not progressed:
-            blocked_heads = []
-            for key, queue in streams.items():
-                if heads[key] < len(queue):
-                    instr = queue[heads[key]]
-                    missing = [d for d in instr.deps if d not in finish]
-                    blocked_heads.append(
-                        f"{key}: {instr.label or instr.uid} waiting on {missing}"
-                    )
-            raise EngineDeadlock(
-                "program deadlocked; blocked stream heads:\n  "
-                + "\n  ".join(blocked_heads)
-            )
+                )
+        events.sort(key=lambda e: (e.start, e.rank, e.stream))
 
-    events.sort(key=lambda e: (e.start, e.rank, e.stream))
     return EngineResult(
-        finish_times=finish,
-        stream_busy=busy,
-        makespan=max(finish.values(), default=0.0),
+        finish_times={instr.uid: end_of[i] for i, instr in enumerate(instrs)},
+        stream_busy={
+            key: busy[s] for s, key in enumerate(stream_keys)
+        },
+        makespan=max(end_of, default=0.0),
         events=events,
     )

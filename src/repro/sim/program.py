@@ -31,17 +31,30 @@ from repro.sim.engine import Instruction
 #: Stream names.
 COMPUTE, PP, DP = "compute", "pp", "dp"
 
+#: Enum -> uid tag without the per-access ``.value`` descriptor cost.
+_KIND_TAG = {kind: kind.value for kind in OpKind}
+
 
 def _uid_of(op: ComputeOp) -> tuple:
-    return (op.kind.value, op.microbatch, op.stage)
+    return (_KIND_TAG[op.kind], op.microbatch, op.stage)
 
 
 class _ProgramBuilder:
-    """Accumulates instruction queues for one configuration."""
+    """Accumulates instruction queues for one configuration.
 
-    def __init__(self, cost: CostModel, schedule: Schedule) -> None:
+    Per-stage durations are evaluated once up front: the cost model
+    recomputes placement boundaries and network lookups on every call,
+    which dominated the grid search when charged per instruction.  With
+    ``record_events=False`` no label strings are built either, so
+    search-mode programs allocate nothing that only a timeline would read.
+    """
+
+    def __init__(
+        self, cost: CostModel, schedule: Schedule, *, record_events: bool = True
+    ) -> None:
         self.cost = cost
         self.schedule = schedule
+        self.record_events = record_events
         self.config = cost.config
         self.impl = cost.implementation
         self.n_stages = schedule.n_stages
@@ -51,13 +64,22 @@ class _ProgramBuilder:
         )
         self.pp_time = cost.pp_transfer_time()
         self.pp_launch = cost.pp_launch_overhead()
+        stages = range(self.n_stages)
+        self.forward_times = [cost.forward_time(s) for s in stages]
+        self.backward_times = [cost.backward_time(s) for s in stages]
+        self.head_fractions = [
+            1.0 / cost.placement.n_layers_of_stage(s) for s in stages
+        ]
+        if self.dp_active:
+            self.gather_times = [cost.gather_time(s) for s in stages]
+            self.reduce_times = [cost.reduce_time(s) for s in stages]
         self.streams: dict[tuple[int, str], list[Instruction]] = {}
 
     # ----------------------------------------------------------- helpers
 
     def _head_fraction(self, stage: int) -> float:
         """Share of a stage's DP volume in one layer (the gating head)."""
-        return 1.0 / self.cost.placement.n_layers_of_stage(stage)
+        return self.head_fractions[stage]
 
     def _emit_split(
         self,
@@ -83,6 +105,7 @@ class _ProgramBuilder:
         last backward).  Single-layer stages emit one instruction.
         """
         frac = self._head_fraction(stage)
+        labelled = self.record_events
         head_uid = (prefix + "H", stage, key)
         if frac >= 1.0:
             queue.append(
@@ -90,7 +113,7 @@ class _ProgramBuilder:
                     uid=head_uid,
                     duration=duration,
                     deps=head_deps,
-                    label=f"{prefix}(s={stage}, g={key})",
+                    label=f"{prefix}(s={stage}, g={key})" if labelled else "",
                     category=category,
                 )
             )
@@ -100,14 +123,14 @@ class _ProgramBuilder:
             uid=head_uid,
             duration=duration * frac,
             deps=head_deps,
-            label=f"{prefix}-head(s={stage}, g={key})",
+            label=f"{prefix}-head(s={stage}, g={key})" if labelled else "",
             category=category,
         )
         bulk = Instruction(
             uid=bulk_uid,
             duration=duration * (1.0 - frac),
             deps=bulk_deps,
-            label=f"{prefix}-bulk(s={stage}, g={key})",
+            label=f"{prefix}-bulk(s={stage}, g={key})" if labelled else "",
             category=category,
         )
         if head_last:
@@ -137,16 +160,34 @@ class _ProgramBuilder:
         dp_q = self.streams.get((rank, DP))
         overlap_dp = self.dp_active and impl.dp_overlap and dp_q is not None
 
-        def group_of(op: ComputeOp) -> tuple[int, int]:
-            # Only DP_FS repeats its network operations per group
-            # (Eqs. 24-26); with DP0/DP_PS gradients accumulate locally
-            # and each stage reduces exactly once per batch.
-            if not self.sharded_full:
-                return (op.stage, 0)
-            return (
-                op.stage,
-                _rep_key(self.schedule.kind, op.microbatch, self.schedule.n_pp),
-            )
+        # The op loop below runs once per instruction of every simulated
+        # configuration — the search's hottest Python.  Attribute lookups
+        # are hoisted and the group key inlined rather than closed over.
+        forward_kind = OpKind.FORWARD
+        forward_times = self.forward_times
+        backward_times = self.backward_times
+        last_stage = self.n_stages - 1
+        pp_time = self.pp_time
+        pp_launch = self.pp_launch
+        labelled = self.record_events
+        sharded_full = self.sharded_full
+        sharded_overlap = sharded_full and overlap_dp
+        kind_tag = _KIND_TAG
+        compute_append = compute_q.append
+        pp_append = pp_q.append
+        # Only DP_FS repeats its network operations per group (Eqs.
+        # 24-26); with DP0/DP_PS gradients accumulate locally and each
+        # stage reduces exactly once per batch.  One list, computed once,
+        # keys both the last-use prefill and the emission loop below.
+        schedule_kind = self.schedule.kind
+        n_pp = self.schedule.n_pp
+        if sharded_full:
+            group_keys = [
+                (op.stage, _rep_key(schedule_kind, op.microbatch, n_pp))
+                for op in order
+            ]
+        else:
+            group_keys = [(op.stage, 0) for op in order]
 
         # Positions of each DP group's last forward/backward: the last use
         # must wait for the *whole* gather (Eq. 29 — a pass's
@@ -156,97 +197,110 @@ class _ProgramBuilder:
         last_bwd_of_group: dict[tuple[int, int], int] = {}
         if overlap_dp:
             for position, op in enumerate(order):
-                if op.kind is OpKind.BACKWARD:
-                    last_bwd_of_group[group_of(op)] = position
+                if op.kind is forward_kind:
+                    last_fwd_of_group[group_keys[position]] = position
                 else:
-                    last_fwd_of_group[group_of(op)] = position
+                    last_bwd_of_group[group_keys[position]] = position
 
         gather_uids_fwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
         gather_uids_bwd: dict[tuple[int, int], tuple[tuple, tuple]] = {}
         reduce_heads: list[tuple] = []
 
         for position, op in enumerate(order):
-            group = group_of(op)
-            deps: list[tuple] = []
-            if op.kind is OpKind.FORWARD:
-                if op.stage > 0:
-                    deps.append(("XA", op.microbatch, op.stage - 1))
-                if self.sharded_full and overlap_dp:
+            stage = op.stage
+            microbatch = op.microbatch
+            is_forward = op.kind is forward_kind
+            group = group_keys[position]
+            if is_forward:
+                deps = (("XA", microbatch, stage - 1),) if stage > 0 else ()
+                if sharded_overlap:
                     if group not in gather_uids_fwd:
                         gather_uids_fwd[group] = self._emit_split(
                             dp_q,
                             "GF",
-                            op.stage,
+                            stage,
                             group[1],
-                            cost.gather_time(op.stage),
+                            self.gather_times[stage],
                             "gather",
                         )
                     head, tail = gather_uids_fwd[group]
-                    deps.append(head)
+                    deps += (head,)
                     if last_fwd_of_group.get(group) == position:
-                        deps.append(tail)
-                duration = cost.forward_time(op.stage)
+                        deps += (tail,)
+                duration = forward_times[stage]
                 category = "forward"
+                produces_send = stage < last_stage
             else:
-                deps.append(("F", op.microbatch, op.stage))
-                if op.stage < self.n_stages - 1:
-                    deps.append(("XG", op.microbatch, op.stage + 1))
-                if self.sharded_full and overlap_dp:
+                if stage < last_stage:
+                    deps = (
+                        ("F", microbatch, stage),
+                        ("XG", microbatch, stage + 1),
+                    )
+                else:
+                    deps = (("F", microbatch, stage),)
+                if sharded_overlap:
                     if group not in gather_uids_bwd:
                         gather_uids_bwd[group] = self._emit_split(
                             dp_q,
                             "GB",
-                            op.stage,
+                            stage,
                             group[1],
-                            cost.gather_time(op.stage),
+                            self.gather_times[stage],
                             "gather",
                         )
                     head, tail = gather_uids_bwd[group]
-                    deps.append(head)
+                    deps += (head,)
                     if last_bwd_of_group.get(group) == position:
-                        deps.append(tail)
-                duration = cost.backward_time(op.stage)
+                        deps += (tail,)
+                duration = backward_times[stage]
                 category = "backward"
+                produces_send = stage > 0
 
             # Issuing an overlapped transfer still costs the compute
             # stream its launch overhead.
-            produces_send = (
-                op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1
-            ) or (op.kind is OpKind.BACKWARD and op.stage > 0)
             if produces_send:
-                duration += self.pp_launch
+                duration += pp_launch
 
-            uid = _uid_of(op)
-            compute_q.append(
+            uid = (kind_tag[op.kind], microbatch, stage)
+            compute_append(
                 Instruction(
                     uid=uid,
                     duration=duration,
-                    deps=tuple(deps),
-                    label=str(op),
+                    deps=deps,
+                    label=str(op) if labelled else "",
                     category=category,
                 )
             )
 
-            if op.kind is OpKind.FORWARD and op.stage < self.n_stages - 1:
-                pp_q.append(
-                    Instruction(
-                        uid=("XA", op.microbatch, op.stage),
-                        duration=self.pp_time,
-                        deps=(uid,),
-                        label=f"send-act(mb={op.microbatch}, s={op.stage})",
-                        category="pp_comm",
+            if produces_send:
+                if is_forward:
+                    pp_append(
+                        Instruction(
+                            uid=("XA", microbatch, stage),
+                            duration=pp_time,
+                            deps=(uid,),
+                            label=(
+                                f"send-act(mb={microbatch}, s={stage})"
+                                if labelled
+                                else ""
+                            ),
+                            category="pp_comm",
+                        )
                     )
-                )
-            if op.kind is OpKind.BACKWARD and op.stage > 0:
-                pp_q.append(
-                    Instruction(
-                        uid=("XG", op.microbatch, op.stage),
-                        duration=self.pp_time,
-                        deps=(uid,),
-                        label=f"send-grad(mb={op.microbatch}, s={op.stage})",
-                        category="pp_comm",
+                else:
+                    pp_append(
+                        Instruction(
+                            uid=("XG", microbatch, stage),
+                            duration=pp_time,
+                            deps=(uid,),
+                            label=(
+                                f"send-grad(mb={microbatch}, s={stage})"
+                                if labelled
+                                else ""
+                            ),
+                            category="pp_comm",
+                        )
                     )
-                )
 
             # Gradient reduction once the group's last backward ran: the
             # bulk may overlap that backward (real reductions trail the
@@ -256,9 +310,9 @@ class _ProgramBuilder:
                 head, _ = self._emit_split(
                     dp_q,
                     "RED",
-                    op.stage,
+                    stage,
                     group[1],
-                    cost.reduce_time(op.stage),
+                    self.reduce_times[stage],
                     "reduce",
                     head_deps=(uid,),
                     bulk_deps=bulk_deps,
@@ -303,7 +357,16 @@ class _ProgramBuilder:
 
 
 def build_program(
-    cost: CostModel, schedule: Schedule
+    cost: CostModel, schedule: Schedule, *, record_events: bool = True
 ) -> dict[tuple[int, str], list[Instruction]]:
-    """Build the instruction queues for every rank and stream."""
-    return _ProgramBuilder(cost, schedule).build()
+    """Build the instruction queues for every rank and stream.
+
+    Args:
+        cost: Durations for every operation.
+        schedule: The pipeline schedule to lower.
+        record_events: Set False to skip human-readable labels — the grid
+            search never renders timelines, and label construction is a
+            measurable share of search time.  Durations, uids and
+            dependencies are identical either way.
+    """
+    return _ProgramBuilder(cost, schedule, record_events=record_events).build()

@@ -39,7 +39,10 @@ class SimulationResult:
         compute_busy: Mean busy seconds of the compute streams.
         pp_comm_busy: Mean busy seconds of pipeline communication.
         dp_comm_busy: Mean busy seconds of data-parallel communication.
-        bubble_fraction: Mean compute-stream idle share of the step.
+        bubble_fraction: Mean compute-stream idle share of the engine
+            makespan.  Measured against the makespan, not ``step_time``:
+            the fixed step overhead is not pipeline idle time and would
+            inflate the bubble for short steps.
         memory: Peak-memory breakdown for this configuration.
         timeline: Executed events (empty if ``record_events`` was False).
     """
@@ -65,6 +68,7 @@ def simulate(
     calibration: Calibration = DEFAULT_CALIBRATION,
     schedule: Schedule | None = None,
     record_events: bool = False,
+    memory: MemoryBreakdown | None = None,
 ) -> SimulationResult:
     """Simulate one training step.
 
@@ -79,6 +83,11 @@ def simulate(
         calibration: Cost-model constants.
         schedule: Pre-built schedule (rebuilt from the config if omitted).
         record_events: Keep the full timeline (needed for Figure 4).
+            When False the program is built without labels and the engine
+            allocates no timeline objects — the search fast path.
+        memory: Pre-computed memory breakdown (recomputed if omitted).
+            The search evaluates memory *before* simulating to exclude
+            configurations, and passes the result here.
     """
     if implementation is None:
         implementation = default_implementation_for(config.schedule)
@@ -93,7 +102,7 @@ def simulate(
         schedule = build_schedule(
             config.schedule, config.n_pp, config.n_microbatches, config.n_loop
         )
-    streams = build_program(cost, schedule)
+    streams = build_program(cost, schedule, record_events=record_events)
     result = run_streams(streams, record_events=record_events)
 
     step_time = result.makespan + calibration.fixed_step_overhead
@@ -103,6 +112,8 @@ def simulate(
     )
     pp_busy = sum(result.stream_busy.get((r, "pp"), 0.0) for r in range(n_pp)) / n_pp
     dp_busy = sum(result.stream_busy.get((r, "dp"), 0.0) for r in range(n_pp)) / n_pp
+    if memory is None:
+        memory = memory_model(spec, config, implementation, schedule)
 
     return SimulationResult(
         config=config,
@@ -113,7 +124,9 @@ def simulate(
         compute_busy=compute_busy,
         pp_comm_busy=pp_busy,
         dp_comm_busy=dp_busy,
-        bubble_fraction=1.0 - compute_busy / step_time,
-        memory=memory_model(spec, config, implementation, schedule),
+        bubble_fraction=(
+            1.0 - compute_busy / result.makespan if result.makespan > 0 else 0.0
+        ),
+        memory=memory,
         timeline=tuple(result.events),
     )

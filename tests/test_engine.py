@@ -71,6 +71,59 @@ class TestAccounting:
         assert result.events[0].duration == pytest.approx(2.5)
 
 
+class TestEventDriven:
+    """Behaviours specific to the heap + reverse-dependency-index engine."""
+
+    def test_long_cross_stream_chain(self):
+        # A strict ping-pong between two streams: every instruction is a
+        # blocking point, so everything goes through the ready-heap.
+        n = 50
+        left, right = [], []
+        prev = None
+        for i in range(n):
+            queue, uid = (left, ("L", i)) if i % 2 == 0 else (right, ("R", i))
+            queue.append(
+                instr(uid, 1.0, deps=[prev] if prev is not None else [])
+            )
+            prev = uid
+        result = run_streams({(0, "c"): left, (1, "c"): right})
+        assert result.makespan == pytest.approx(float(n))
+        assert result.stream_busy[(0, "c")] == pytest.approx(n / 2)
+
+    def test_dependent_behind_blocked_head_waits(self):
+        # The release of a non-head instruction must not start it early.
+        result = run_streams({
+            (0, "c"): [instr(("gate",), 10.0)],
+            (1, "c"): [
+                instr(("head",), 1.0, deps=[("gate",)]),
+                instr(("tail",), 1.0),  # dep-free, but FIFO-blocked
+            ],
+        })
+        assert result.finish_times[("tail",)] == pytest.approx(12.0)
+
+    def test_zero_duration_chain(self):
+        result = run_streams({
+            (0, "c"): [instr(("a",), 0.0), instr(("b",), 0.0)],
+            (1, "c"): [instr(("c",), 0.0, deps=[("b",)])],
+        })
+        assert result.makespan == 0.0
+        assert len(result.events) == 3
+
+    def test_diamond_dependency_takes_slowest_path(self):
+        result = run_streams({
+            (0, "c"): [instr(("src",), 1.0)],
+            (1, "c"): [instr(("fast",), 1.0, deps=[("src",)])],
+            (2, "c"): [instr(("slow",), 5.0, deps=[("src",)])],
+            (3, "c"): [instr(("sink",), 1.0, deps=[("fast",), ("slow",)])],
+        })
+        assert result.finish_times[("sink",)] == pytest.approx(7.0)
+
+    def test_instruction_immutable(self):
+        instruction = instr(("a",))
+        with pytest.raises(AttributeError):
+            instruction.duration = 2.0
+
+
 class TestErrors:
     def test_deadlock_raises_with_blocked_heads(self):
         with pytest.raises(EngineDeadlock, match="missing"):

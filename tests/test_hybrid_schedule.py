@@ -42,6 +42,28 @@ class TestStructure:
         with pytest.raises(ValueError, match="multiple"):
             hybrid_order(0, 2, 6, 2, sequence_size=4)
 
+    def test_nmb_multiple_required_via_builder(self):
+        # The documented "N_mb must be a multiple of sequence_size"
+        # contract is enforced on the public builder too, not just the
+        # per-rank order.
+        with pytest.raises(ValueError, match="multiple"):
+            build_hybrid_schedule(2, 6, 2, sequence_size=4)
+
+    def test_sequence_exceeding_nmb_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            hybrid_order(0, 2, 4, 2, sequence_size=8)
+
+    def test_empty_batch_rejected(self):
+        # Regression: n_microbatches=0 used to return a silently empty
+        # order instead of raising.
+        with pytest.raises(ValueError, match="n_microbatches"):
+            hybrid_order(0, 2, 0, 2, sequence_size=2)
+
+    def test_zero_loop_rejected(self):
+        # Regression: n_loop=0 used to return a silently empty order.
+        with pytest.raises(ValueError, match="n_loop"):
+            hybrid_order(0, 2, 4, 0, sequence_size=2)
+
     def test_rank_range(self):
         with pytest.raises(ValueError, match="out of range"):
             hybrid_order(4, 4, 8, 2, sequence_size=4)

@@ -127,7 +127,7 @@ class TestRunnerCli:
         try:
             for name in runner.EXPERIMENTS:
                 runner.EXPERIMENTS[name] = (
-                    lambda full, _n=name: recorded.append(_n)
+                    lambda full, jobs=None, _n=name: recorded.append(_n)
                 )
             assert runner.main([]) == 0
         finally:

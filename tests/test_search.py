@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.search.grid as grid
 from repro.hardware.cluster import DGX1_CLUSTER_64
 from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.parallel.config import Method, ScheduleKind, Sharding
@@ -118,3 +119,61 @@ class TestBestConfiguration:
         assert best is not None
         assert best.config.batch_size == 32
         best.config.validate_against(MODEL_6_6B.n_layers)
+
+
+class TestPruneBeforeSimulate:
+    """Section 5.3 protocol: exclude by predicted memory, then simulate."""
+
+    def test_excluded_configs_never_simulated(self, monkeypatch):
+        simulated = []
+        real_simulate = grid.simulate
+
+        def counting_simulate(spec, config, cluster, **kwargs):
+            simulated.append(config)
+            return real_simulate(spec, config, cluster, **kwargs)
+
+        monkeypatch.setattr(grid, "simulate", counting_simulate)
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, Method.NO_PIPELINE, 8
+        )
+        assert outcome.n_excluded > 0
+        # Only the configurations that passed the memory filter were
+        # simulated — excluded never reach the engine.
+        assert len(simulated) == outcome.n_tried
+        limit = DGX1_CLUSTER_64.gpu.memory_bytes * grid.MEMORY_HEADROOM
+        for config in simulated:
+            impl = OUR_IMPLEMENTATION
+            schedule = grid.cached_schedule(
+                config.schedule, config.n_pp, config.n_microbatches,
+                config.n_loop,
+            )
+            memory = grid.memory_model(MODEL_52B, config, impl, schedule)
+            assert memory.total <= limit
+
+    def test_tried_and_excluded_partition_the_space(self):
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, Method.DEPTH_FIRST, 8
+        )
+        space = [
+            config
+            for config, _ in configuration_space(
+                Method.DEPTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 8
+            )
+            if config.n_stages <= MODEL_52B.n_layers
+        ]
+        assert outcome.n_tried + outcome.n_excluded == len(space)
+        assert outcome.n_tried > 0
+
+    def test_all_excluded_reports_no_best(self, monkeypatch):
+        # With no usable memory every candidate is excluded up front and
+        # the cell reports OOM without running a single simulation.
+        monkeypatch.setattr(grid, "MEMORY_HEADROOM", 1e-9)
+        monkeypatch.setattr(
+            grid, "simulate", lambda *a, **k: pytest.fail("simulated")
+        )
+        outcome = best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, Method.NO_PIPELINE, 8
+        )
+        assert outcome.best is None
+        assert outcome.n_tried == 0
+        assert outcome.n_excluded > 0

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.hardware.cluster import DGX1_CLUSTER_64, DGX1_CLUSTER_64_ETHERNET
 from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
+from repro.sim.calibration import DEFAULT_CALIBRATION
 from repro.sim.implementation import MEGATRON_LM, OUR_IMPLEMENTATION
 from repro.sim.simulator import simulate
 
@@ -57,6 +60,39 @@ class TestBasicProperties:
         assert sim().implementation_name == OUR_IMPLEMENTATION.name
         r = sim(schedule=ScheduleKind.DEPTH_FIRST)
         assert r.implementation_name == MEGATRON_LM.name
+
+
+class TestBubbleFraction:
+    """The bubble is measured against the engine makespan, not the step
+    time: the fixed step overhead is not pipeline idle time."""
+
+    def test_bubble_uses_makespan(self):
+        r = sim()
+        makespan = r.step_time - DEFAULT_CALIBRATION.fixed_step_overhead
+        assert r.bubble_fraction == pytest.approx(
+            1.0 - r.compute_busy / makespan
+        )
+
+    def test_bubble_independent_of_fixed_overhead(self):
+        config = ParallelConfig(
+            n_dp=1, n_pp=8, n_tp=8, microbatch_size=1, n_microbatches=8,
+            n_loop=4, schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        base = simulate(MODEL_52B, config, DGX1_CLUSTER_64)
+        slow_steps = simulate(
+            MODEL_52B, config, DGX1_CLUSTER_64,
+            calibration=dataclasses.replace(
+                DEFAULT_CALIBRATION, fixed_step_overhead=1.0
+            ),
+        )
+        assert slow_steps.step_time > base.step_time
+        assert slow_steps.bubble_fraction == pytest.approx(
+            base.bubble_fraction
+        )
+
+    def test_bubble_in_unit_range(self):
+        r = sim()
+        assert 0.0 <= r.bubble_fraction < 1.0
 
 
 class TestPaperOrderings:

@@ -1,0 +1,78 @@
+"""Tests for the multiprocessing sweep orchestrator."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_6_6B
+from repro.parallel.config import Method
+from repro.search.grid import best_configuration
+from repro.search.sweep import SweepCell, sweep_cells, sweep_grid
+
+#: Small, fast cells (6.6B no-pipeline spaces have ~2-20 candidates).
+CELLS = [
+    SweepCell(Method.NO_PIPELINE, 8),
+    SweepCell(Method.NO_PIPELINE, 64),
+    SweepCell(Method.DEPTH_FIRST, 8),
+]
+
+
+def outcome_key(outcome):
+    return (
+        outcome.method,
+        outcome.batch_size,
+        outcome.n_tried,
+        outcome.n_excluded,
+        None
+        if outcome.best is None
+        else (outcome.best.config, outcome.best.throughput_per_gpu),
+    )
+
+
+class TestSweepCells:
+    def test_serial_matches_direct_search(self):
+        outcomes = sweep_cells(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, processes=1)
+        direct = [
+            best_configuration(MODEL_6_6B, DGX1_CLUSTER_64, c.method, c.batch_size)
+            for c in CELLS
+        ]
+        assert [outcome_key(o) for o in outcomes] == [
+            outcome_key(o) for o in direct
+        ]
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_pool_matches_serial(self):
+        pooled = sweep_cells(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, processes=2)
+        serial = sweep_cells(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, processes=1)
+        assert [outcome_key(o) for o in pooled] == [
+            outcome_key(o) for o in serial
+        ]
+
+    def test_preserves_input_order(self):
+        cells = list(reversed(CELLS))
+        outcomes = sweep_cells(MODEL_6_6B, DGX1_CLUSTER_64, cells, processes=1)
+        assert [(o.method, o.batch_size) for o in outcomes] == [
+            (c.method, c.batch_size) for c in cells
+        ]
+
+    def test_empty_cells(self):
+        assert sweep_cells(MODEL_6_6B, DGX1_CLUSTER_64, [], processes=4) == []
+
+
+class TestSweepGrid:
+    def test_groups_by_method_in_batch_order(self):
+        methods = [Method.NO_PIPELINE, Method.DEPTH_FIRST]
+        batches = [8, 64]
+        grouped = sweep_grid(
+            MODEL_6_6B, DGX1_CLUSTER_64, methods, batches, processes=1
+        )
+        assert list(grouped) == methods
+        for method, outcomes in grouped.items():
+            assert [o.batch_size for o in outcomes] == batches
+            assert all(o.method is method for o in outcomes)
