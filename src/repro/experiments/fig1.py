@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.experiments.fig7 import Fig7Panel, run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.parallel.config import Method
+from repro.search.service import SweepOptions
 from repro.utils.units import GB
 
 HEADLINE_GPUS = 4096
@@ -43,10 +44,13 @@ def run_fig1(
     quick: bool = True,
     fig7_panel: Fig7Panel | None = None,
     processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> list[Fig1Bar]:
     """The four Figure 1 bars, ordered as in the paper."""
     if fig7_panel is None:
-        fig7_panel = run_fig7("52B", quick=quick, processes=processes)
+        fig7_panel = run_fig7(
+            "52B", quick=quick, processes=processes, options=options
+        )
     fig8 = run_fig8("52B", fig7_panel=fig7_panel)
 
     bars = []

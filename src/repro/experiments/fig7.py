@@ -22,6 +22,7 @@ from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
 from repro.search.grid import SearchOutcome
+from repro.search.service import SweepOptions
 from repro.search.sweep import sweep_grid
 
 #: Batch lists per panel (beta = B / 64 spans the paper's x ranges).
@@ -77,6 +78,7 @@ def run_fig7(
     methods: list[Method] | None = None,
     batch_sizes: list[int] | None = None,
     processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> Fig7Panel:
     """Run the search for one Figure 7 panel.
 
@@ -87,6 +89,9 @@ def run_fig7(
         methods: Restrict to a subset of methods (all four by default).
         batch_sizes: Override the batch list entirely.
         processes: Search-pool size (``None`` = CPU count, ``1`` = serial).
+        options: Sweep-service settings (backend, checkpointing, resume);
+            the checkpoint keys are content hashes, so all three panels
+            can share one checkpoint directory.
     """
     spec, cluster = panel_setup(panel)
     if batch_sizes is None:
@@ -97,5 +102,6 @@ def run_fig7(
         methods or list(Method),
         batch_sizes,
         processes=processes,
+        options=options,
     )
     return Fig7Panel(name=panel, spec=spec, cluster=cluster, outcomes=outcomes)

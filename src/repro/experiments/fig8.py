@@ -8,6 +8,7 @@ Each method's best (beta, utilization) points become a
 from __future__ import annotations
 
 from repro.experiments.fig7 import Fig7Panel, run_fig7
+from repro.search.service import SweepOptions
 from repro.sgd.tradeoff import (
     BCRIT_6_6B,
     BCRIT_52B,
@@ -36,6 +37,7 @@ def run_fig8(
     quick: bool = True,
     fig7_panel: Fig7Panel | None = None,
     processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> dict[str, list[TradeoffPoint]]:
     """Trade-off curves per method: ``{method: [TradeoffPoint per size]}``.
 
@@ -44,9 +46,12 @@ def run_fig8(
         quick: Passed through to the Figure 7 search when needed.
         fig7_panel: Reuse an existing search result instead of re-running.
         processes: Search-pool size forwarded to the Figure 7 search.
+        options: Sweep-service settings forwarded to the Figure 7 search.
     """
     if fig7_panel is None:
-        fig7_panel = run_fig7(panel, quick=quick, processes=processes)
+        fig7_panel = run_fig7(
+            panel, quick=quick, processes=processes, options=options
+        )
     spec = fig7_panel.spec
     peak = fig7_panel.cluster.gpu.peak_flops
     n_gpus = fig7_panel.cluster.n_gpus

@@ -1,10 +1,17 @@
-"""CLI driver: ``repro-experiments [names...] [--full] [--jobs N]``.
+"""CLI driver: ``repro-experiments [names...] [--full] [--jobs N] [...]``.
 
 Runs the requested experiments (all by default) and prints the paper's
 rows/series as text.  ``--full`` uses the complete batch sweeps for the
 search-backed experiments (Figures 1, 7, 8 and the Appendix E tables),
-which takes substantially longer; ``--jobs`` sizes the search process
-pool those experiments fan out over (one worker per CPU by default).
+which takes substantially longer.
+
+The search-backed experiments fan their (method, batch) cells out over
+the sweep service (:mod:`repro.search.service`): ``--backend`` selects
+the executor (in-process pools or the multi-machine file queue),
+``--checkpoint-dir`` persists every completed cell, and ``--resume``
+skips cells already checkpointed — an interrupted ``--full`` grid picks
+up where it left off.  ``--trace-out`` additionally exports the
+Figure 4 schedule timelines as a ``chrome://tracing`` JSON file.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from collections.abc import Callable, Sequence
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import format_fig3
-from repro.experiments.fig4 import format_fig4
+from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
@@ -26,12 +33,14 @@ from repro.experiments.fig9 import format_fig9
 from repro.experiments.table41 import run_table41
 from repro.experiments.table51 import format_table51
 from repro.experiments.tableE import format_table_e, run_table_e
+from repro.search.service import BACKENDS, SweepOptions
 from repro.utils.tables import ascii_table
 from repro.viz.chart import ascii_line_chart
+from repro.viz.chrome_trace import write_chrome_trace
 
 
-def _print_fig1(full: bool, jobs: int | None = None) -> None:
-    bars = run_fig1(quick=not full, processes=jobs)
+def _print_fig1(full: bool, options: SweepOptions | None = None) -> None:
+    bars = run_fig1(quick=not full, options=options)
     rows = [
         (b.label, f"{b.training_days:.1f}", f"{b.memory_gb:.2f}",
          f"{b.beta:.3f}", f"{b.utilization * 100:.1f}%")
@@ -44,8 +53,8 @@ def _print_fig1(full: bool, jobs: int | None = None) -> None:
     ))
 
 
-def _print_fig2(full: bool, jobs: int | None = None) -> None:
-    del full, jobs
+def _print_fig2(full: bool, options: SweepOptions | None = None) -> None:
+    del full, options
     for overlap, panel in ((True, "(a) with overlap"), (False, "(b) without overlap")):
         curves = run_fig2(overlap=overlap)
         print(ascii_line_chart(
@@ -55,8 +64,8 @@ def _print_fig2(full: bool, jobs: int | None = None) -> None:
         print()
 
 
-def _print_fig5(full: bool, jobs: int | None = None) -> None:
-    del full, jobs
+def _print_fig5(full: bool, options: SweepOptions | None = None) -> None:
+    del full, options
     for panel in ("52B", "6.6B"):
         curves = run_fig5(panel)
         print(ascii_line_chart(
@@ -66,8 +75,8 @@ def _print_fig5(full: bool, jobs: int | None = None) -> None:
         print()
 
 
-def _print_fig6(full: bool, jobs: int | None = None) -> None:
-    del full, jobs
+def _print_fig6(full: bool, options: SweepOptions | None = None) -> None:
+    del full, options
     for batch in (16, 64):
         curves = run_fig6(batch)
         print(ascii_line_chart(
@@ -78,9 +87,9 @@ def _print_fig6(full: bool, jobs: int | None = None) -> None:
         print()
 
 
-def _print_fig7(full: bool, jobs: int | None = None) -> None:
+def _print_fig7(full: bool, options: SweepOptions | None = None) -> None:
     for panel in ("52B", "6.6B", "6.6B-ethernet"):
-        result = run_fig7(panel, quick=not full, processes=jobs)
+        result = run_fig7(panel, quick=not full, options=options)
         print(ascii_line_chart(
             result.curves(),
             title=f"Figure 7 ({panel}): best utilization vs beta",
@@ -89,9 +98,9 @@ def _print_fig7(full: bool, jobs: int | None = None) -> None:
         print()
 
 
-def _print_fig8(full: bool, jobs: int | None = None) -> None:
+def _print_fig8(full: bool, options: SweepOptions | None = None) -> None:
     for panel in ("52B", "6.6B"):
-        results = run_fig8(panel, quick=not full, processes=jobs)
+        results = run_fig8(panel, quick=not full, options=options)
         rows = []
         for method, points in results.items():
             for p in points:
@@ -107,8 +116,8 @@ def _print_fig8(full: bool, jobs: int | None = None) -> None:
         print()
 
 
-def _print_table41(full: bool, jobs: int | None = None) -> None:
-    del full, jobs
+def _print_table41(full: bool, options: SweepOptions | None = None) -> None:
+    del full, options
     rows = [
         (r.method, f"{r.bubble:.3f}", f"{r.state_memory:.1f}",
          f"{r.activation_memory:.1f}", f"{r.dp_network:.1f}",
@@ -125,26 +134,49 @@ def _print_table41(full: bool, jobs: int | None = None) -> None:
     ))
 
 
-def _print_table_e(full: bool, jobs: int | None = None) -> None:
+def _print_table_e(full: bool, options: SweepOptions | None = None) -> None:
     for panel in ("52B", "6.6B", "6.6B-ethernet"):
-        print(format_table_e(run_table_e(panel, quick=not full, processes=jobs)))
+        print(format_table_e(run_table_e(panel, quick=not full, options=options)))
         print()
 
 
-EXPERIMENTS: dict[str, Callable[[bool, int | None], None]] = {
+EXPERIMENTS: dict[str, Callable[[bool, SweepOptions | None], None]] = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
-    "fig3": lambda full, jobs=None: print(format_fig3()),
-    "fig4": lambda full, jobs=None: print(format_fig4()),
+    "fig3": lambda full, options=None: print(format_fig3()),
+    "fig4": lambda full, options=None: print(format_fig4()),
     "fig5": _print_fig5,
     "fig6": _print_fig6,
     "fig7": _print_fig7,
     "fig8": _print_fig8,
-    "fig9": lambda full, jobs=None: print(format_fig9()),
+    "fig9": lambda full, options=None: print(format_fig9()),
     "table4.1": _print_table41,
-    "table5.1": lambda full, jobs=None: print(format_table51()),
+    "table5.1": lambda full, options=None: print(format_table51()),
     "tableE": _print_table_e,
 }
+
+
+def _export_trace(path: str) -> None:
+    """Write the Figure 4 schedule timelines as one chrome://tracing file."""
+    panels = run_fig4()
+    written = write_chrome_trace(
+        path, {p.name: p.result.timeline for p in panels}
+    )
+    total = sum(len(p.result.timeline) for p in panels)
+    print(f"wrote {total} events ({len(panels)} timelines) to {written} — "
+          "load at chrome://tracing or ui.perfetto.dev")
+
+
+def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
+    """Sweep-service settings from parsed CLI flags."""
+    return SweepOptions(
+        backend=args.backend,
+        processes=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers,
+        resume=args.resume,
+        progress=args.progress,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -173,12 +205,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="worker processes for the search-backed experiments "
              "(default: one per CPU; 1 disables the pool)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="multiprocessing",
+        help="sweep executor backend (default: multiprocessing; file-queue "
+             "supports workers on other machines sharing --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist each completed search cell as JSON under DIR "
+             "(required for --backend=file-queue)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already checkpointed under --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local worker processes for --backend=file-queue (default: 2)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print sweep progress and ETA to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also export the Figure 4 schedule timelines as a "
+             "chrome://tracing JSON file at PATH",
+    )
     args = parser.parse_args(argv)
     # Validate by hand: argparse (<=3.11) checks nargs="*" defaults
     # against `choices`, rejecting the empty list.
     unknown = [n for n in args.names if n not in EXPERIMENTS and n != "all"]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.backend == "file-queue" and args.checkpoint_dir is None:
+        parser.error("--backend=file-queue requires --checkpoint-dir")
+    options = build_sweep_options(args)
     names = (
         list(EXPERIMENTS)
         if not args.names or "all" in args.names
@@ -187,8 +262,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name in names:
         start = time.time()
         print(f"=== {name} ===")
-        EXPERIMENTS[name](args.full, args.jobs)
+        EXPERIMENTS[name](args.full, options)
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    if args.trace_out:
+        _export_trace(args.trace_out)
     return 0
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.fig7 import Fig7Panel, run_fig7
 from repro.parallel.config import Sharding
+from repro.search.service import SweepOptions
 from repro.utils.tables import ascii_table
 from repro.utils.units import GB
 
@@ -18,10 +19,14 @@ TABLE_OF_PANEL = {"52B": "E.1", "6.6B": "E.2", "6.6B-ethernet": "E.3"}
 
 
 def run_table_e(
-    panel: str, *, quick: bool = True, processes: int | None = None
+    panel: str,
+    *,
+    quick: bool = True,
+    processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> Fig7Panel:
     """The search outcomes backing one Appendix E table."""
-    return run_fig7(panel, quick=quick, processes=processes)
+    return run_fig7(panel, quick=quick, processes=processes, options=options)
 
 
 def format_table_e(fig7_panel: Fig7Panel) -> str:

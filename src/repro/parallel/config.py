@@ -138,6 +138,26 @@ class ParallelConfig:
         return Method.BREADTH_FIRST
 
     @property
+    def sort_key(self) -> tuple:
+        """Total order over configurations, for deterministic tie-breaks.
+
+        Searches that rank configurations by a measured quantity use this
+        as the secondary key, so equal-throughput ties resolve to the
+        same winner regardless of enumeration order, backend or worker
+        scheduling — sweep results must be byte-stable.
+        """
+        return (
+            self.n_dp,
+            self.n_pp,
+            self.n_tp,
+            self.microbatch_size,
+            self.n_microbatches,
+            self.n_loop,
+            self.sharding.value,
+            self.schedule.value,
+        )
+
+    @property
     def uses_full_sharding(self) -> bool:
         """True for DP_FS (weights reconstructed before every use)."""
         return self.sharding is Sharding.FULL

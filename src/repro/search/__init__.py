@@ -2,14 +2,18 @@
 
 from repro.search.space import configuration_space
 from repro.search.grid import SearchOutcome, best_configuration, cached_schedule
-from repro.search.sweep import SweepCell, sweep_cells, sweep_grid
+from repro.search.cell import SweepCell
+from repro.search.sweep import sweep_cells, sweep_grid
+from repro.search.service import SweepOptions, run_sweep
 
 __all__ = [
     "SearchOutcome",
     "SweepCell",
+    "SweepOptions",
     "best_configuration",
     "cached_schedule",
     "configuration_space",
+    "run_sweep",
     "sweep_cells",
     "sweep_grid",
 ]

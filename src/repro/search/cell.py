@@ -1,0 +1,23 @@
+"""The unit of sweep work: one independently searchable grid cell.
+
+Lives in its own module (rather than :mod:`repro.search.sweep`, where it
+originated) so both the legacy pool wrappers and the
+:mod:`repro.search.service` subsystem can import it without a cycle.
+``repro.search.sweep`` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.config import Method
+
+__all__ = ["SweepCell"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently searchable grid cell."""
+
+    method: Method
+    batch_size: int

@@ -104,7 +104,18 @@ def best_configuration(
             memory=memory,
         )
         n_tried += 1
-        if best is None or result.throughput_per_gpu > best.throughput_per_gpu:
+        # Ties on throughput resolve to the lexicographically smaller
+        # config (ParallelConfig.sort_key) so the winner is independent
+        # of enumeration order — sweep results stay byte-stable across
+        # backends and worker orderings.
+        if (
+            best is None
+            or result.throughput_per_gpu > best.throughput_per_gpu
+            or (
+                result.throughput_per_gpu == best.throughput_per_gpu
+                and result.config.sort_key < best.config.sort_key
+            )
+        ):
             best = result
     return SearchOutcome(
         method=method,

@@ -1,0 +1,109 @@
+"""Per-cell checkpoint store: one JSON file per completed search cell.
+
+Files are named by the cell's content hash (:func:`...serialize.cell_key`)
+and written atomically (temp file + ``os.replace`` in the same directory),
+so a reader never observes a half-written checkpoint and a crashed worker
+loses at most the cell it was computing.  Corrupted, truncated or
+foreign-format files are rejected cleanly: :meth:`CheckpointStore.load`
+warns and returns ``None``, and the sweep simply recomputes the cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+from repro.search.grid import SearchOutcome
+from repro.search.service.serialize import (
+    FORMAT_VERSION,
+    canonical_dumps,
+    outcome_from_json,
+    outcome_to_json,
+)
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Directory of per-cell ``SearchOutcome`` checkpoints."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def payload_bytes(self, key: str, outcome: SearchOutcome) -> bytes:
+        """The exact bytes :meth:`store` writes for this checkpoint.
+
+        Canonical JSON, so two workers (or two runs) produce bit-identical
+        files for the same outcome — the resume guarantee is testable by
+        comparing bytes.
+        """
+        envelope = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "outcome": outcome_to_json(outcome),
+        }
+        return canonical_dumps(envelope).encode("utf-8")
+
+    def store(self, key: str, outcome: SearchOutcome) -> Path:
+        """Atomically persist one outcome; returns the checkpoint path."""
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(self.payload_bytes(key, outcome))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, key: str) -> SearchOutcome | None:
+        """The stored outcome, or ``None`` if missing or unreadable."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("checkpoint is not a JSON object")
+            if envelope.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"format {envelope.get('format')!r} != {FORMAT_VERSION}"
+                )
+            if envelope.get("key") != key:
+                raise ValueError(
+                    f"key mismatch: file says {envelope.get('key')!r}"
+                )
+            return outcome_from_json(envelope["outcome"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"ignoring corrupt checkpoint {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def load_many(self, keys) -> dict[str, SearchOutcome]:
+        """Valid checkpoints among ``keys``, as ``{key: outcome}``."""
+        found = {}
+        for key in keys:
+            outcome = self.load(key)
+            if outcome is not None:
+                found[key] = outcome
+        return found
+
+    def keys(self) -> list[str]:
+        """Keys of every checkpoint file present (validity not checked)."""
+        return sorted(
+            p.stem for p in self.root.glob("*.json")
+            if not p.name.startswith(".")
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -1,0 +1,391 @@
+"""Pluggable executor backends for the sweep service.
+
+Every backend implements one contract: given the search context and a
+list of ``(index, key, cell)`` tasks, yield ``(index, outcome)`` pairs as
+cells complete (in any order — the service reassembles input order).
+Four are provided:
+
+- ``serial``: in-process loop; the byte-stability reference.
+- ``multiprocessing``: a ``multiprocessing.Pool`` using ``fork`` where
+  available (workers inherit the warm schedule cache) and ``spawn``
+  elsewhere — the pool initializer rebuilds the context in each child,
+  so spawn-only platforms get a real pool instead of the old silent
+  serial fallback.
+- ``process-pool``: the same fan-out on
+  ``concurrent.futures.ProcessPoolExecutor``, for callers that want
+  futures semantics or to share an interpreter-wide pool policy.
+- ``file-queue``: N independent worker *processes* — on this machine or
+  any machine sharing the queue's filesystem — claim cells via atomic
+  renames, checkpoint results themselves, and survive crashes: the
+  coordinator reaps dead workers, requeues their in-flight cells with a
+  retry cap, and keeps the fleet at strength while work remains.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from collections.abc import Iterator, Sequence
+from concurrent import futures
+from pathlib import Path
+
+import repro
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.search.cell import SweepCell
+from repro.search.grid import SearchOutcome, best_configuration
+from repro.sim.calibration import Calibration
+from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.queue import FileWorkQueue
+
+__all__ = [
+    "Executor",
+    "FileQueueExecutor",
+    "MultiprocessingExecutor",
+    "ProcessPoolBackend",
+    "SerialExecutor",
+    "SweepError",
+    "worker_command",
+    "worker_env",
+]
+
+#: (input index, content-hash key, cell) — the unit executors schedule.
+Task = tuple[int, str, SweepCell]
+#: What a cell search needs besides the cell itself.
+Context = tuple[TransformerSpec, ClusterSpec, Calibration]
+
+
+class SweepError(RuntimeError):
+    """The sweep could not finish every cell."""
+
+
+class Executor:
+    """Backend interface: schedule cells, stream back outcomes."""
+
+    #: Backend name as selected by ``run_sweep(backend=...)``.
+    name: str = "abstract"
+    #: True when the backend's workers persist checkpoints themselves
+    #: (the service then skips its own store-on-completion write).
+    writes_checkpoints: bool = False
+
+    def run(
+        self, context: Context, tasks: Sequence[Task]
+    ) -> Iterator[tuple[int, SearchOutcome]]:
+        raise NotImplementedError
+
+
+# ------------------------------------------------------------------- serial
+
+
+class SerialExecutor(Executor):
+    """In-process, input-order execution; every other backend's oracle."""
+
+    name = "serial"
+
+    def run(self, context, tasks):
+        spec, cluster, calibration = context
+        for index, _key, cell in tasks:
+            yield index, best_configuration(
+                spec, cluster, cell.method, cell.batch_size, calibration
+            )
+
+
+# ----------------------------------------------------------- process pools
+
+#: Worker-process search context, set once by the pool initializer so the
+#: per-cell task payload is just the (index, cell) pair.  Works for both
+#: fork (inherited) and spawn (initargs are pickled to the child).
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(
+    spec: TransformerSpec, cluster: ClusterSpec, calibration: Calibration
+) -> None:
+    _WORKER_CONTEXT["args"] = (spec, cluster, calibration)
+
+
+def _search_indexed(task: tuple[int, SweepCell]) -> tuple[int, SearchOutcome]:
+    index, cell = task
+    spec, cluster, calibration = _WORKER_CONTEXT["args"]
+    return index, best_configuration(
+        spec, cluster, cell.method, cell.batch_size, calibration
+    )
+
+
+def _resolve_processes(processes: int | None, n_tasks: int) -> int:
+    if processes is None:
+        processes = os.cpu_count() or 1
+    return max(1, min(processes, n_tasks))
+
+
+def _resolve_start_method(start_method: str | None) -> str:
+    available = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        return "fork" if "fork" in available else "spawn"
+    if start_method not in available:
+        raise ValueError(
+            f"start method {start_method!r} unavailable on this platform "
+            f"(have: {', '.join(available)})"
+        )
+    return start_method
+
+
+class MultiprocessingExecutor(Executor):
+    """Coarse-grained ``multiprocessing.Pool`` fan-out, fork or spawn."""
+
+    name = "multiprocessing"
+
+    def __init__(
+        self,
+        *,
+        processes: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.processes = processes
+        self.start_method = _resolve_start_method(start_method)
+
+    def run(self, context, tasks):
+        n_proc = _resolve_processes(self.processes, len(tasks))
+        if n_proc <= 1:
+            yield from SerialExecutor().run(context, tasks)
+            return
+        ctx = multiprocessing.get_context(self.start_method)
+        payload = [(index, cell) for index, _key, cell in tasks]
+        with ctx.Pool(
+            processes=n_proc, initializer=_init_worker, initargs=context
+        ) as pool:
+            yield from pool.imap_unordered(_search_indexed, payload, chunksize=1)
+
+
+class ProcessPoolBackend(Executor):
+    """``concurrent.futures.ProcessPoolExecutor`` fan-out."""
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        *,
+        processes: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.processes = processes
+        self.start_method = _resolve_start_method(start_method)
+
+    def run(self, context, tasks):
+        n_proc = _resolve_processes(self.processes, len(tasks))
+        if n_proc <= 1:
+            yield from SerialExecutor().run(context, tasks)
+            return
+        ctx = multiprocessing.get_context(self.start_method)
+        with futures.ProcessPoolExecutor(
+            max_workers=n_proc,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=context,
+        ) as pool:
+            pending = [
+                pool.submit(_search_indexed, (index, cell))
+                for index, _key, cell in tasks
+            ]
+            for future in futures.as_completed(pending):
+                yield future.result()
+
+
+# --------------------------------------------------------------- file queue
+
+
+def worker_env() -> dict[str, str]:
+    """Environment for a worker subprocess: current env + importable repro.
+
+    ``repro`` may be on ``PYTHONPATH`` rather than installed (the repo's
+    own layout), so the package's parent directory is prepended.
+    """
+    env = dict(os.environ)
+    pkg_parent = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_parent if not existing else pkg_parent + os.pathsep + existing
+    )
+    return env
+
+
+def worker_command(
+    queue_dir: str | os.PathLike,
+    checkpoint_dir: str | os.PathLike,
+    *,
+    worker_id: str | None = None,
+    wait: bool = False,
+    crash_after_claims: int | None = None,
+) -> list[str]:
+    """The subprocess argv for one file-queue worker."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.search.service.worker",
+        "--queue-dir",
+        str(queue_dir),
+        "--checkpoint-dir",
+        str(checkpoint_dir),
+    ]
+    if worker_id is not None:
+        cmd += ["--worker-id", worker_id]
+    if wait:
+        cmd.append("--wait")
+    if crash_after_claims is not None:
+        cmd += ["--crash-after-claims", str(crash_after_claims)]
+    return cmd
+
+
+class FileQueueExecutor(Executor):
+    """Work-queue backend: independent worker processes over a shared FS.
+
+    The coordinator enqueues every cell, launches ``workers`` local
+    worker processes, and then only watches the filesystem: ``done/``
+    markers stream results back, dead workers get their claims requeued
+    (attempt count capped at ``max_retries``), and replacements are
+    launched while claimable work remains.  Additional workers started
+    by hand — e.g. on other machines against the same directory — join
+    the same sweep transparently; the coordinator simply sees cells
+    complete faster.
+    """
+
+    name = "file-queue"
+    writes_checkpoints = True
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        checkpoint_dir: str | os.PathLike,
+        *,
+        workers: int = 2,
+        max_retries: int = 2,
+        poll_interval: float = 0.05,
+        stale_lease: float | None = None,
+        orphan_lease: float = 300.0,
+        crash_first_worker_after: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue_dir = Path(queue_dir)
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.workers = workers
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+        #: Requeue claims older than this many seconds — the recovery
+        #: path for *external* workers (other machines) whose liveness
+        #: the coordinator can't probe.  None disables lease expiry;
+        #: locally-launched workers are reaped by pid regardless.  Set
+        #: it above the longest expected cell: a live worker whose claim
+        #: expires merely duplicates work (completion is idempotent),
+        #: but each expiry costs one of the cell's retries.
+        self.stale_lease = stale_lease
+        #: Fallback lease applied only when the coordinator is idle (no
+        #: local workers alive, nothing pending) yet claimed cells
+        #: remain — i.e. every remaining cell is held by an external
+        #: worker that may have died.  Without this the sweep would wait
+        #: forever on a claim nobody is computing.
+        self.orphan_lease = orphan_lease
+        #: Failure injection (tests / CI smoke run): the first worker
+        #: launched dies mid-cell after this many claims.
+        self.crash_first_worker_after = crash_first_worker_after
+
+    def _recover_stale_claims(self, queue: FileWorkQueue, *, idle: bool) -> None:
+        """Expire claims held too long (see ``stale_lease``/``orphan_lease``)."""
+        if self.stale_lease is not None:
+            queue.requeue_stale(self.stale_lease)
+        elif idle:
+            queue.requeue_stale(self.orphan_lease)
+
+    def _spawn(self, worker_id: str, *, inject_crash: bool) -> subprocess.Popen:
+        cmd = worker_command(
+            self.queue_dir,
+            self.checkpoint_dir,
+            worker_id=worker_id,
+            crash_after_claims=(
+                self.crash_first_worker_after if inject_crash else None
+            ),
+        )
+        return subprocess.Popen(
+            cmd, env=worker_env(), stdout=subprocess.DEVNULL
+        )
+
+    def run(self, context, tasks):
+        spec, cluster, calibration = context
+        store = CheckpointStore(self.checkpoint_dir)
+        queue = FileWorkQueue.create(
+            self.queue_dir, spec, cluster, calibration,
+            max_retries=self.max_retries,
+        )
+        for _index, key, cell in tasks:
+            queue.enqueue(key, cell)
+        remaining = {key: index for index, key, _cell in tasks}
+
+        procs: dict[str, subprocess.Popen] = {}
+        spawned = 0
+        # Enough restarts for every cell to exhaust its retries plus the
+        # initial fleet; beyond that the environment is broken (e.g. the
+        # worker can't import) and we bail out instead of spinning.
+        spawn_budget = self.workers + len(tasks) * (self.max_retries + 1)
+        try:
+            while remaining:
+                for key in sorted(queue.done_keys() & remaining.keys()):
+                    outcome = store.load(key)
+                    if outcome is None:
+                        raise SweepError(
+                            f"cell {key} marked done but its checkpoint is "
+                            f"missing or unreadable under {self.checkpoint_dir}"
+                        )
+                    yield remaining.pop(key), outcome
+                if not remaining:
+                    break
+
+                failed = sorted(queue.failed_keys() & remaining.keys())
+                if failed:
+                    raise SweepError(
+                        f"{len(failed)} cell(s) exhausted the retry cap "
+                        f"({self.max_retries}): {', '.join(failed)}"
+                    )
+
+                for worker_id, proc in list(procs.items()):
+                    if proc.poll() is not None:
+                        del procs[worker_id]
+                        queue.requeue_claims_of(worker_id)
+                self._recover_stale_claims(
+                    queue, idle=not procs and not queue.pending_keys()
+                )
+
+                can_spawn = spawned < spawn_budget
+                while (
+                    len(procs) < self.workers
+                    and can_spawn
+                    and queue.pending_keys()
+                ):
+                    worker_id = f"w{spawned}"
+                    procs[worker_id] = self._spawn(
+                        worker_id,
+                        inject_crash=(
+                            spawned == 0
+                            and self.crash_first_worker_after is not None
+                        ),
+                    )
+                    spawned += 1
+                    can_spawn = spawned < spawn_budget
+
+                if not procs and not can_spawn:
+                    raise SweepError(
+                        "file-queue workers keep dying before finishing the "
+                        f"sweep (launched {spawned}); see worker stderr"
+                    )
+                time.sleep(self.poll_interval)
+        finally:
+            for proc in procs.values():
+                proc.terminate()
+            for proc in procs.values():
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()

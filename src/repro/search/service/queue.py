@@ -1,0 +1,332 @@
+"""File-based work queue: cells claimed by atomic rename on a shared FS.
+
+This is the multi-machine backend's substrate.  The queue is a directory
+(typically on a filesystem shared by every worker) laid out as::
+
+    context.json          serialized (spec, cluster, calibration) + retry cap
+    pending/<key>.json    claimable cell: method, batch size, attempt count
+    claimed/<key>--<worker>.json   a worker owns the cell
+    done/<key>.json       finished (its checkpoint was written first)
+    failed/<key>.json     exhausted the retry cap
+
+A worker claims a cell by renaming its pending file into ``claimed/``
+under the worker's own id.  POSIX rename is atomic, so exactly one of
+any number of racing workers wins; the losers see ``FileNotFoundError``
+and move on to the next pending file.  Completion is the reverse rename
+into ``done/`` — performed only *after* the cell's checkpoint hit disk,
+so a ``done`` marker always implies a readable result.
+
+Crash recovery never loses a cell: a dead worker leaves its claim file
+behind, and the coordinator (or any janitor) moves it back to pending
+with the attempt count incremented via :meth:`FileWorkQueue.requeue_claims_of`
+(worker known dead) or :meth:`FileWorkQueue.requeue_stale` (lease
+expired — the only option across machines, where liveness can't be
+probed).  Past ``max_retries`` requeues the cell lands in ``failed/``
+and the sweep reports it loudly rather than silently dropping it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Method
+from repro.search.cell import SweepCell
+from repro.sim.calibration import Calibration
+from repro.search.service.serialize import (
+    FORMAT_VERSION,
+    canonical_dumps,
+    context_from_json,
+    context_to_json,
+)
+
+__all__ = ["ClaimedCell", "FileWorkQueue"]
+
+_SUBDIRS = ("pending", "claimed", "done", "failed")
+#: Separates the cell key from the worker id in claim filenames.  Keys
+#: are hex so the separator can never appear inside one.
+_CLAIM_SEP = "--"
+
+
+@dataclass(frozen=True)
+class ClaimedCell:
+    """A cell this process has exclusive ownership of."""
+
+    key: str
+    cell: SweepCell
+    attempts: int
+    path: Path
+
+
+class FileWorkQueue:
+    """One sweep's work queue rooted at a directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def create(
+        cls,
+        root: str | os.PathLike,
+        spec: TransformerSpec,
+        cluster: ClusterSpec,
+        calibration: Calibration,
+        *,
+        max_retries: int = 2,
+    ) -> "FileWorkQueue":
+        """Initialize (or reset) a queue directory for a new sweep run.
+
+        Any state left by a previous, interrupted run is cleared — cell
+        results live in the checkpoint store, not the queue, so a stale
+        queue holds nothing worth keeping.
+        """
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        queue = cls(root)
+        queue.root.mkdir(parents=True, exist_ok=True)
+        for name in _SUBDIRS:
+            sub = queue.root / name
+            sub.mkdir(exist_ok=True)
+            for stale in sub.iterdir():
+                stale.unlink()
+        payload = {
+            "format": FORMAT_VERSION,
+            "max_retries": max_retries,
+            **context_to_json(spec, cluster, calibration),
+        }
+        queue._atomic_write(
+            queue.root / "context.json",
+            canonical_dumps(payload).encode("utf-8"),
+        )
+        return queue
+
+    @classmethod
+    def open(cls, root: str | os.PathLike) -> "FileWorkQueue":
+        """Attach to an existing queue (the worker-side entry point)."""
+        queue = cls(root)
+        if not (queue.root / "context.json").is_file():
+            raise ValueError(
+                f"{queue.root} is not an initialized work queue "
+                "(no context.json); create one with FileWorkQueue.create()"
+            )
+        return queue
+
+    def _context_payload(self) -> dict:
+        payload = json.loads((self.root / "context.json").read_text())
+        if payload.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"queue context format {payload.get('format')!r} != "
+                f"{FORMAT_VERSION}"
+            )
+        return payload
+
+    def load_context(self) -> tuple[TransformerSpec, ClusterSpec, Calibration]:
+        """The sweep inputs every worker searches against."""
+        return context_from_json(self._context_payload())
+
+    @property
+    def max_retries(self) -> int:
+        return int(self._context_payload()["max_retries"])
+
+    # ------------------------------------------------------------- plumbing
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        tmp = self.root / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _dir(self, name: str) -> Path:
+        return self.root / name
+
+    def _keys_in(self, name: str) -> set[str]:
+        return {p.stem for p in self._dir(name).glob("*.json")}
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, key: str, cell: SweepCell, *, attempts: int = 0) -> None:
+        """Make a cell claimable (idempotent: last write wins)."""
+        payload = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "method": cell.method.value,
+            "batch_size": cell.batch_size,
+            "attempts": attempts,
+        }
+        self._atomic_write(
+            self._dir("pending") / f"{key}.json",
+            canonical_dumps(payload).encode("utf-8"),
+        )
+
+    # ---------------------------------------------------------------- claim
+
+    def claim(self, worker_id: str) -> ClaimedCell | None:
+        """Atomically take ownership of one pending cell, if any.
+
+        Scans pending files in sorted order and renames the first one it
+        wins; returns ``None`` when nothing is claimable right now (other
+        workers may still be computing).
+        """
+        if _CLAIM_SEP in worker_id or "/" in worker_id or not worker_id:
+            raise ValueError(f"invalid worker id {worker_id!r}")
+        claimed_dir = self._dir("claimed")
+        for path in sorted(self._dir("pending").glob("*.json")):
+            key = path.stem
+            dest = claimed_dir / f"{key}{_CLAIM_SEP}{worker_id}.json"
+            try:
+                os.replace(path, dest)
+            except FileNotFoundError:
+                continue  # another worker won this cell
+            # Rename preserves the enqueue-time mtime; reset it so the
+            # stale-claim lease is measured from the claim, not from
+            # however long the cell sat in pending/.
+            os.utime(dest)
+            parsed = self._parse_claim(dest)
+            if parsed is None:
+                # Unreadable task file: park it in failed/ so the sweep
+                # reports it instead of crash-looping every worker.
+                os.replace(dest, self._dir("failed") / f"{key}.json")
+                continue
+            _key, cell, attempts = parsed
+            return ClaimedCell(key=key, cell=cell, attempts=attempts, path=dest)
+        return None
+
+    def complete(self, claim: ClaimedCell) -> None:
+        """Mark a claimed cell finished.
+
+        Call only after the cell's checkpoint is durably stored — the
+        done marker is the signal coordinators trust.  Tolerates the
+        claim having been leased away mid-computation (requeued as
+        stale): the checkpoint exists, so the done marker is written
+        directly and whoever re-claims the duplicate will no-op.
+        """
+        dest = self._dir("done") / f"{claim.key}.json"
+        try:
+            os.replace(claim.path, dest)
+        except FileNotFoundError:
+            payload = {
+                "format": FORMAT_VERSION,
+                "key": claim.key,
+                "method": claim.cell.method.value,
+                "batch_size": claim.cell.batch_size,
+                "attempts": claim.attempts,
+            }
+            self._atomic_write(dest, canonical_dumps(payload).encode("utf-8"))
+
+    def release(self, claim: ClaimedCell) -> bool:
+        """Give a claimed cell back (worker-side graceful failure).
+
+        Returns True if the cell was requeued, False if it exhausted the
+        retry cap and moved to ``failed/``.
+        """
+        return self._requeue(claim.path, claim.key, claim.cell, claim.attempts)
+
+    # -------------------------------------------------------------- recovery
+
+    def _requeue(
+        self, claim_path: Path, key: str, cell: SweepCell, attempts: int
+    ) -> bool:
+        if attempts + 1 > self.max_retries:
+            try:
+                os.replace(claim_path, self._dir("failed") / f"{key}.json")
+            except FileNotFoundError:
+                # The claim vanished between parsing and now — the worker
+                # completed it (or another janitor recovered it).  The
+                # done marker, not failed/, reflects reality.
+                return True
+            return False
+        # Pending first, claim removal second: a crash in between leaves a
+        # duplicate claim file, which is harmless (results are idempotent
+        # and checkpoint writes are atomic), whereas the other order could
+        # lose the cell.
+        self.enqueue(key, cell, attempts=attempts + 1)
+        claim_path.unlink(missing_ok=True)
+        return True
+
+    def _parse_claim(self, path: Path) -> tuple[str, SweepCell, int] | None:
+        key = path.stem.split(_CLAIM_SEP, 1)[0]
+        try:
+            payload = json.loads(path.read_text())
+            cell = SweepCell(
+                method=Method(payload["method"]),
+                batch_size=int(payload["batch_size"]),
+            )
+            attempts = int(payload.get("attempts", 0))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        return key, cell, attempts
+
+    def requeue_claims_of(self, worker_id: str) -> tuple[list[str], list[str]]:
+        """Requeue every cell a (known dead) worker was holding.
+
+        Returns ``(requeued_keys, exhausted_keys)``; exhausted cells moved
+        to ``failed/``.
+        """
+        requeued: list[str] = []
+        exhausted: list[str] = []
+        pattern = f"*{_CLAIM_SEP}{worker_id}.json"
+        for path in sorted(self._dir("claimed").glob(pattern)):
+            parsed = self._parse_claim(path)
+            if parsed is None:
+                continue
+            key, cell, attempts = parsed
+            if self._requeue(path, key, cell, attempts):
+                requeued.append(key)
+            else:
+                exhausted.append(key)
+        return requeued, exhausted
+
+    def requeue_stale(
+        self, lease_seconds: float, *, now: float | None = None
+    ) -> tuple[list[str], list[str]]:
+        """Requeue claims older than ``lease_seconds``.
+
+        The cross-machine recovery path: remote worker liveness can't be
+        probed, so a claim doubles as a lease keyed on its file mtime.
+        """
+        if now is None:
+            now = time.time()
+        requeued: list[str] = []
+        exhausted: list[str] = []
+        for path in sorted(self._dir("claimed").glob("*.json")):
+            try:
+                age = now - path.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            if age < lease_seconds:
+                continue
+            parsed = self._parse_claim(path)
+            if parsed is None:
+                continue
+            key, cell, attempts = parsed
+            if self._requeue(path, key, cell, attempts):
+                requeued.append(key)
+            else:
+                exhausted.append(key)
+        return requeued, exhausted
+
+    # ------------------------------------------------------------ inspection
+
+    def pending_keys(self) -> set[str]:
+        return self._keys_in("pending")
+
+    def claimed_keys(self) -> set[str]:
+        return {
+            p.stem.split(_CLAIM_SEP, 1)[0]
+            for p in self._dir("claimed").glob("*.json")
+        }
+
+    def done_keys(self) -> set[str]:
+        return self._keys_in("done")
+
+    def failed_keys(self) -> set[str]:
+        return self._keys_in("failed")
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(self._keys_in(name)) for name in _SUBDIRS}

@@ -1,0 +1,250 @@
+"""JSON round-trips for sweep payloads, and content-hash cell keys.
+
+Checkpoint files must reproduce a :class:`SearchOutcome` *exactly*: a
+resumed sweep is required to return byte-identical results to an
+uninterrupted one.  Every converter here is therefore explicit and total
+over the dataclass fields (no ``asdict`` magic), enums are stored by
+value, and floats survive because ``json`` emits ``repr`` — Python's
+shortest round-trip representation — so ``float(json(x)) == x`` bit for
+bit.
+
+Cells are addressed by a content hash over everything that determines a
+cell's result: the model spec, the cluster (GPU and both fabrics), the
+calibration constants and the (method, batch size) pair.  Two sweeps
+over the same inputs share checkpoints; changing any constant changes
+every key, so stale results can never be resumed by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.analytical.memory import MemoryBreakdown
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.network import NetworkSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
+from repro.search.cell import SweepCell
+from repro.search.grid import SearchOutcome
+from repro.sim.calibration import Calibration
+from repro.sim.simulator import SimulationResult
+from repro.sim.timeline import TimelineEvent
+
+__all__ = [
+    "FORMAT_VERSION",
+    "canonical_dumps",
+    "cell_key",
+    "config_from_json",
+    "config_to_json",
+    "context_from_json",
+    "context_to_json",
+    "outcome_from_json",
+    "outcome_to_json",
+    "result_from_json",
+    "result_to_json",
+]
+
+#: Bumped whenever the serialized layout changes; checkpoints written
+#: under another version are rejected (and recomputed), never guessed at.
+FORMAT_VERSION = 1
+
+_CONFIG_INT_FIELDS = (
+    "n_dp", "n_pp", "n_tp", "microbatch_size", "n_microbatches", "n_loop",
+)
+_MEMORY_FIELDS = (
+    "state", "checkpoints", "activations", "pp_buffers", "total", "total_min",
+)
+_RESULT_FLOAT_FIELDS = (
+    "step_time", "throughput_per_gpu", "utilization", "compute_busy",
+    "pp_comm_busy", "dp_comm_busy", "bubble_fraction",
+)
+_SPEC_FIELDS = (
+    "name", "n_layers", "n_heads", "head_size", "hidden_size", "seq_length",
+    "vocab_size",
+)
+_GPU_FIELDS = ("name", "peak_flops", "memory_bytes", "memory_bandwidth")
+_NETWORK_FIELDS = (
+    "name", "bandwidth", "latency", "sync_overhead", "overlap_compute_cost",
+)
+_CALIBRATION_FIELDS = (
+    "kernel_efficiency_max", "tokens_half_point", "width_half_point",
+    "optimizer_bytes_per_param", "fixed_step_overhead",
+)
+
+
+def canonical_dumps(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace.
+
+    Used both for hashing (keys must not depend on dict insertion order)
+    and for the byte-identical-resume guarantee.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ------------------------------------------------------------- ParallelConfig
+
+
+def config_to_json(config: ParallelConfig) -> dict:
+    data = {f: getattr(config, f) for f in _CONFIG_INT_FIELDS}
+    data["sharding"] = config.sharding.value
+    data["schedule"] = config.schedule.value
+    return data
+
+
+def config_from_json(data: dict) -> ParallelConfig:
+    return ParallelConfig(
+        **{f: int(data[f]) for f in _CONFIG_INT_FIELDS},
+        sharding=Sharding(data["sharding"]),
+        schedule=ScheduleKind(data["schedule"]),
+    )
+
+
+# ------------------------------------------------------------ SimulationResult
+
+
+def _memory_to_json(memory: MemoryBreakdown) -> dict:
+    return {f: getattr(memory, f) for f in _MEMORY_FIELDS}
+
+
+def _memory_from_json(data: dict) -> MemoryBreakdown:
+    return MemoryBreakdown(**{f: float(data[f]) for f in _MEMORY_FIELDS})
+
+
+def _event_to_json(event: TimelineEvent) -> list:
+    # Positional, not keyed: timelines can run to hundreds of thousands
+    # of events and the field names would dominate the file size.
+    return [event.rank, event.stream, event.start, event.end,
+            event.label, event.category]
+
+
+def _event_from_json(data: list) -> TimelineEvent:
+    rank, stream, start, end, label, category = data
+    return TimelineEvent(
+        rank=int(rank), stream=str(stream), start=float(start),
+        end=float(end), label=str(label), category=str(category),
+    )
+
+
+def result_to_json(result: SimulationResult) -> dict:
+    data = {f: getattr(result, f) for f in _RESULT_FLOAT_FIELDS}
+    data["config"] = config_to_json(result.config)
+    data["implementation_name"] = result.implementation_name
+    data["memory"] = _memory_to_json(result.memory)
+    data["timeline"] = [_event_to_json(e) for e in result.timeline]
+    return data
+
+
+def result_from_json(data: dict) -> SimulationResult:
+    return SimulationResult(
+        config=config_from_json(data["config"]),
+        implementation_name=str(data["implementation_name"]),
+        memory=_memory_from_json(data["memory"]),
+        timeline=tuple(_event_from_json(e) for e in data["timeline"]),
+        **{f: float(data[f]) for f in _RESULT_FLOAT_FIELDS},
+    )
+
+
+# --------------------------------------------------------------- SearchOutcome
+
+
+def outcome_to_json(outcome: SearchOutcome) -> dict:
+    return {
+        "method": outcome.method.value,
+        "batch_size": outcome.batch_size,
+        "best": None if outcome.best is None else result_to_json(outcome.best),
+        "n_tried": outcome.n_tried,
+        "n_excluded": outcome.n_excluded,
+    }
+
+
+def outcome_from_json(data: dict) -> SearchOutcome:
+    """Inverse of :func:`outcome_to_json`.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input;
+    callers (the checkpoint store) treat those as corruption.
+    """
+    best = data["best"]
+    return SearchOutcome(
+        method=Method(data["method"]),
+        batch_size=int(data["batch_size"]),
+        best=None if best is None else result_from_json(best),
+        n_tried=int(data["n_tried"]),
+        n_excluded=int(data["n_excluded"]),
+    )
+
+
+# -------------------------------------------------- sweep context (the inputs)
+
+
+def _spec_to_json(spec: TransformerSpec) -> dict:
+    return {f: getattr(spec, f) for f in _SPEC_FIELDS}
+
+
+def _network_to_json(network: NetworkSpec) -> dict:
+    return {f: getattr(network, f) for f in _NETWORK_FIELDS}
+
+
+def _cluster_to_json(cluster: ClusterSpec) -> dict:
+    return {
+        "name": cluster.name,
+        "node_size": cluster.node_size,
+        "n_nodes": cluster.n_nodes,
+        "gpu": {f: getattr(cluster.gpu, f) for f in _GPU_FIELDS},
+        "intra_node": _network_to_json(cluster.intra_node),
+        "inter_node": _network_to_json(cluster.inter_node),
+    }
+
+
+def context_to_json(
+    spec: TransformerSpec, cluster: ClusterSpec, calibration: Calibration
+) -> dict:
+    """Serialize everything a worker needs to search a cell."""
+    return {
+        "spec": _spec_to_json(spec),
+        "cluster": _cluster_to_json(cluster),
+        "calibration": {f: getattr(calibration, f) for f in _CALIBRATION_FIELDS},
+    }
+
+
+def context_from_json(
+    data: dict,
+) -> tuple[TransformerSpec, ClusterSpec, Calibration]:
+    cluster = data["cluster"]
+    return (
+        TransformerSpec(**data["spec"]),
+        ClusterSpec(
+            name=cluster["name"],
+            node_size=int(cluster["node_size"]),
+            n_nodes=int(cluster["n_nodes"]),
+            gpu=GPUSpec(**cluster["gpu"]),
+            intra_node=NetworkSpec(**cluster["intra_node"]),
+            inter_node=NetworkSpec(**cluster["inter_node"]),
+        ),
+        Calibration(**data["calibration"]),
+    )
+
+
+def cell_key(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    cell: SweepCell,
+) -> str:
+    """Content hash naming one cell's checkpoint.
+
+    Deterministic across processes and machines (no ``PYTHONHASHSEED``
+    dependence): sha256 over the canonical JSON of the full search input.
+    20 hex characters keep filenames short while leaving collision odds
+    negligible for any real grid.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "method": cell.method.value,
+        "batch_size": cell.batch_size,
+        **context_to_json(spec, cluster, calibration),
+    }
+    digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))
+    return digest.hexdigest()[:20]

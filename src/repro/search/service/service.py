@@ -1,0 +1,196 @@
+"""``run_sweep``: the resumable, backend-pluggable sweep entry point.
+
+One call searches a set of (method, batch size) cells over any of the
+executor backends and, when a checkpoint directory is given, persists
+every completed cell as it lands.  With ``resume=True`` the sweep first
+satisfies cells from valid checkpoints and only schedules the remainder
+— an interrupted full-paper grid loses at most the cells that were in
+flight, and a finished grid replays instantly.
+
+Checkpoint keys are content hashes of the complete search input
+(:func:`repro.search.service.serialize.cell_key`), so one directory can
+safely accumulate cells from different models, clusters, calibrations
+and panels, and a checkpoint can never be resumed against the wrong
+inputs.  Duplicate cells in the input are searched once and fanned back
+to every position.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.search.cell import SweepCell
+from repro.search.grid import SearchOutcome
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.executors import (
+    Executor,
+    FileQueueExecutor,
+    MultiprocessingExecutor,
+    ProcessPoolBackend,
+    SerialExecutor,
+    SweepError,
+)
+from repro.search.service.progress import ProgressReporter
+from repro.search.service.serialize import cell_key
+
+__all__ = ["BACKENDS", "SweepOptions", "run_sweep"]
+
+#: Selectable backend names, in documentation order.
+BACKENDS = ("serial", "multiprocessing", "process-pool", "file-queue")
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """How a sweep should execute (everything except *what* to search).
+
+    Attributes:
+        backend: One of :data:`BACKENDS`.
+        processes: Pool size for the process backends (None = CPU count).
+        start_method: ``fork``/``spawn``/``forkserver`` override for the
+            process backends; None picks fork where available.
+        checkpoint_dir: Directory of per-cell checkpoints.  Optional for
+            in-process backends, required for ``file-queue`` (workers
+            deliver results through it).
+        queue_dir: File-queue root; defaults to ``checkpoint_dir/queue``.
+        workers: File-queue local worker count.
+        max_retries: Requeues allowed per cell after worker crashes.
+        stale_lease: File-queue claim lease (seconds) for recovering
+            cells held by unreachable external workers; None disables.
+        resume: Satisfy cells from existing checkpoints instead of
+            recomputing them.
+        progress: Print progress/ETA lines to stderr.
+    """
+
+    backend: str = "multiprocessing"
+    processes: int | None = None
+    start_method: str | None = None
+    checkpoint_dir: str | os.PathLike | None = None
+    queue_dir: str | os.PathLike | None = None
+    workers: int = 2
+    max_retries: int = 2
+    stale_lease: float | None = None
+    resume: bool = False
+    progress: bool = False
+
+
+def _make_executor(options: SweepOptions) -> Executor:
+    if options.backend == "serial":
+        return SerialExecutor()
+    if options.backend == "multiprocessing":
+        return MultiprocessingExecutor(
+            processes=options.processes, start_method=options.start_method
+        )
+    if options.backend == "process-pool":
+        return ProcessPoolBackend(
+            processes=options.processes, start_method=options.start_method
+        )
+    if options.backend == "file-queue":
+        if options.checkpoint_dir is None:
+            raise ValueError(
+                "the file-queue backend requires checkpoint_dir: workers "
+                "deliver their results through the checkpoint store"
+            )
+        queue_dir = options.queue_dir
+        if queue_dir is None:
+            queue_dir = Path(options.checkpoint_dir) / "queue"
+        return FileQueueExecutor(
+            queue_dir,
+            options.checkpoint_dir,
+            workers=options.workers,
+            max_retries=options.max_retries,
+            stale_lease=options.stale_lease,
+        )
+    raise ValueError(
+        f"unknown backend {options.backend!r}; choose from "
+        f"{', '.join(BACKENDS)}"
+    )
+
+
+def run_sweep(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    cells: Iterable[SweepCell],
+    *,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    options: SweepOptions | None = None,
+    executor: Executor | None = None,
+    **overrides,
+) -> list[SearchOutcome]:
+    """Search every cell; return outcomes in the input order.
+
+    Args:
+        spec: Model to search for.
+        cluster: Hardware description.
+        cells: The (method, batch size) cells to search.
+        calibration: Cost-model constants, shared by all cells.
+        options: Execution settings (see :class:`SweepOptions`).
+        executor: Pre-built backend instance, overriding
+            ``options.backend`` — the hook for custom executors.
+        **overrides: Field overrides applied on top of ``options``
+            (``run_sweep(..., backend="serial", resume=True)``).
+
+    Raises:
+        SweepError: A cell could not be completed (e.g. file-queue
+            workers exhausted the retry cap).
+        ValueError: Unknown backend or invalid option combination.
+    """
+    if options is None:
+        options = SweepOptions()
+    if overrides:
+        options = replace(options, **overrides)
+
+    cells = list(cells)
+    keys = [cell_key(spec, cluster, calibration, cell) for cell in cells]
+
+    # Dedup: identical cells share a key and are searched exactly once.
+    first_of: dict[str, tuple[int, SweepCell]] = {}
+    for index, (key, cell) in enumerate(zip(keys, cells)):
+        first_of.setdefault(key, (index, cell))
+
+    store = (
+        CheckpointStore(options.checkpoint_dir)
+        if options.checkpoint_dir is not None
+        else None
+    )
+    outcomes: dict[str, SearchOutcome] = {}
+    if options.resume and store is not None:
+        outcomes = store.load_many(first_of)
+
+    tasks = [
+        (index, key, cell)
+        for key, (index, cell) in first_of.items()
+        if key not in outcomes
+    ]
+    key_of_index = {index: key for index, key, _cell in tasks}
+
+    reporter = (
+        ProgressReporter(len(first_of), label=f"sweep:{options.backend}")
+        if options.progress
+        else None
+    )
+    if reporter is not None and outcomes:
+        reporter.skip(len(outcomes))
+
+    if tasks:
+        backend = executor if executor is not None else _make_executor(options)
+        for index, outcome in backend.run((spec, cluster, calibration), tasks):
+            key = key_of_index[index]
+            if store is not None and not backend.writes_checkpoints:
+                store.store(key, outcome)
+            outcomes[key] = outcome
+            if reporter is not None:
+                reporter.update()
+
+    missing = [key for key in first_of if key not in outcomes]
+    if missing:
+        raise SweepError(
+            f"sweep finished with {len(missing)} unresolved cell(s): "
+            f"{', '.join(sorted(missing))}"
+        )
+    return [outcomes[key] for key in keys]

@@ -1,0 +1,133 @@
+"""Standalone file-queue sweep worker.
+
+Run ``python -m repro.search.service.worker --queue-dir Q --checkpoint-dir C``
+on any machine that sees the queue's filesystem and it joins the sweep:
+claim a cell, search it, checkpoint the outcome, mark it done, repeat.
+Any number of workers cooperate without further coordination — the claim
+protocol (:mod:`repro.search.service.queue`) guarantees each cell is
+computed by one worker at a time, and content-hash checkpoint keys make
+recomputation after a crash idempotent.
+
+Workers exit when no pending work remains (default), or poll forever
+with ``--wait`` — the mode for a standing fleet fed by multiple sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+import uuid
+
+from repro.search.grid import best_configuration
+from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.queue import FileWorkQueue
+
+__all__ = ["default_worker_id", "main", "run_worker"]
+
+
+def default_worker_id() -> str:
+    """Host + pid + nonce: unique across a shared-filesystem fleet."""
+    host = socket.gethostname().replace("--", "-")
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def run_worker(
+    queue_dir: str,
+    checkpoint_dir: str,
+    *,
+    worker_id: str | None = None,
+    wait: bool = False,
+    poll_interval: float = 0.5,
+    max_cells: int | None = None,
+    crash_after_claims: int | None = None,
+) -> int:
+    """Drain the queue; returns the number of cells this worker completed.
+
+    ``crash_after_claims`` is a failure-injection hook for tests and the
+    CI smoke run: after that many claims the worker dies via ``os._exit``
+    with a claim in flight — indistinguishable, to the rest of the
+    system, from a SIGKILL mid-cell.
+    """
+    queue = FileWorkQueue.open(queue_dir)
+    spec, cluster, calibration = queue.load_context()
+    store = CheckpointStore(checkpoint_dir)
+    if worker_id is None:
+        worker_id = default_worker_id()
+
+    completed = 0
+    claims = 0
+    while max_cells is None or completed < max_cells:
+        claim = queue.claim(worker_id)
+        if claim is None:
+            if not wait:
+                break
+            time.sleep(poll_interval)
+            continue
+        claims += 1
+        if crash_after_claims is not None and claims > crash_after_claims:
+            os._exit(13)  # simulate SIGKILL holding the claim
+        outcome = store.load(claim.key)
+        if outcome is None:
+            try:
+                outcome = best_configuration(
+                    spec, cluster, claim.cell.method, claim.cell.batch_size,
+                    calibration,
+                )
+            except Exception:
+                # Don't swallow the cell with the traceback: requeue (or
+                # fail past the cap) before dying.
+                queue.release(claim)
+                raise
+            store.store(claim.key, outcome)
+        queue.complete(claim)
+        completed += 1
+    return completed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="File-queue sweep worker: claims and searches grid "
+        "cells until the queue drains."
+    )
+    parser.add_argument("--queue-dir", required=True)
+    parser.add_argument("--checkpoint-dir", required=True)
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="unique claim id (default: host-pid-nonce)",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll for new work instead of exiting when the queue is empty",
+    )
+    parser.add_argument("--poll-interval", type=float, default=0.5)
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="exit after completing this many cells",
+    )
+    # Failure injection for tests/CI; deliberately undocumented in --help.
+    parser.add_argument(
+        "--crash-after-claims", type=int, default=None, help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+    completed = run_worker(
+        args.queue_dir,
+        args.checkpoint_dir,
+        worker_id=args.worker_id,
+        wait=args.wait,
+        poll_interval=args.poll_interval,
+        max_cells=args.max_cells,
+        crash_after_claims=args.crash_after_claims,
+    )
+    print(f"worker finished: {completed} cell(s) completed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

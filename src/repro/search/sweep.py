@@ -1,66 +1,37 @@
-"""Parallel sweep orchestrator for multi-cell grid searches.
+"""Compatibility wrappers over the sweep service.
 
-Figure 7 and the Appendix E tables run one :func:`best_configuration`
-search per (method, batch size) cell — a dozen or more independent cells
-per panel.  This module fans those cells out over a ``multiprocessing``
-pool: each worker process runs whole cells (coarse-grained, so pickling
-traffic is one :class:`SearchOutcome` per cell) and shares the
-per-process cost-model cache (:func:`repro.search.grid.cached_schedule`),
-which fork-started workers inherit pre-warmed from the parent.
+``sweep_cells``/``sweep_grid`` predate :mod:`repro.search.service`; they
+are kept as the stable convenience API for "search this grid on this
+machine" and now delegate to :func:`repro.search.service.run_sweep` with
+the ``multiprocessing`` backend.  Two behaviour changes from the
+original pool, both deliberate:
 
-The pool uses the ``fork`` start method when the platform offers it —
-workers then need no re-imports and share the warm cache.  Where only
-``spawn`` is available (or a single process is requested) the sweep runs
-serially in-process, which keeps results byte-identical and avoids
-pickling surprises in exotic environments.
+- Spawn-only platforms get a real process pool: the pool initializer
+  rebuilds the search context in each child, instead of the old silent
+  degradation to a single process.  (``fork`` is still preferred where
+  available — forked workers inherit the warm schedule cache.)
+- Checkpointing, resume, progress reporting and the other backends are
+  reachable by passing a :class:`~repro.search.service.SweepOptions`.
+
+Results are byte-identical across all backends and worker orderings:
+cells are independent, and within a cell the search is deterministic
+(including throughput ties — see :func:`repro.search.grid.best_configuration`).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import replace
 
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
-from repro.search.grid import SearchOutcome, best_configuration
+from repro.search.cell import SweepCell
+from repro.search.grid import SearchOutcome
+from repro.search.service.service import SweepOptions, run_sweep
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 
 __all__ = ["SweepCell", "sweep_cells", "sweep_grid"]
-
-
-@dataclass(frozen=True)
-class SweepCell:
-    """One independently searchable grid cell."""
-
-    method: Method
-    batch_size: int
-
-
-#: Worker-process search context, set once by the pool initializer so the
-#: per-cell task payload is just the (method, batch) pair.
-_WORKER_CONTEXT: dict = {}
-
-
-def _init_worker(
-    spec: TransformerSpec, cluster: ClusterSpec, calibration: Calibration
-) -> None:
-    _WORKER_CONTEXT["args"] = (spec, cluster, calibration)
-
-
-def _search_cell(cell: SweepCell) -> SearchOutcome:
-    spec, cluster, calibration = _WORKER_CONTEXT["args"]
-    return best_configuration(
-        spec, cluster, cell.method, cell.batch_size, calibration
-    )
-
-
-def _resolve_processes(processes: int | None, n_cells: int) -> int:
-    if processes is None:
-        processes = os.cpu_count() or 1
-    return max(1, min(processes, n_cells))
 
 
 def sweep_cells(
@@ -70,6 +41,7 @@ def sweep_cells(
     *,
     calibration: Calibration = DEFAULT_CALIBRATION,
     processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> list[SearchOutcome]:
     """Search every cell; return outcomes in the input order.
 
@@ -79,25 +51,18 @@ def sweep_cells(
         cells: The (method, batch size) cells to search.
         calibration: Cost-model constants, shared by all cells.
         processes: Pool size; ``None`` uses the CPU count (capped at the
-            number of cells).  With one process — or on platforms without
-            ``fork`` — the sweep runs serially in this process.
+            number of cells), ``1`` runs serially in this process.
+        options: Full service options (backend, checkpointing, resume).
+            When given, ``processes`` overrides its pool size only if
+            not None.
     """
-    cells = list(cells)
-    n_proc = _resolve_processes(processes, len(cells))
-    if n_proc <= 1 or "fork" not in multiprocessing.get_all_start_methods():
-        return [
-            best_configuration(
-                spec, cluster, cell.method, cell.batch_size, calibration
-            )
-            for cell in cells
-        ]
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(
-        processes=n_proc,
-        initializer=_init_worker,
-        initargs=(spec, cluster, calibration),
-    ) as pool:
-        return pool.map(_search_cell, cells, chunksize=1)
+    if options is None:
+        options = SweepOptions(processes=processes)
+    elif processes is not None:
+        options = replace(options, processes=processes)
+    return run_sweep(
+        spec, cluster, cells, calibration=calibration, options=options
+    )
 
 
 def sweep_grid(
@@ -108,6 +73,7 @@ def sweep_grid(
     *,
     calibration: Calibration = DEFAULT_CALIBRATION,
     processes: int | None = None,
+    options: SweepOptions | None = None,
 ) -> dict[Method, list[SearchOutcome]]:
     """Search the full methods x batch-sizes grid of one Figure 7 panel.
 
@@ -118,7 +84,12 @@ def sweep_grid(
         SweepCell(method, batch) for method in methods for batch in batch_sizes
     ]
     outcomes = sweep_cells(
-        spec, cluster, cells, calibration=calibration, processes=processes
+        spec,
+        cluster,
+        cells,
+        calibration=calibration,
+        processes=processes,
+        options=options,
     )
     grouped: dict[Method, list[SearchOutcome]] = {m: [] for m in methods}
     for cell, outcome in zip(cells, outcomes):

@@ -1,6 +1,18 @@
-"""ASCII visualization: Figure 4 timelines and simple charts for benches."""
+"""Visualization: ASCII timelines/charts and the Chrome-trace exporter."""
 
 from repro.viz.timeline import render_placement, render_timeline
 from repro.viz.chart import ascii_line_chart
+from repro.viz.chrome_trace import (
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
 
-__all__ = ["ascii_line_chart", "render_placement", "render_timeline"]
+__all__ = [
+    "ascii_line_chart",
+    "chrome_trace",
+    "chrome_trace_events",
+    "render_placement",
+    "render_timeline",
+    "write_chrome_trace",
+]

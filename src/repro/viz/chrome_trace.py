@@ -1,0 +1,125 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of timelines.
+
+The ASCII renderer (:mod:`repro.viz.timeline`) is fine for a dozen
+micro-batches; real debugging of large programs needs zooming, search
+and exact durations.  This exporter turns the engine's recorded
+per-instruction start/end events into the Trace Event Format's complete
+(``"ph": "X"``) events — load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+Mapping: each pipeline rank becomes a process (``pid``), each of its
+streams (compute / pp / dp) a thread (``tid``), named via metadata
+events so the viewer shows "rank 0 — compute" instead of bare numbers.
+Multiple timelines — e.g. the four Figure 4 schedules — can share one
+trace as separate process groups for side-by-side comparison.
+Timestamps are exported in microseconds, the format's native unit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.sim.timeline import TimelineEvent
+
+__all__ = ["chrome_trace", "chrome_trace_events", "write_chrome_trace"]
+
+#: Stream name -> thread id, fixed so traces are stable across runs.
+_STREAM_TIDS = {"compute": 0, "pp": 1, "dp": 2}
+
+_SECONDS_TO_US = 1e6
+
+
+def _tid(stream: str) -> int:
+    return _STREAM_TIDS.get(stream, len(_STREAM_TIDS))
+
+
+def chrome_trace_events(
+    events: Sequence[TimelineEvent],
+    *,
+    pid_base: int = 0,
+    group: str | None = None,
+) -> list[dict]:
+    """Trace Event Format dicts for one timeline.
+
+    Args:
+        events: Engine-recorded instruction events (need labels, so the
+            simulation must have run with ``record_events=True``).
+        pid_base: First process id to assign; rank ``r`` maps to
+            ``pid_base + r``.
+        group: Optional prefix for process names (used when several
+            timelines share one trace).
+    """
+    out: list[dict] = []
+    ranks = sorted({e.rank for e in events})
+    for rank in ranks:
+        pid = pid_base + rank
+        name = f"rank {rank}" if group is None else f"{group} — rank {rank}"
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+        out.append({
+            "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+            "args": {"sort_index": pid},
+        })
+        for stream, tid in sorted(_STREAM_TIDS.items(), key=lambda kv: kv[1]):
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": stream},
+            })
+            out.append({
+                "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+                "args": {"sort_index": tid},
+            })
+    for event in events:
+        out.append({
+            "ph": "X",
+            "name": event.label or event.category,
+            "cat": event.category,
+            "pid": pid_base + event.rank,
+            "tid": _tid(event.stream),
+            "ts": event.start * _SECONDS_TO_US,
+            "dur": event.duration * _SECONDS_TO_US,
+        })
+    return out
+
+
+def chrome_trace(
+    timelines: Mapping[str, Sequence[TimelineEvent]]
+    | Sequence[TimelineEvent],
+) -> dict:
+    """A complete JSON-serializable trace document.
+
+    Accepts either one timeline or a mapping of named timelines; named
+    groups get disjoint pid ranges so they sit side by side in the
+    viewer.
+    """
+    if isinstance(timelines, Mapping):
+        groups = list(timelines.items())
+    else:
+        groups = [(None, timelines)]
+    trace_events: list[dict] = []
+    pid_base = 0
+    for group, events in groups:
+        trace_events.extend(
+            chrome_trace_events(events, pid_base=pid_base, group=group)
+        )
+        # Next group starts past this one's highest pid, so pids never
+        # collide even for sparse or non-zero-based rank sets.
+        pid_base += max((e.rank for e in events), default=0) + 1
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | os.PathLike,
+    timelines: Mapping[str, Sequence[TimelineEvent]]
+    | Sequence[TimelineEvent],
+) -> Path:
+    """Write a trace file loadable by chrome://tracing; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(timelines)))
+    return path

@@ -1,0 +1,114 @@
+"""Tests for the Chrome-trace (chrome://tracing JSON) exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import ParallelConfig, ScheduleKind
+from repro.sim.simulator import simulate
+from repro.viz.chrome_trace import (
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+TINY = TransformerSpec(
+    name="tiny", n_layers=8, n_heads=8, head_size=64, hidden_size=512,
+    seq_length=128,
+)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    config = ParallelConfig(
+        n_dp=2, n_pp=4, n_tp=1, microbatch_size=1, n_microbatches=4,
+        n_loop=2, schedule=ScheduleKind.BREADTH_FIRST,
+    )
+    result = simulate(TINY, config, DGX1_CLUSTER_64, record_events=True)
+    assert result.timeline
+    return result.timeline
+
+
+def complete_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+
+class TestChromeTraceEvents:
+    def test_one_x_event_per_instruction(self, timeline):
+        events = chrome_trace_events(timeline)
+        assert len([e for e in events if e["ph"] == "X"]) == len(timeline)
+
+    def test_timestamps_in_microseconds(self, timeline):
+        first = min(timeline, key=lambda e: (e.rank, e.start, e.stream))
+        matches = [
+            e for e in chrome_trace_events(timeline)
+            if e["ph"] == "X"
+            and e["pid"] == first.rank
+            and e["ts"] == first.start * 1e6
+            and e["name"] == (first.label or first.category)
+        ]
+        assert matches
+        assert matches[0]["dur"] == pytest.approx(first.duration * 1e6)
+        assert matches[0]["cat"] == first.category
+
+    def test_streams_map_to_stable_tids(self, timeline):
+        events = chrome_trace_events(timeline)
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert tids == {"compute": 0, "pp": 1, "dp": 2}
+
+    def test_process_metadata_names_ranks(self, timeline):
+        events = chrome_trace_events(timeline, group="panel (d)")
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {f"panel (d) — rank {r}" for r in range(4)}
+
+
+class TestChromeTraceDocument:
+    def test_bare_sequence_accepted(self, timeline):
+        trace = chrome_trace(timeline)
+        assert trace["displayTimeUnit"] == "ms"
+        assert len(complete_events(trace)) == len(timeline)
+
+    def test_groups_get_disjoint_pids(self, timeline):
+        trace = chrome_trace({"a": timeline, "b": timeline})
+        pids_of = {"a": set(), "b": set()}
+        n_ranks = len({e.rank for e in timeline})
+        for event in complete_events(trace):
+            group = "a" if event["pid"] < n_ranks else "b"
+            pids_of[group].add(event["pid"])
+        assert pids_of["a"] == set(range(n_ranks))
+        assert pids_of["b"] == set(range(n_ranks, 2 * n_ranks))
+
+    def test_sparse_rank_groups_do_not_collide(self):
+        from repro.sim.timeline import TimelineEvent
+
+        def event(rank):
+            return TimelineEvent(
+                rank=rank, stream="compute", start=0.0, end=1.0,
+                label="F", category="forward",
+            )
+
+        trace = chrome_trace({
+            "a": [event(2), event(3)],   # sparse, non-zero-based ranks
+            "b": [event(0), event(1), event(2), event(3)],
+        })
+        pids = [e["pid"] for e in complete_events(trace)]
+        assert pids == [2, 3, 4, 5, 6, 7]  # group b starts past max(a)+1
+
+    def test_written_file_is_loadable_json(self, tmp_path, timeline):
+        path = write_chrome_trace(tmp_path / "sub" / "trace.json", timeline)
+        loaded = json.loads(path.read_text())
+        assert len(
+            [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        ) == len(timeline)
