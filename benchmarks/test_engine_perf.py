@@ -1,17 +1,23 @@
-"""Micro-benchmark: the event-driven search path vs the seed path.
+"""Micro-benchmarks: the search pipeline's two guarded speedups.
 
-Guards the PR's speedup claim: one Figure 7 grid cell searched with the
-current :func:`repro.search.grid.best_configuration` (memory filter
-before simulation, cached schedules, label-free programs, event-driven
-engine) must be at least 3x faster than the seed pipeline, and both must
-select the same winner.
+1. **Engine path vs the seed path** (PR 1's claim): one Figure 7 grid
+   cell searched with the current evaluation pipeline — *bound pruning
+   disabled*, so the comparison isolates the engine/program/caching work
+   — must be at least 3x faster than the seed pipeline, selecting the
+   same winner with the same counters.
 
-The seed pipeline is reproduced faithfully below from the seed commit:
-its program builder re-derived every duration per instruction and always
-built label strings (``_SeedProgramBuilder``, copied verbatim), every
-candidate was simulated on the sweep-relaxation engine
-(:func:`repro.sim.engine_sweep.run_streams_sweep`), and the memory
-filter ran only *after* the simulation.
+   The seed pipeline is reproduced faithfully below from the seed
+   commit: its program builder re-derived every duration per instruction
+   and always built label strings (``_SeedProgramBuilder``, copied
+   verbatim), every candidate was simulated on the sweep-relaxation
+   engine (:func:`repro.sim.engine_sweep.run_streams_sweep`), and the
+   memory filter ran only *after* the simulation.
+
+2. **Branch-and-bound vs prune-disabled** (this PR's claim): with the
+   analytical step-time lower bound driving best-bound-first
+   branch-and-bound, the same cell must search at least 2x faster than
+   the prune-disabled pipeline while producing a byte-identical
+   ``SearchOutcome.best``.
 """
 
 from __future__ import annotations
@@ -24,12 +30,14 @@ from repro.core.placement import Placement
 from repro.core.schedules.base import Schedule, build_schedule
 from repro.core.schedules.base import dpfs_repetition_key as _rep_key
 from repro.hardware.cluster import DGX1_CLUSTER_64
-from repro.models.presets import MODEL_52B
+from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.parallel.config import Method, Sharding
+from repro.search.cell import SearchSettings
 from repro.search.grid import MEMORY_HEADROOM, best_configuration, cached_schedule
+from repro.search.service.serialize import result_to_json
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION
-from repro.sim.cost import CostModel
+from repro.sim.cost import CostModel, stage_time_table
 from repro.sim.engine import Instruction
 from repro.sim.engine_sweep import run_streams_sweep
 
@@ -42,6 +50,15 @@ METHOD, BATCH = Method.DEPTH_FIRST, 64
 
 #: Required end-to-end speedup (the PR measured ~3.9x; 3x is the gate).
 MIN_SPEEDUP = 3.0
+
+#: Branch-and-bound guard: a Figure 7 panel-b cell with a large feasible
+#: set (non-looped 6.6B at B=512), where the bound prunes most of the
+#: space.  Measured ~9x; 2x is the gate.
+BNB_METHOD, BNB_BATCH = Method.NON_LOOPED, 512
+MIN_BNB_SPEEDUP = 2.0
+#: Paper-grid search settings with the pruning stage switched.
+PRUNE_ON = SearchSettings(bound_pruning=True)
+PRUNE_OFF = SearchSettings(bound_pruning=False)
 
 
 def _uid_of(op: ComputeOp) -> tuple:
@@ -389,15 +406,25 @@ def _best_of(fn, rounds=2):
 
 
 def test_search_speedup_vs_seed(benchmark):
+    # Bound pruning off: this guard isolates the engine/program/caching
+    # speedup, so both sides must simulate every feasible candidate (and
+    # report identical n_tried); the pruning stage has its own guard in
+    # test_bound_pruning_speedup below.
     cached_schedule.cache_clear()  # cold caches: measure a fresh cell
+    stage_time_table.cache_clear()
     new_outcome, new_time = _best_of(
-        lambda: best_configuration(SPEC, CLUSTER, METHOD, BATCH)
+        lambda: best_configuration(
+            SPEC, CLUSTER, METHOD, BATCH, settings=PRUNE_OFF
+        )
     )
     (seed_best, seed_tried, seed_excluded), seed_time = _best_of(
         lambda: _seed_best_configuration(SPEC, CLUSTER, METHOD, BATCH)
     )
     benchmark.pedantic(
-        lambda: best_configuration(SPEC, CLUSTER, METHOD, BATCH), rounds=1
+        lambda: best_configuration(
+            SPEC, CLUSTER, METHOD, BATCH, settings=PRUNE_OFF
+        ),
+        rounds=1,
     )
 
     # Same cell, same winner, same accounting.
@@ -415,4 +442,44 @@ def test_search_speedup_vs_seed(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"search speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
         f"(seed {seed_time:.2f}s vs new {new_time:.2f}s)"
+    )
+
+
+def test_bound_pruning_speedup(benchmark):
+    """Branch-and-bound guard: >= 2x on a Figure 7 cell, same winner."""
+
+    def run(settings: SearchSettings):
+        # Cold caches both times so neither side inherits the other's
+        # schedules or stage-time tables.
+        cached_schedule.cache_clear()
+        stage_time_table.cache_clear()
+        return best_configuration(
+            MODEL_6_6B, CLUSTER, BNB_METHOD, BNB_BATCH, settings=settings
+        )
+
+    pruned, pruned_time = _best_of(lambda: run(PRUNE_ON))
+    full, full_time = _best_of(lambda: run(PRUNE_OFF))
+    benchmark.pedantic(lambda: run(PRUNE_ON), rounds=1)
+
+    # Byte-identical winner: the serialized best (the checkpoint payload)
+    # must not depend on whether the pruning stage ran.
+    assert pruned.best is not None
+    assert result_to_json(pruned.best) == result_to_json(full.best)
+    # The accounting contract across the settings.
+    assert full.n_pruned == 0
+    assert pruned.n_excluded == full.n_excluded
+    assert pruned.n_tried + pruned.n_pruned == full.n_tried
+    assert pruned.n_pruned > 0  # the bound has real work on this cell
+
+    speedup = full_time / pruned_time
+    print(
+        f"\nbranch-and-bound cell {BNB_METHOD.value} B={BNB_BATCH}: "
+        f"pruned {pruned_time:.2f}s ({pruned.n_tried} simulated, "
+        f"{pruned.n_pruned} pruned), full {full_time:.2f}s "
+        f"({full.n_tried} simulated), speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_BNB_SPEEDUP, (
+        f"bound pruning speedup regressed: {speedup:.2f}x < "
+        f"{MIN_BNB_SPEEDUP}x (full {full_time:.2f}s vs pruned "
+        f"{pruned_time:.2f}s)"
     )

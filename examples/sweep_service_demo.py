@@ -27,6 +27,7 @@ from repro.hardware.cluster import DGX1_CLUSTER_64
 from repro.models.presets import MODEL_6_6B
 from repro.parallel.config import Method
 from repro.search.service import (
+    DEFAULT_SETTINGS,
     CheckpointStore,
     FileQueueExecutor,
     SweepCell,
@@ -53,8 +54,13 @@ def check(condition: bool, message: str) -> None:
 
 
 def main() -> int:
-    context = (MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION)
-    keys = [cell_key(*context, cell) for cell in GRID]
+    context = (
+        MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION, DEFAULT_SETTINGS,
+    )
+    keys = [
+        cell_key(MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION, cell)
+        for cell in GRID
+    ]
 
     print("1. serial reference run")
     reference = run_sweep(
@@ -73,7 +79,10 @@ def main() -> int:
             crash_first_worker_after=1,  # dies holding its second claim
         )
         tasks = list(zip(range(len(GRID)), keys, GRID))
-        results = dict(executor.run(context, tasks))
+        results = {
+            index: outcome
+            for index, outcome, _elapsed in executor.run(context, tasks)
+        }
         interrupted = [results[i] for i in range(len(GRID))]
         check(len(interrupted) == len(GRID), "all cells completed despite the kill")
         check(interrupted == reference, "outcomes match the serial run")

@@ -1,6 +1,8 @@
-"""Closed-form models from the paper: memory, network intensity, efficiency."""
+"""Closed-form models from the paper: memory, network intensity, efficiency,
+and the step-time lower bound driving branch-and-bound search pruning."""
 
 from repro.analytical.bubble import bubble_fraction
+from repro.analytical.lower_bound import StepTimeBound, step_time_lower_bound
 from repro.analytical.memory import MemoryBreakdown, memory_model
 from repro.analytical.network import (
     dp_intensity,
@@ -13,7 +15,9 @@ from repro.analytical.efficiency import theoretical_efficiency
 
 __all__ = [
     "MemoryBreakdown",
+    "StepTimeBound",
     "bubble_fraction",
+    "step_time_lower_bound",
     "dp_intensity",
     "dp_overlap_tokens",
     "hardware_intensity",

@@ -1,0 +1,136 @@
+"""Analytical step-time lower bound for branch-and-bound search pruning.
+
+Section 5.3 makes the Figure 7 grids tractable by refusing to evaluate
+configurations that cannot win.  The memory filter handles the "cannot
+run" half; this module handles "cannot be fast enough": a cheap, provable
+lower bound on the simulated step time, used by
+:func:`repro.search.grid.best_configuration` to skip simulating
+candidates whose *best possible* throughput is below the incumbent's.
+
+The bound combines two families of certificates, both of which hold for
+any execution the event engine can produce:
+
+- **Stream occupancy.**  Every (rank, stream) pair executes its
+  instructions serially, so the makespan is at least the summed duration
+  of any single stream: the compute stream (all forwards and backwards of
+  the rank's stages over all micro-batches — Eq. 11 flops over effective
+  flop/s — plus launch or inline transfer overheads, the serial DP block
+  and the optimizer) and the data-parallel stream (gathers and reductions
+  repeated per Eqs. 24-26, counted by
+  :func:`repro.core.schedules.base.dpfs_group_count`).
+- **Pipeline fill.**  The first compute of rank ``r`` sits at the end of
+  a dependency chain through stages ``0..r-1`` (one forward and one
+  transfer per hop) — the Eq. (4)/(9) bubble written in real durations.
+  Rank ``r`` therefore cannot finish before ``fill(r)`` plus its whole
+  compute occupancy.
+
+Neither certificate inspects the instruction order, so the bound is valid
+for every schedule kind, including the Section 4.2 hybrid.  It is proved
+``<= simulate(...).step_time`` over the configuration space by the
+property test in ``tests/test_lower_bound.py``; a relative float margin
+(:data:`FLOAT_MARGIN`) absorbs the summation-order differences between
+the closed forms here and the engine's sequential additions, so exact
+throughput ties can never be pruned incorrectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedules.base import dpfs_group_count
+from repro.parallel.config import Sharding
+from repro.sim.cost import CostModel
+
+__all__ = ["FLOAT_MARGIN", "StepTimeBound", "step_time_lower_bound"]
+
+#: Relative slack absorbing float summation-order differences between the
+#: closed-form sums below and the engine's sequential additions (~n*eps
+#: with n in the hundreds; 1e-12 is ~1000x that).  Only ever *loosens*
+#: the bound.
+FLOAT_MARGIN = 1e-12
+
+
+@dataclass(frozen=True)
+class StepTimeBound:
+    """Lower bound on one configuration's simulated step time.
+
+    Attributes:
+        compute_seconds: Max over ranks of fill + compute-stream busy.
+        dp_seconds: Max over ranks of data-parallel stream busy.
+        pp_seconds: Max over ranks of pipeline-transfer stream busy.
+        makespan: Largest certificate, after the float margin.
+        step_time: ``makespan`` plus the fixed step overhead — the value
+            compared against ``SimulationResult.step_time``.
+    """
+
+    compute_seconds: float
+    dp_seconds: float
+    pp_seconds: float
+    makespan: float
+    step_time: float
+
+
+def _rank_dp_seconds(cost: CostModel, rank: int, n_groups: int) -> float:
+    """Busy seconds of ``rank``'s data-parallel stream (overlap mode).
+
+    Mirrors the program builder's emissions: DP_FS gathers twice per
+    (stage, repetition group) — once before the group's first forward,
+    once before its first backward (Eq. 26) — every mode reduces each
+    stage once per group (once per batch for DP0/DP_PS, whose gradients
+    accumulate locally), and DP_PS all-gathers the updated weights after
+    the optimizer.
+    """
+    config = cost.config
+    stages = cost.placement.stages_of_device(rank)
+    busy = 0.0
+    if config.sharding is Sharding.FULL:
+        busy += 2.0 * n_groups * sum(cost.gather_time(s) for s in stages)
+        busy += n_groups * sum(cost.reduce_time(s) for s in stages)
+    else:
+        busy += sum(cost.reduce_time(s) for s in stages)
+    return busy + cost.post_step_gather_time(rank)
+
+
+def step_time_lower_bound(cost: CostModel) -> StepTimeBound:
+    """Provable lower bound on ``simulate(...).step_time`` for ``cost``.
+
+    Runs in O(n_stages) given the memoized stage-time table — no schedule
+    materialization, no program build, no engine — which is what lets the
+    search rank every memory-feasible candidate best-bound-first before
+    simulating any of them.
+    """
+    config = cost.config
+    impl = cost.implementation
+    times = cost.stage_times()
+
+    compute_bound = 0.0
+    dp_bound = 0.0
+    pp_bound = 0.0
+    dp_overlap_active = config.n_dp > 1 and impl.dp_overlap
+    if dp_overlap_active:
+        n_groups = dpfs_group_count(
+            config.schedule,
+            config.n_microbatches,
+            config.n_pp,
+            config.sequence_size,
+        )
+    for rank in range(config.n_pp):
+        rank_compute = cost.rank_fill_seconds(rank) + cost.rank_compute_seconds(
+            rank
+        )
+        compute_bound = max(compute_bound, rank_compute)
+        if dp_overlap_active:
+            dp_bound = max(dp_bound, _rank_dp_seconds(cost, rank, n_groups))
+        if impl.pp_overlap:
+            pp_bound = max(
+                pp_bound, cost.rank_send_count(rank) * times.pp_transfer
+            )
+
+    makespan = max(compute_bound, dp_bound, pp_bound) * (1.0 - FLOAT_MARGIN)
+    return StepTimeBound(
+        compute_seconds=compute_bound,
+        dp_seconds=dp_bound,
+        pp_seconds=pp_bound,
+        makespan=makespan,
+        step_time=makespan + cost.calibration.fixed_step_overhead,
+    )

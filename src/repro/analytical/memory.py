@@ -109,7 +109,11 @@ def memory_model(
     placement = Placement(spec.n_layers, config.n_pp, config.n_loop)
     if schedule is None:
         schedule = build_schedule(
-            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+            config.schedule,
+            config.n_pp,
+            config.n_microbatches,
+            config.n_loop,
+            config.sequence_size,
         )
 
     ckpt_per_sample_per_layer = spec.checkpoint_bytes_per_sample_per_layer(

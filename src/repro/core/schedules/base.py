@@ -21,6 +21,8 @@ class Schedule:
         device_orders: ``device_orders[rank]`` is the ordered tuple of
             compute ops rank executes.  Stage ``s`` lives on rank
             ``s mod n_pp``.
+        sequence_size: Micro-batches per depth-first sequence for the
+            hybrid schedule (Section 4.2); ``None`` for every other kind.
     """
 
     kind: ScheduleKind
@@ -28,6 +30,7 @@ class Schedule:
     n_microbatches: int
     n_loop: int
     device_orders: tuple[tuple[ComputeOp, ...], ...] = field(repr=False)
+    sequence_size: int | None = None
 
     def __post_init__(self) -> None:
         if len(self.device_orders) != self.n_pp:
@@ -77,13 +80,19 @@ class Schedule:
 
 
 def build_schedule(
-    kind: ScheduleKind, n_pp: int, n_microbatches: int, n_loop: int = 1
+    kind: ScheduleKind,
+    n_pp: int,
+    n_microbatches: int,
+    n_loop: int = 1,
+    sequence_size: int | None = None,
 ) -> Schedule:
     """Generate the per-rank instruction streams for ``kind``.
 
     Non-looped schedules require ``n_loop == 1``; the depth-first schedule
     additionally requires ``N_mb`` to be a multiple of ``N_PP``
-    (Section 4.1).
+    (Section 4.1).  The hybrid schedule requires ``sequence_size``
+    (``N_PP <= S <= N_mb``, dividing ``N_mb``); every other kind rejects
+    it.
     """
     # Import here to avoid a cycle (generators import this module's Schedule).
     from repro.core.schedules.breadth_first import breadth_first_order
@@ -99,6 +108,19 @@ def build_schedule(
         raise ValueError(f"n_loop must be >= 1, got {n_loop}")
     if not kind.is_looped and n_loop != 1:
         raise ValueError(f"{kind.value} requires n_loop == 1, got {n_loop}")
+    if kind is ScheduleKind.HYBRID:
+        from repro.core.schedules.hybrid import build_hybrid_schedule
+
+        if sequence_size is None:
+            raise ValueError("the hybrid schedule requires sequence_size")
+        return build_hybrid_schedule(
+            n_pp, n_microbatches, n_loop, sequence_size
+        )
+    if sequence_size is not None:
+        raise ValueError(
+            f"sequence_size only applies to the hybrid schedule, not "
+            f"{kind.value}"
+        )
 
     generators = {
         ScheduleKind.GPIPE: lambda r: gpipe_order(r, n_pp, n_microbatches),
@@ -123,22 +145,67 @@ def build_schedule(
 def schedule_for(config: ParallelConfig) -> Schedule:
     """Build the schedule described by a :class:`ParallelConfig`."""
     return build_schedule(
-        config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+        config.schedule,
+        config.n_pp,
+        config.n_microbatches,
+        config.n_loop,
+        config.sequence_size,
     )
 
 
-def dpfs_repetition_key(kind: ScheduleKind, microbatch: int, n_pp: int) -> int:
+def dpfs_repetition_key(
+    kind: ScheduleKind,
+    microbatch: int,
+    n_pp: int,
+    sequence_size: int | None = None,
+) -> int:
     """DP_FS repetition group of a micro-batch under a schedule.
 
     Fully sharded data parallelism repeats its weight reconstruction and
     gradient reduction once per group (Eqs. 24-26): the breadth-first
     schedule aggregates the whole pass into one group, depth-first works
-    in sequences of ``N_PP`` micro-batches, and the non-looped schedules
-    repeat for every micro-batch.  Shared by the event simulator's
-    program builder and the NumPy runtime's traffic accounting.
+    in sequences of ``N_PP`` micro-batches, the hybrid in sequences of
+    ``sequence_size``, and the non-looped schedules repeat for every
+    micro-batch.  Shared by the event simulator's program builder and the
+    NumPy runtime's traffic accounting.
     """
     if kind is ScheduleKind.BREADTH_FIRST:
         return 0
     if kind is ScheduleKind.DEPTH_FIRST:
         return microbatch // n_pp
+    if kind is ScheduleKind.HYBRID:
+        if sequence_size is None:
+            raise ValueError(
+                "the hybrid schedule's repetition groups need sequence_size"
+            )
+        return microbatch // sequence_size
     return microbatch
+
+
+def dpfs_group_count(
+    kind: ScheduleKind,
+    n_microbatches: int,
+    n_pp: int,
+    sequence_size: int | None = None,
+) -> int:
+    """Number of distinct DP_FS repetition groups in one batch.
+
+    The closed form of ``len({dpfs_repetition_key(kind, mb, ...) for mb in
+    range(N_mb)})`` — how many times each stage's reconstruction and
+    reduction recur under Eqs. (24)-(26).  Used by the analytical
+    step-time lower bound, which must count data-parallel traffic without
+    materializing a schedule.
+    """
+    if kind is ScheduleKind.BREADTH_FIRST:
+        return 1
+    if kind is ScheduleKind.DEPTH_FIRST:
+        # Ceil: N_mb is a multiple of N_PP whenever N_PP > 1 (validated),
+        # but N_PP == 1 degenerates to per-micro-batch groups.
+        return -(-n_microbatches // n_pp)
+    if kind is ScheduleKind.HYBRID:
+        if sequence_size is None:
+            raise ValueError(
+                "the hybrid schedule's repetition groups need sequence_size"
+            )
+        return -(-n_microbatches // sequence_size)
+    return n_microbatches

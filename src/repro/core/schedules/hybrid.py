@@ -108,19 +108,22 @@ def build_hybrid_schedule(
 ) -> Schedule:
     """Build a hybrid schedule as a :class:`Schedule`.
 
-    The container is tagged ``DEPTH_FIRST``: for DP_FS repetition
-    accounting the hybrid behaves like the depth-first schedule (one
-    reconstruction per sequence), which is conservative for
-    ``sequence_size > N_PP``.
+    The container is tagged ``HYBRID`` and carries its ``sequence_size``:
+    DP_FS repetition accounting runs once per sequence of
+    ``sequence_size`` micro-batches (Eqs. 24-26 with the sequence as the
+    repetition unit), interpolating between depth-first
+    (``S = N_PP``, one per ``N_PP``) and breadth-first (``S = N_mb``,
+    one per pass).
     """
     orders = tuple(
         tuple(hybrid_order(rank, n_pp, n_microbatches, n_loop, sequence_size))
         for rank in range(n_pp)
     )
     return Schedule(
-        kind=ScheduleKind.DEPTH_FIRST,
+        kind=ScheduleKind.HYBRID,
         n_pp=n_pp,
         n_microbatches=n_microbatches,
         n_loop=n_loop,
         device_orders=orders,
+        sequence_size=sequence_size,
     )

@@ -30,6 +30,10 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import format_fig9
+from repro.experiments.hybrid_search import (
+    format_hybrid_search,
+    run_hybrid_search,
+)
 from repro.experiments.table41 import run_table41
 from repro.experiments.table51 import format_table51
 from repro.experiments.tableE import format_table_e, run_table_e
@@ -140,6 +144,17 @@ def _print_table_e(full: bool, options: SweepOptions | None = None) -> None:
         print()
 
 
+def _print_hybrid(full: bool, options: SweepOptions | None = None) -> None:
+    for panel in ("52B", "6.6B", "6.6B-ethernet"):
+        comparisons = run_hybrid_search(
+            panel, quick=not full, options=options
+        )
+        print(format_hybrid_search(comparisons))
+        switched = sum(c.winner_is_hybrid for c in comparisons)
+        print(f"hybrid wins {switched}/{len(comparisons)} cells ({panel})")
+        print()
+
+
 EXPERIMENTS: dict[str, Callable[[bool, SweepOptions | None], None]] = {
     "fig1": _print_fig1,
     "fig2": _print_fig2,
@@ -153,7 +168,15 @@ EXPERIMENTS: dict[str, Callable[[bool, SweepOptions | None], None]] = {
     "table4.1": _print_table41,
     "table5.1": lambda full, options=None: print(format_table51()),
     "tableE": _print_table_e,
+    # Extension (not a paper figure): the Section 4.2 hybrid axis
+    # searched Figure-7-style.  Not part of 'all' — it widens the search
+    # space beyond the paper's grids and is opt-in like --full.
+    "hybrid": _print_hybrid,
 }
+
+#: Experiments run by default / by the literal name "all" — the paper's
+#: own figures and tables.
+PAPER_EXPERIMENTS = [name for name in EXPERIMENTS if name != "hybrid"]
 
 
 def _export_trace(path: str) -> None:
@@ -176,6 +199,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         workers=args.workers,
         resume=args.resume,
         progress=args.progress,
+        bound_pruning=not args.no_bound_pruning,
     )
 
 
@@ -237,6 +261,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print sweep progress and ETA to stderr",
     )
     parser.add_argument(
+        "--no-bound-pruning",
+        action="store_true",
+        help="disable the branch-and-bound stage of the search (simulate "
+             "every memory-feasible candidate; the winners are identical, "
+             "only slower — the escape hatch for validating the bound)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -255,7 +286,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--backend=file-queue requires --checkpoint-dir")
     options = build_sweep_options(args)
     names = (
-        list(EXPERIMENTS)
+        list(PAPER_EXPERIMENTS)
         if not args.names or "all" in args.names
         else args.names
     )

@@ -78,7 +78,9 @@ def default_implementation_for(kind: ScheduleKind) -> ImplementationProfile:
     """The implementation the paper used for each schedule (Section 5).
 
     The paper's library implements GPipe-style non-looped and breadth-first
-    schedules; 1F1B and depth-first come from Megatron-LM.
+    schedules; 1F1B and depth-first come from Megatron-LM.  The Section
+    4.2 hybrid needs transfer overlap to show its benefit, so it maps to
+    the paper's library too.
     """
     if kind in (ScheduleKind.ONE_F_ONE_B, ScheduleKind.DEPTH_FIRST):
         return MEGATRON_LM

@@ -28,22 +28,31 @@ class Sharding(enum.Enum):
 
 
 class ScheduleKind(enum.Enum):
-    """Pipeline schedule (Section 3.2 and 4.1).
+    """Pipeline schedule (Section 3.2, 4.1 and the Section 4.2 hybrid).
 
     With ``N_PP == 1`` these degenerate to gradient-accumulation orders:
     ``BREADTH_FIRST`` runs all forwards then all backwards (Appendix C) and
     ``ONE_F_ONE_B``/``DEPTH_FIRST`` alternate forward and backward.
+
+    ``HYBRID`` is the Section 4.2 conjecture: the depth-first structure
+    with sequences of ``sequence_size >= N_PP`` micro-batches, trading
+    activation memory for transfer slack (``core/schedules/hybrid.py``).
     """
 
     GPIPE = "gpipe"
     ONE_F_ONE_B = "1f1b"
     DEPTH_FIRST = "depth_first"
     BREADTH_FIRST = "breadth_first"
+    HYBRID = "hybrid"
 
     @property
     def is_looped(self) -> bool:
         """Whether the schedule supports multiple stages per device."""
-        return self in (ScheduleKind.DEPTH_FIRST, ScheduleKind.BREADTH_FIRST)
+        return self in (
+            ScheduleKind.DEPTH_FIRST,
+            ScheduleKind.BREADTH_FIRST,
+            ScheduleKind.HYBRID,
+        )
 
 
 class Method(enum.Enum):
@@ -68,6 +77,10 @@ class ParallelConfig:
         n_loop: Stages per pipeline device ``N_loop`` (1 = non-looped).
         sharding: Data-parallel sharding mode.
         schedule: Pipeline schedule.
+        sequence_size: Micro-batches per depth-first sequence ``S`` of the
+            hybrid schedule (Section 4.2); required iff ``schedule`` is
+            ``HYBRID`` and must satisfy ``N_PP <= S <= N_mb`` with
+            ``N_mb % S == 0``.
     """
 
     n_dp: int
@@ -78,6 +91,7 @@ class ParallelConfig:
     n_loop: int = 1
     sharding: Sharding = Sharding.NONE
     schedule: ScheduleKind = ScheduleKind.GPIPE
+    sequence_size: int | None = None
 
     def __post_init__(self) -> None:
         for field in ("n_dp", "n_pp", "n_tp", "microbatch_size",
@@ -99,6 +113,28 @@ class ParallelConfig:
                 "the depth-first schedule runs micro-batches in sequences of "
                 f"N_PP, so N_mb ({self.n_microbatches}) must be a multiple of "
                 f"N_PP ({self.n_pp}) — Section 4.1"
+            )
+        if self.schedule is ScheduleKind.HYBRID:
+            seq = self.sequence_size
+            if not isinstance(seq, int):
+                raise ValueError(
+                    "the hybrid schedule requires sequence_size "
+                    f"(got {seq!r})"
+                )
+            if not self.n_pp <= seq <= self.n_microbatches:
+                raise ValueError(
+                    f"sequence_size ({seq}) must satisfy N_PP "
+                    f"({self.n_pp}) <= S <= N_mb ({self.n_microbatches})"
+                )
+            if self.n_microbatches % seq != 0:
+                raise ValueError(
+                    f"N_mb ({self.n_microbatches}) must be a multiple of "
+                    f"sequence_size ({seq})"
+                )
+        elif self.sequence_size is not None:
+            raise ValueError(
+                f"sequence_size only applies to the hybrid schedule, not "
+                f"{self.schedule.value}"
             )
 
     # ----------------------------------------------------------- derived
@@ -135,6 +171,8 @@ class ParallelConfig:
             return Method.NON_LOOPED
         if self.schedule is ScheduleKind.DEPTH_FIRST:
             return Method.DEPTH_FIRST
+        # BREADTH_FIRST proper and the Section 4.2 HYBRID both belong to
+        # the paper's breadth-first ("ours") method family.
         return Method.BREADTH_FIRST
 
     @property
@@ -155,6 +193,9 @@ class ParallelConfig:
             self.n_loop,
             self.sharding.value,
             self.schedule.value,
+            # 0 (not None) for non-hybrid schedules so the tuple stays
+            # comparable across schedule kinds.
+            self.sequence_size or 0,
         )
 
     @property
@@ -187,9 +228,10 @@ class ParallelConfig:
     def describe(self) -> str:
         """Compact one-line description used in experiment tables."""
         shard = {Sharding.NONE: "DP0", Sharding.PARTIAL: "PS", Sharding.FULL: "FS"}
+        seq = f" seq={self.sequence_size}" if self.sequence_size else ""
         return (
             f"{self.schedule.value} B={self.batch_size} "
             f"dp={self.n_dp} pp={self.n_pp} tp={self.n_tp} "
             f"smb={self.microbatch_size} nmb={self.n_microbatches} "
-            f"loop={self.n_loop} {shard[self.sharding]}"
+            f"loop={self.n_loop}{seq} {shard[self.sharding]}"
         )

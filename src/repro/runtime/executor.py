@@ -200,7 +200,10 @@ class PipelineTrainer:
                         key = (
                             "F" if op.kind is OpKind.FORWARD else "B",
                             s,
-                            dpfs_repetition_key(schedule.kind, mb, n_pp),
+                            dpfs_repetition_key(
+                                schedule.kind, mb, n_pp,
+                                schedule.sequence_size,
+                            ),
                         )
                         if key not in gathered:
                             gathered.add(key)

@@ -2,12 +2,14 @@
 
 from repro.search.space import configuration_space
 from repro.search.grid import SearchOutcome, best_configuration, cached_schedule
-from repro.search.cell import SweepCell
+from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.search.sweep import sweep_cells, sweep_grid
 from repro.search.service import SweepOptions, run_sweep
 
 __all__ = [
+    "DEFAULT_SETTINGS",
     "SearchOutcome",
+    "SearchSettings",
     "SweepCell",
     "SweepOptions",
     "best_configuration",

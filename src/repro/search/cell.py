@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.parallel.config import Method
 
-__all__ = ["SweepCell"]
+__all__ = ["DEFAULT_SETTINGS", "SearchSettings", "SweepCell"]
 
 
 @dataclass(frozen=True)
@@ -21,3 +21,32 @@ class SweepCell:
 
     method: Method
     batch_size: int
+
+
+@dataclass(frozen=True)
+class SearchSettings:
+    """Sweep-wide knobs of the candidate-evaluation pipeline.
+
+    Shared by every cell of a sweep (they are part of the search *input*,
+    so the service folds them into checkpoint content hashes — see
+    :func:`repro.search.service.serialize.cell_key`).
+
+    Attributes:
+        bound_pruning: Run the branch-and-bound stage: candidates whose
+            analytical step-time lower bound proves they cannot beat the
+            incumbent are not simulated (counted in ``n_pruned``).  The
+            winning configuration is byte-identical either way; only the
+            work and the ``n_tried``/``n_pruned`` split change.  The
+            experiments CLI exposes ``--no-bound-pruning``.
+        include_hybrid: Enumerate Section 4.2 hybrid-schedule candidates
+            (the ``sequence_size`` axis) alongside breadth-first ones.
+            Off by default so the paper's Figure 7 / Appendix E grids
+            reproduce exactly; the hybrid comparison experiment turns it
+            on.
+    """
+
+    bound_pruning: bool = True
+    include_hybrid: bool = False
+
+
+DEFAULT_SETTINGS = SearchSettings()

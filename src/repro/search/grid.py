@@ -1,13 +1,32 @@
-"""Best-configuration search: exclude by memory first, simulate the rest.
+"""Best-configuration search: a staged candidate-evaluation pipeline.
 
-Mirrors Section 5.3: configurations whose predicted peak memory exceeds
-the device are excluded *before* any simulation (the paper excluded
-configurations "certain or highly likely to run out of memory" and only
-ran the remainder), and the survivors are simulated and ranked by
-throughput.  The analytical memory model is orders of magnitude cheaper
-than a simulation, so pruning first is what makes the Figure 7 grids
-tractable; ``n_excluded`` counts configurations that were never
-simulated, and ``n_tried`` counts only those that were.
+Mirrors and extends the Section 5.3 protocol.  Each search cell runs its
+candidates through an ordered chain of pruner stages, each orders of
+magnitude cheaper than the one after it:
+
+1. **Memory filter** (:func:`repro.analytical.memory.memory_model`):
+   configurations predicted to exceed the device's usable memory are
+   excluded before any simulation — the paper excluded configurations
+   "certain or highly likely to run out of memory" and only ran the
+   remainder.  Counted in ``n_excluded``.
+2. **Step-time lower bound**
+   (:func:`repro.analytical.lower_bound.step_time_lower_bound`):
+   survivors are ordered best-bound-first and simulated under a
+   branch-and-bound incumbent.  A candidate whose *best possible*
+   throughput (the provable bound) is strictly below the incumbent's
+   measured throughput cannot win — nor tie — so it is skipped, counted
+   in ``n_pruned``.  Because candidates arrive in decreasing bound order,
+   the first prune ends the cell.
+3. **Simulation** (:func:`repro.sim.simulator.simulate`): everything
+   still alive is measured and ranked by throughput.  Counted in
+   ``n_tried``.
+
+The accounting contract: ``n_tried + n_excluded + n_pruned`` equals the
+enumerated size of :func:`repro.search.space.configuration_space` for the
+cell.  The winner is **byte-identical with pruning on or off** — the
+bound only removes candidates that provably lose, ties are never pruned
+(strict inequality), and equal-throughput ties resolve via
+``ParallelConfig.sort_key`` regardless of evaluation order.
 """
 
 from __future__ import annotations
@@ -15,13 +34,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.analytical.memory import memory_model
+from repro.analytical.lower_bound import StepTimeBound, step_time_lower_bound
+from repro.analytical.memory import MemoryBreakdown, memory_model
 from repro.core.schedules.base import Schedule, build_schedule
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
-from repro.parallel.config import Method, ScheduleKind
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind
+from repro.search.cell import DEFAULT_SETTINGS, SearchSettings
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.cost import CostModel
+from repro.sim.implementation import ImplementationProfile
 from repro.sim.simulator import SimulationResult, simulate
 
 #: Fraction of device memory usable before fragmentation makes OOM likely
@@ -31,18 +54,48 @@ MEMORY_HEADROOM = 0.92
 
 @lru_cache(maxsize=4096)
 def cached_schedule(
-    kind: ScheduleKind, n_pp: int, n_microbatches: int, n_loop: int
+    kind: ScheduleKind,
+    n_pp: int,
+    n_microbatches: int,
+    n_loop: int,
+    sequence_size: int | None = None,
 ) -> Schedule:
     """Memoized :func:`build_schedule` — the search's cost-model cache.
 
-    Schedules depend only on ``(kind, n_pp, n_mb, n_loop)``, so the same
-    one recurs across sharding modes, tensor-parallel widths and
+    Schedules depend only on ``(kind, n_pp, n_mb, n_loop[, seq])``, so the
+    same one recurs across sharding modes, tensor-parallel widths and
     micro-batch sizes within a cell, and across cells of a sweep.  The
     cache is per-process: every worker of a :mod:`repro.search.sweep`
     pool shares one (and fork-started workers inherit whatever the parent
     already built).  Schedules are immutable, so sharing is safe.
     """
-    return build_schedule(kind, n_pp, n_microbatches, n_loop)
+    return build_schedule(kind, n_pp, n_microbatches, n_loop, sequence_size)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One memory-feasible configuration flowing through the pipeline.
+
+    Carries everything the earlier stages already paid for — the built
+    schedule, the memory breakdown, the cost model (whose per-stage
+    duration table is shared process-wide, see
+    :func:`repro.sim.cost.stage_time_table`) and the step-time bound — so
+    the simulation stage re-derives nothing.
+    """
+
+    config: ParallelConfig
+    implementation: ImplementationProfile
+    schedule: Schedule
+    memory: MemoryBreakdown
+    cost: CostModel
+    bound: StepTimeBound
+
+    @property
+    def bound_throughput(self) -> float:
+        """Best possible per-GPU throughput: the Eq. 11 metric evaluated
+        at the step-time lower bound.  ``simulate`` can only report less
+        (throughput falls monotonically with step time)."""
+        return self.cost.throughput_per_gpu(self.bound.step_time)
 
 
 @dataclass(frozen=True)
@@ -53,11 +106,15 @@ class SearchOutcome:
         method: The method searched.
         batch_size: Global batch size of the cell.
         best: The winning simulation, or None if nothing fit in memory.
-        n_tried: Configurations simulated (those passing the memory
-            filter).
+        n_tried: Configurations simulated (those surviving every pruner
+            stage).
         n_excluded: Configurations rejected by the memory filter before
             simulation (excluded configurations are never simulated, so
             ``n_tried`` never counts them).
+        n_pruned: Configurations rejected by the branch-and-bound stage:
+            memory-feasible, but their step-time lower bound proves they
+            cannot beat the incumbent best.  Always 0 when bound pruning
+            is disabled; ``best`` is identical either way.
     """
 
     method: Method
@@ -65,6 +122,129 @@ class SearchOutcome:
     best: SimulationResult | None
     n_tried: int
     n_excluded: int
+    n_pruned: int = 0
+
+
+# --------------------------------------------------------- pipeline stages
+
+
+def _memory_stage(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    pairs,
+) -> tuple[list[Candidate], int]:
+    """Stage 1+2 producer: memory-filter the space, bound the survivors.
+
+    Returns the feasible candidates (bound attached, enumeration order)
+    and the count of memory-excluded configurations.
+    """
+    candidates: list[Candidate] = []
+    n_excluded = 0
+    memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
+    for config, impl in pairs:
+        schedule = cached_schedule(
+            config.schedule,
+            config.n_pp,
+            config.n_microbatches,
+            config.n_loop,
+            config.sequence_size,
+        )
+        memory = memory_model(spec, config, impl, schedule)
+        if memory.total > memory_limit:
+            n_excluded += 1
+            continue
+        cost = CostModel(
+            spec=spec,
+            config=config,
+            cluster=cluster,
+            implementation=impl,
+            calibration=calibration,
+        )
+        candidates.append(
+            Candidate(
+                config=config,
+                implementation=impl,
+                schedule=schedule,
+                memory=memory,
+                cost=cost,
+                bound=step_time_lower_bound(cost),
+            )
+        )
+    return candidates, n_excluded
+
+
+def _order_best_bound_first(candidates: list[Candidate]) -> list[Candidate]:
+    """Branch-and-bound visit order: highest throughput bound first.
+
+    Front-loading the most promising candidates tightens the incumbent
+    immediately, which is what lets the simulation stage stop at the
+    first prunable candidate.  Ties break on ``sort_key`` so the order —
+    and therefore ``n_tried`` under pruning — is deterministic.
+    """
+    return sorted(
+        candidates, key=lambda c: (-c.bound_throughput, c.config.sort_key)
+    )
+
+
+def _better(result: SimulationResult, best: SimulationResult | None) -> bool:
+    """Ranking rule: throughput, then ``sort_key`` for exact ties.
+
+    Order-independent: the same winner emerges from any visit order,
+    which is what keeps pruned and unpruned searches byte-identical and
+    sweep results stable across backends and worker orderings.
+    """
+    if best is None:
+        return True
+    if result.throughput_per_gpu != best.throughput_per_gpu:
+        return result.throughput_per_gpu > best.throughput_per_gpu
+    return result.config.sort_key < best.config.sort_key
+
+
+def _simulate_stage(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    ordered: list[Candidate],
+    *,
+    bound_pruning: bool,
+) -> tuple[SimulationResult | None, int, int]:
+    """Stage 3: simulate under a branch-and-bound incumbent.
+
+    A candidate is pruned only when its bound throughput is *strictly*
+    below the incumbent's measured throughput: it then cannot win or tie,
+    so skipping it cannot change the winner.  Candidates arrive in
+    decreasing bound order, so everything after the first prune is
+    prunable too and the stage stops there.
+    """
+    best: SimulationResult | None = None
+    n_tried = 0
+    n_pruned = 0
+    for position, candidate in enumerate(ordered):
+        if (
+            bound_pruning
+            and best is not None
+            and candidate.bound_throughput < best.throughput_per_gpu
+        ):
+            n_pruned = len(ordered) - position
+            break
+        result = simulate(
+            spec,
+            candidate.config,
+            cluster,
+            implementation=candidate.implementation,
+            calibration=calibration,
+            schedule=candidate.schedule,
+            memory=candidate.memory,
+            cost=candidate.cost,
+        )
+        n_tried += 1
+        if _better(result, best):
+            best = result
+    return best, n_tried, n_pruned
+
+
+# ----------------------------------------------------------- entry point
 
 
 def best_configuration(
@@ -73,54 +253,40 @@ def best_configuration(
     method: Method,
     batch_size: int,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    settings: SearchSettings = DEFAULT_SETTINGS,
 ) -> SearchOutcome:
-    """Search one cell of the Figure 7 grid.
+    """Search one cell of the Figure 7 grid through the pruning pipeline.
 
-    The analytical memory filter runs before simulation: a configuration
-    predicted to exceed the device's usable memory is counted in
-    ``n_excluded`` and skipped without ever building a program.
+    See the module docstring for the stage chain and the
+    ``n_tried``/``n_excluded``/``n_pruned`` contract.  ``settings``
+    selects the optional axes: branch-and-bound pruning (on by default;
+    the winner never depends on it) and the Section 4.2 hybrid schedule
+    axis (off by default to match the paper's grids).
     """
-    best: SimulationResult | None = None
-    n_tried = 0
-    n_excluded = 0
-    memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
-    for config, impl in configuration_space(method, spec, cluster, batch_size):
-        if config.n_stages > spec.n_layers:
-            continue
-        schedule = cached_schedule(
-            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
-        )
-        memory = memory_model(spec, config, impl, schedule)
-        if memory.total > memory_limit:
-            n_excluded += 1
-            continue
-        result = simulate(
+    candidates, n_excluded = _memory_stage(
+        spec,
+        cluster,
+        calibration,
+        configuration_space(
+            method,
             spec,
-            config,
             cluster,
-            implementation=impl,
-            calibration=calibration,
-            schedule=schedule,
-            memory=memory,
-        )
-        n_tried += 1
-        # Ties on throughput resolve to the lexicographically smaller
-        # config (ParallelConfig.sort_key) so the winner is independent
-        # of enumeration order — sweep results stay byte-stable across
-        # backends and worker orderings.
-        if (
-            best is None
-            or result.throughput_per_gpu > best.throughput_per_gpu
-            or (
-                result.throughput_per_gpu == best.throughput_per_gpu
-                and result.config.sort_key < best.config.sort_key
-            )
-        ):
-            best = result
+            batch_size,
+            include_hybrid=settings.include_hybrid,
+        ),
+    )
+    best, n_tried, n_pruned = _simulate_stage(
+        spec,
+        cluster,
+        calibration,
+        _order_best_bound_first(candidates),
+        bound_pruning=settings.bound_pruning,
+    )
     return SearchOutcome(
         method=method,
         batch_size=batch_size,
         best=best,
         n_tried=n_tried,
         n_excluded=n_excluded,
+        n_pruned=n_pruned,
     )

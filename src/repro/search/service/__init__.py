@@ -16,7 +16,7 @@ its machinery:
 - :mod:`~repro.search.service.progress` — progress/ETA lines.
 """
 
-from repro.search.cell import SweepCell
+from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import (
     Executor,
@@ -39,12 +39,14 @@ __all__ = [
     "BACKENDS",
     "CheckpointStore",
     "ClaimedCell",
+    "DEFAULT_SETTINGS",
     "Executor",
     "FileQueueExecutor",
     "FileWorkQueue",
     "MultiprocessingExecutor",
     "ProcessPoolBackend",
     "ProgressReporter",
+    "SearchSettings",
     "SerialExecutor",
     "SweepCell",
     "SweepError",

@@ -6,6 +6,14 @@ so a reader never observes a half-written checkpoint and a crashed worker
 loses at most the cell it was computing.  Corrupted, truncated or
 foreign-format files are rejected cleanly: :meth:`CheckpointStore.load`
 warns and returns ``None``, and the sweep simply recomputes the cell.
+
+Alongside each result the store keeps a ``<key>.time.json`` *sidecar*
+with the cell's measured wall-clock seconds.  Timing lives outside the
+result file on purpose: checkpoint bytes must be identical across runs
+and machines (the resume guarantee is tested by comparing bytes), while
+wall-clock never is.  ``run_sweep`` reads the sidecars to schedule the
+longest cells first on the next run over the same directory, which
+shortens the critical path of a parallel sweep and stabilizes the ETA.
 """
 
 from __future__ import annotations
@@ -86,6 +94,41 @@ class CheckpointStore:
             )
             return None
 
+    # -------------------------------------------------- wall-clock sidecars
+
+    def timing_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.time.json"
+
+    def store_timing(self, key: str, seconds: float) -> Path:
+        """Atomically record a cell's measured search wall-clock."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        path = self.timing_path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(
+            canonical_dumps(
+                {"format": FORMAT_VERSION, "key": key, "seconds": seconds}
+            ).encode("utf-8")
+        )
+        os.replace(tmp, path)
+        return path
+
+    def load_timing(self, key: str) -> float | None:
+        """Recorded wall-clock seconds for a cell, or ``None``.
+
+        Corrupt sidecars are ignored silently — timing is advisory (it
+        only influences scheduling order), so it never warrants the
+        corruption warning a lost *result* gets.
+        """
+        try:
+            data = json.loads(self.timing_path_for(key).read_bytes())
+            if data.get("key") != key or data.get("format") != FORMAT_VERSION:
+                return None
+            seconds = float(data["seconds"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        return seconds if seconds >= 0 else None
+
     def load_many(self, keys) -> dict[str, SearchOutcome]:
         """Valid checkpoints among ``keys``, as ``{key: outcome}``."""
         found = {}
@@ -100,6 +143,7 @@ class CheckpointStore:
         return sorted(
             p.stem for p in self.root.glob("*.json")
             if not p.name.startswith(".")
+            and not p.name.endswith(".time.json")
         )
 
     def __contains__(self, key: str) -> bool:

@@ -35,7 +35,7 @@ from pathlib import Path
 import repro
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
-from repro.search.cell import SweepCell
+from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome, best_configuration
 from repro.sim.calibration import Calibration
 from repro.search.service.checkpoint import CheckpointStore
@@ -55,7 +55,7 @@ __all__ = [
 #: (input index, content-hash key, cell) — the unit executors schedule.
 Task = tuple[int, str, SweepCell]
 #: What a cell search needs besides the cell itself.
-Context = tuple[TransformerSpec, ClusterSpec, Calibration]
+Context = tuple[TransformerSpec, ClusterSpec, Calibration, SearchSettings]
 
 
 class SweepError(RuntimeError):
@@ -63,7 +63,14 @@ class SweepError(RuntimeError):
 
 
 class Executor:
-    """Backend interface: schedule cells, stream back outcomes."""
+    """Backend interface: schedule cells, stream back outcomes.
+
+    ``run`` yields ``(index, outcome, elapsed_seconds)`` triples; the
+    elapsed wall-clock feeds the checkpoint store's timing sidecars (and
+    through them the longest-cell-first scheduling of later runs).  It
+    may be ``None`` when the backend cannot measure the search itself
+    (e.g. a cell satisfied by someone else's checkpoint).
+    """
 
     #: Backend name as selected by ``run_sweep(backend=...)``.
     name: str = "abstract"
@@ -73,8 +80,20 @@ class Executor:
 
     def run(
         self, context: Context, tasks: Sequence[Task]
-    ) -> Iterator[tuple[int, SearchOutcome]]:
+    ) -> Iterator[tuple[int, SearchOutcome, float | None]]:
         raise NotImplementedError
+
+
+def _timed_search(
+    context: Context, cell: SweepCell
+) -> tuple[SearchOutcome, float]:
+    """Search one cell, returning (outcome, wall-clock seconds)."""
+    spec, cluster, calibration, settings = context
+    start = time.perf_counter()
+    outcome = best_configuration(
+        spec, cluster, cell.method, cell.batch_size, calibration, settings
+    )
+    return outcome, time.perf_counter() - start
 
 
 # ------------------------------------------------------------------- serial
@@ -86,11 +105,9 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, context, tasks):
-        spec, cluster, calibration = context
         for index, _key, cell in tasks:
-            yield index, best_configuration(
-                spec, cluster, cell.method, cell.batch_size, calibration
-            )
+            outcome, elapsed = _timed_search(context, cell)
+            yield index, outcome, elapsed
 
 
 # ----------------------------------------------------------- process pools
@@ -102,17 +119,20 @@ _WORKER_CONTEXT: dict = {}
 
 
 def _init_worker(
-    spec: TransformerSpec, cluster: ClusterSpec, calibration: Calibration
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    settings: SearchSettings,
 ) -> None:
-    _WORKER_CONTEXT["args"] = (spec, cluster, calibration)
+    _WORKER_CONTEXT["args"] = (spec, cluster, calibration, settings)
 
 
-def _search_indexed(task: tuple[int, SweepCell]) -> tuple[int, SearchOutcome]:
+def _search_indexed(
+    task: tuple[int, SweepCell],
+) -> tuple[int, SearchOutcome, float]:
     index, cell = task
-    spec, cluster, calibration = _WORKER_CONTEXT["args"]
-    return index, best_configuration(
-        spec, cluster, cell.method, cell.batch_size, calibration
-    )
+    outcome, elapsed = _timed_search(_WORKER_CONTEXT["args"], cell)
+    return index, outcome, elapsed
 
 
 def _resolve_processes(processes: int | None, n_tasks: int) -> int:
@@ -313,11 +333,11 @@ class FileQueueExecutor(Executor):
         )
 
     def run(self, context, tasks):
-        spec, cluster, calibration = context
+        spec, cluster, calibration, settings = context
         store = CheckpointStore(self.checkpoint_dir)
         queue = FileWorkQueue.create(
             self.queue_dir, spec, cluster, calibration,
-            max_retries=self.max_retries,
+            settings=settings, max_retries=self.max_retries,
         )
         for _index, key, cell in tasks:
             queue.enqueue(key, cell)
@@ -338,7 +358,10 @@ class FileQueueExecutor(Executor):
                             f"cell {key} marked done but its checkpoint is "
                             f"missing or unreadable under {self.checkpoint_dir}"
                         )
-                    yield remaining.pop(key), outcome
+                    # The worker that computed the cell wrote the timing
+                    # sidecar itself; surface it so the service treats
+                    # every backend uniformly.
+                    yield remaining.pop(key), outcome, store.load_timing(key)
                 if not remaining:
                     break
 

@@ -36,13 +36,15 @@ from pathlib import Path
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
-from repro.search.cell import SweepCell
+from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.sim.calibration import Calibration
 from repro.search.service.serialize import (
     FORMAT_VERSION,
     canonical_dumps,
     context_from_json,
     context_to_json,
+    settings_from_json,
+    settings_to_json,
 )
 
 __all__ = ["ClaimedCell", "FileWorkQueue"]
@@ -79,6 +81,7 @@ class FileWorkQueue:
         cluster: ClusterSpec,
         calibration: Calibration,
         *,
+        settings: SearchSettings = DEFAULT_SETTINGS,
         max_retries: int = 2,
     ) -> "FileWorkQueue":
         """Initialize (or reset) a queue directory for a new sweep run.
@@ -99,6 +102,7 @@ class FileWorkQueue:
         payload = {
             "format": FORMAT_VERSION,
             "max_retries": max_retries,
+            "settings": settings_to_json(settings),
             **context_to_json(spec, cluster, calibration),
         }
         queue._atomic_write(
@@ -127,9 +131,15 @@ class FileWorkQueue:
             )
         return payload
 
-    def load_context(self) -> tuple[TransformerSpec, ClusterSpec, Calibration]:
+    def load_context(
+        self,
+    ) -> tuple[TransformerSpec, ClusterSpec, Calibration, SearchSettings]:
         """The sweep inputs every worker searches against."""
-        return context_from_json(self._context_payload())
+        payload = self._context_payload()
+        return (
+            *context_from_json(payload),
+            settings_from_json(payload["settings"]),
+        )
 
     @property
     def max_retries(self) -> int:

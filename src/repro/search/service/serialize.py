@@ -27,7 +27,7 @@ from repro.hardware.gpu import GPUSpec
 from repro.hardware.network import NetworkSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
-from repro.search.cell import SweepCell
+from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
 from repro.sim.calibration import Calibration
 from repro.sim.simulator import SimulationResult
@@ -45,11 +45,15 @@ __all__ = [
     "outcome_to_json",
     "result_from_json",
     "result_to_json",
+    "settings_from_json",
+    "settings_to_json",
 ]
 
 #: Bumped whenever the serialized layout changes; checkpoints written
 #: under another version are rejected (and recomputed), never guessed at.
-FORMAT_VERSION = 1
+#: Version 2: configs carry ``sequence_size`` (hybrid axis), outcomes
+#: carry ``n_pruned``, and cell keys/contexts fold in the search settings.
+FORMAT_VERSION = 2
 
 _CONFIG_INT_FIELDS = (
     "n_dp", "n_pp", "n_tp", "microbatch_size", "n_microbatches", "n_loop",
@@ -91,14 +95,34 @@ def config_to_json(config: ParallelConfig) -> dict:
     data = {f: getattr(config, f) for f in _CONFIG_INT_FIELDS}
     data["sharding"] = config.sharding.value
     data["schedule"] = config.schedule.value
+    data["sequence_size"] = config.sequence_size
     return data
 
 
 def config_from_json(data: dict) -> ParallelConfig:
+    sequence_size = data["sequence_size"]
     return ParallelConfig(
         **{f: int(data[f]) for f in _CONFIG_INT_FIELDS},
         sharding=Sharding(data["sharding"]),
         schedule=ScheduleKind(data["schedule"]),
+        sequence_size=None if sequence_size is None else int(sequence_size),
+    )
+
+
+# -------------------------------------------------------------- SearchSettings
+
+
+def settings_to_json(settings: SearchSettings) -> dict:
+    return {
+        "bound_pruning": settings.bound_pruning,
+        "include_hybrid": settings.include_hybrid,
+    }
+
+
+def settings_from_json(data: dict) -> SearchSettings:
+    return SearchSettings(
+        bound_pruning=bool(data["bound_pruning"]),
+        include_hybrid=bool(data["include_hybrid"]),
     )
 
 
@@ -157,6 +181,7 @@ def outcome_to_json(outcome: SearchOutcome) -> dict:
         "best": None if outcome.best is None else result_to_json(outcome.best),
         "n_tried": outcome.n_tried,
         "n_excluded": outcome.n_excluded,
+        "n_pruned": outcome.n_pruned,
     }
 
 
@@ -173,6 +198,7 @@ def outcome_from_json(data: dict) -> SearchOutcome:
         best=None if best is None else result_from_json(best),
         n_tried=int(data["n_tried"]),
         n_excluded=int(data["n_excluded"]),
+        n_pruned=int(data["n_pruned"]),
     )
 
 
@@ -232,11 +258,15 @@ def cell_key(
     cluster: ClusterSpec,
     calibration: Calibration,
     cell: SweepCell,
+    settings: SearchSettings = DEFAULT_SETTINGS,
 ) -> str:
     """Content hash naming one cell's checkpoint.
 
     Deterministic across processes and machines (no ``PYTHONHASHSEED``
-    dependence): sha256 over the canonical JSON of the full search input.
+    dependence): sha256 over the canonical JSON of the full search input,
+    including the pipeline settings — the hybrid axis changes the space
+    and bound pruning changes the counters, so checkpoints from different
+    settings must never satisfy each other.
     20 hex characters keep filenames short while leaving collision odds
     negligible for any real grid.
     """
@@ -244,6 +274,7 @@ def cell_key(
         "format": FORMAT_VERSION,
         "method": cell.method.value,
         "batch_size": cell.batch_size,
+        "settings": settings_to_json(settings),
         **context_to_json(spec, cluster, calibration),
     }
     digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
-from repro.search.cell import SweepCell
+from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.search.service.checkpoint import CheckpointStore
@@ -65,6 +65,13 @@ class SweepOptions:
         resume: Satisfy cells from existing checkpoints instead of
             recomputing them.
         progress: Print progress/ETA lines to stderr.
+        bound_pruning: Branch-and-bound on the analytical step-time lower
+            bound inside every cell (see
+            :class:`repro.search.cell.SearchSettings`).  Winners are
+            byte-identical either way; ``--no-bound-pruning`` on the
+            experiments CLI maps here.
+        include_hybrid: Add the Section 4.2 hybrid ``sequence_size`` axis
+            to every breadth-first cell's space.
     """
 
     backend: str = "multiprocessing"
@@ -77,6 +84,16 @@ class SweepOptions:
     stale_lease: float | None = None
     resume: bool = False
     progress: bool = False
+    bound_pruning: bool = True
+    include_hybrid: bool = False
+
+    @property
+    def search_settings(self) -> SearchSettings:
+        """The per-cell pipeline knobs as a :class:`SearchSettings`."""
+        return SearchSettings(
+            bound_pruning=self.bound_pruning,
+            include_hybrid=self.include_hybrid,
+        )
 
 
 def _make_executor(options: SweepOptions) -> Executor:
@@ -112,6 +129,48 @@ def _make_executor(options: SweepOptions) -> Executor:
     )
 
 
+def _order_longest_first(store: CheckpointStore | None, tasks: list) -> list:
+    """Schedule the longest cells first.
+
+    Recorded wall-clock from the checkpoint store's timing sidecars (a
+    previous run over the same directory) ranks known cells exactly;
+    cells without a record are put on the same seconds scale by
+    estimating from the steepest recorded seconds-per-batch-sample rate
+    (batch size is the dominant cost driver — more candidates, more
+    micro-batches per simulation), so a big *new* cell still schedules
+    ahead of small recorded ones instead of defaulting to the back of
+    the queue.  With no records at all the estimate degenerates to
+    batch-size order.  Front-loading long cells shortens a parallel
+    sweep's critical path — no worker is left finishing a giant cell
+    alone at the end — and makes the rate-based ETA an overestimate
+    that only improves, instead of an early underestimate.  Input order
+    is restored when results are assembled, so scheduling order never
+    changes what the sweep returns.
+    """
+    recorded: dict[str, float] = {}
+    if store is not None:
+        for _index, key, _cell in tasks:
+            seconds = store.load_timing(key)
+            if seconds is not None:
+                recorded[key] = seconds
+    rate = max(
+        (
+            recorded[key] / max(1, cell.batch_size)
+            for _index, key, cell in tasks
+            if key in recorded
+        ),
+        default=1.0,
+    )
+
+    def estimated_seconds(key: str, cell) -> float:
+        return recorded.get(key, rate * cell.batch_size)
+
+    return sorted(
+        tasks,
+        key=lambda task: (-estimated_seconds(task[1], task[2]), task[1]),
+    )
+
+
 def run_sweep(
     spec: TransformerSpec,
     cluster: ClusterSpec,
@@ -144,9 +203,12 @@ def run_sweep(
         options = SweepOptions()
     if overrides:
         options = replace(options, **overrides)
+    settings = options.search_settings
 
     cells = list(cells)
-    keys = [cell_key(spec, cluster, calibration, cell) for cell in cells]
+    keys = [
+        cell_key(spec, cluster, calibration, cell, settings) for cell in cells
+    ]
 
     # Dedup: identical cells share a key and are searched exactly once.
     first_of: dict[str, tuple[int, SweepCell]] = {}
@@ -167,6 +229,7 @@ def run_sweep(
         for key, (index, cell) in first_of.items()
         if key not in outcomes
     ]
+    tasks = _order_longest_first(store, tasks)
     key_of_index = {index: key for index, key, _cell in tasks}
 
     reporter = (
@@ -179,10 +242,13 @@ def run_sweep(
 
     if tasks:
         backend = executor if executor is not None else _make_executor(options)
-        for index, outcome in backend.run((spec, cluster, calibration), tasks):
+        context = (spec, cluster, calibration, settings)
+        for index, outcome, elapsed in backend.run(context, tasks):
             key = key_of_index[index]
             if store is not None and not backend.writes_checkpoints:
                 store.store(key, outcome)
+                if elapsed is not None:
+                    store.store_timing(key, elapsed)
             outcomes[key] = outcome
             if reporter is not None:
                 reporter.update()

@@ -21,8 +21,8 @@ import sys
 import time
 import uuid
 
-from repro.search.grid import best_configuration
 from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.executors import _timed_search
 from repro.search.service.queue import FileWorkQueue
 
 __all__ = ["default_worker_id", "main", "run_worker"]
@@ -52,7 +52,7 @@ def run_worker(
     system, from a SIGKILL mid-cell.
     """
     queue = FileWorkQueue.open(queue_dir)
-    spec, cluster, calibration = queue.load_context()
+    context = queue.load_context()
     store = CheckpointStore(checkpoint_dir)
     if worker_id is None:
         worker_id = default_worker_id()
@@ -72,16 +72,16 @@ def run_worker(
         outcome = store.load(claim.key)
         if outcome is None:
             try:
-                outcome = best_configuration(
-                    spec, cluster, claim.cell.method, claim.cell.batch_size,
-                    calibration,
-                )
+                outcome, elapsed = _timed_search(context, claim.cell)
             except Exception:
                 # Don't swallow the cell with the traceback: requeue (or
                 # fail past the cap) before dying.
                 queue.release(claim)
                 raise
             store.store(claim.key, outcome)
+            # Timing sidecar after the result: a crash in between loses
+            # only scheduling advice, never the outcome.
+            store.store_timing(claim.key, elapsed)
         queue.complete(claim)
         completed += 1
     return completed

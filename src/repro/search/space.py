@@ -67,18 +67,38 @@ def _loop_values(spec: TransformerSpec, n_pp: int) -> list[int]:
     return [v for v in _powers_of_two(spec.n_layers // n_pp) if v >= 2]
 
 
+def _sequence_sizes(n_pp: int, n_microbatches: int) -> list[int]:
+    """Hybrid ``sequence_size`` values: divisors of ``N_mb`` in
+    ``[N_PP, N_mb]`` (Section 4.2's "sequences of more than N_PP
+    micro-batches", anchored at the depth-first boundary ``S = N_PP``)."""
+    return [
+        s
+        for s in range(n_pp, n_microbatches + 1)
+        if n_microbatches % s == 0
+    ]
+
+
 def configuration_space(
     method: Method,
     spec: TransformerSpec,
     cluster: ClusterSpec,
     batch_size: int,
+    *,
+    include_hybrid: bool = False,
 ) -> Iterator[tuple[ParallelConfig, ImplementationProfile]]:
     """All candidate (config, implementation) pairs for one search cell.
+
+    Every yielded configuration is valid against the model: stages never
+    outnumber layers (a stage holds at least one transformer layer), so
+    cell accounting — simulated + memory-excluded + bound-pruned — sums
+    to exactly the enumerated space.
 
     Method-specific rules (Appendix E):
 
     - **Breadth-first**: our implementation, ``N_loop >= 2``, DP0 or DP_FS
-      (the paper only tried DP_FS for breadth-first configs).
+      (the paper only tried DP_FS for breadth-first configs).  With
+      ``include_hybrid``, Section 4.2 hybrid-schedule candidates (the
+      ``sequence_size`` axis, same sharding rules) join the space.
     - **Depth-first**: Megatron-LM, ``N_loop >= 2``, DP0 only, ``N_mb``
       a multiple of ``N_PP``.
     - **Non-looped**: both implementations — ours runs GPipe with DP0 or
@@ -93,6 +113,14 @@ def configuration_space(
     for n_dp, n_pp, n_tp, smb, n_mb in _candidate_grids(
         cluster, batch_size, pipeline=pipeline
     ):
+        # Non-looped stages are one per pipeline rank, so deep pipelines
+        # can outnumber the model's layers; such configs cannot be built
+        # and are excluded from the space (not silently skipped later —
+        # the n_tried/n_excluded/n_pruned contract counts every yielded
+        # candidate).  Looped values are bounded by n_layers // n_pp and
+        # can never violate this.
+        if n_pp > spec.n_layers:
+            continue
         base = dict(
             n_dp=n_dp,
             n_pp=n_pp,
@@ -115,6 +143,19 @@ def configuration_space(
                         ),
                         OUR_IMPLEMENTATION,
                     )
+                    if not include_hybrid:
+                        continue
+                    for seq in _sequence_sizes(n_pp, n_mb):
+                        yield (
+                            ParallelConfig(
+                                **base,
+                                n_loop=n_loop,
+                                sharding=sharding,
+                                schedule=ScheduleKind.HYBRID,
+                                sequence_size=seq,
+                            ),
+                            OUR_IMPLEMENTATION,
+                        )
         elif method is Method.DEPTH_FIRST:
             if n_mb % n_pp != 0:
                 continue

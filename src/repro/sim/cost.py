@@ -19,14 +19,86 @@ All formulas follow Appendix A:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.placement import Placement
 from repro.hardware.cluster import ClusterSpec, ParallelDim
 from repro.hardware.network import NetworkSpec
 from repro.models.spec import TransformerSpec
-from repro.parallel.config import ParallelConfig, Sharding
+from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.sim.implementation import ImplementationProfile
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage compute and pipeline-transfer durations of a config family.
+
+    These depend only on ``(spec, cluster, calibration, implementation,
+    n_pp, n_loop, microbatch_size, n_tp)`` — *not* on the data-parallel
+    extent, micro-batch count, sharding mode or schedule — so one table is
+    shared by every candidate of a search cell that agrees on those axes,
+    and by adjacent batch-size cells of a sweep (the warm-start reuse the
+    ROADMAP asks for).  Produced by :func:`stage_time_table` and consumed
+    by the program builder and the analytical step-time lower bound.
+
+    Attributes:
+        forward: ``forward[s]`` = one micro-batch forward through stage s.
+        backward: ``backward[s]`` = one micro-batch backward (with
+            recomputation) through stage s.
+        pp_transfer: One stage-to-stage activation/gradient transfer.
+        pp_launch: Compute-stream cost of issuing one overlapped transfer.
+    """
+
+    forward: tuple[float, ...]
+    backward: tuple[float, ...]
+    pp_transfer: float
+    pp_launch: float
+
+
+@lru_cache(maxsize=16384)
+def stage_time_table(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementation: ImplementationProfile,
+    n_pp: int,
+    n_loop: int,
+    microbatch_size: int,
+    n_tp: int,
+) -> StageTimes:
+    """Memoized per-stage durations for one batch-independent config family.
+
+    The probe config pins the axes the durations do not depend on
+    (``n_dp = 1``, ``n_mb = 1``, DP0, breadth-first), so the cached values
+    are bit-identical to what a full :class:`CostModel` of any matching
+    candidate would compute.  The cache is per-process and survives across
+    search cells — a sweep worker revisiting the same ``(n_pp, n_loop,
+    s_mb, n_tp)`` family at the next batch size skips the whole
+    recomputation.
+    """
+    probe = CostModel(
+        spec=spec,
+        config=ParallelConfig(
+            n_dp=1,
+            n_pp=n_pp,
+            n_tp=n_tp,
+            microbatch_size=microbatch_size,
+            n_microbatches=1,
+            n_loop=n_loop,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        ),
+        cluster=cluster,
+        implementation=implementation,
+        calibration=calibration,
+    )
+    stages = range(n_pp * n_loop)
+    return StageTimes(
+        forward=tuple(probe.forward_time(s) for s in stages),
+        backward=tuple(probe.backward_time(s) for s in stages),
+        pp_transfer=probe.pp_transfer_time(),
+        pp_launch=probe.pp_launch_overhead(),
+    )
 
 
 @dataclass(frozen=True)
@@ -262,6 +334,83 @@ class CostModel:
             * self.calibration.optimizer_bytes_per_param
             / self.cluster.gpu.memory_bandwidth
         )
+
+    # ------------------------------------------- per-rank busy decomposition
+
+    def stage_times(self) -> StageTimes:
+        """This config's shared per-stage duration table (memoized)."""
+        cfg = self.config
+        return stage_time_table(
+            self.spec,
+            self.cluster,
+            self.calibration,
+            self.implementation,
+            cfg.n_pp,
+            cfg.n_loop,
+            cfg.microbatch_size,
+            cfg.n_tp,
+        )
+
+    def rank_send_count(self, rank: int) -> int:
+        """Pipeline messages rank ``rank`` issues in one step.
+
+        One activation send per forward below the last stage, one gradient
+        send per backward above stage 0 — exactly the sends the program
+        builder emits, counted without building the program.
+        """
+        cfg = self.config
+        last_stage = cfg.n_stages - 1
+        stages = self.placement.stages_of_device(rank)
+        per_microbatch = sum(1 for s in stages if s < last_stage) + sum(
+            1 for s in stages if s > 0
+        )
+        return cfg.n_microbatches * per_microbatch
+
+    def rank_compute_seconds(self, rank: int) -> float:
+        """Total busy seconds of rank ``rank``'s compute stream.
+
+        The exact serial occupancy of the stream the program builder
+        emits: every forward and backward of the rank's stages across all
+        micro-batches, the per-send launch overhead (or the inline
+        transfer itself when the implementation does not overlap), the
+        serial data-parallel block of non-overlapping implementations, and
+        the optimizer.  Because a stream executes serially, the engine
+        makespan can never be smaller than this — the compute-busy half of
+        the analytical step-time lower bound.
+        """
+        cfg = self.config
+        times = self.stage_times()
+        busy = cfg.n_microbatches * sum(
+            times.forward[s] + times.backward[s]
+            for s in self.placement.stages_of_device(rank)
+        )
+        sends = self.rank_send_count(rank)
+        if self.implementation.pp_overlap:
+            busy += sends * times.pp_launch
+        else:
+            # Non-overlapped transfers run inline on the compute stream.
+            busy += sends * times.pp_transfer
+        if cfg.n_dp > 1 and not self.implementation.dp_overlap:
+            busy += self.dp_serial_time(rank)
+        return busy + self.optimizer_time(rank)
+
+    def rank_fill_seconds(self, rank: int) -> float:
+        """Unavoidable pipeline-fill delay before rank ``rank`` can start.
+
+        The first compute of rank ``r`` consumes an activation that has
+        to traverse stages ``0..r-1`` (one forward plus one transfer per
+        hop) — the Eq. (4)/(9) fill written in real durations instead of
+        ideal slots.  A dependency-chain bound, so it holds for every
+        schedule regardless of op order.
+        """
+        if rank == 0:
+            return 0.0
+        times = self.stage_times()
+        launch = (
+            times.pp_launch if self.implementation.pp_overlap else 0.0
+        )
+        fill = sum(times.forward[s] + launch for s in range(rank))
+        return fill + rank * times.pp_transfer
 
     # ------------------------------------------------------------- metrics
 

@@ -62,11 +62,16 @@ class _ProgramBuilder:
         self.sharded_full = (
             self.config.sharding is Sharding.FULL and self.dp_active
         )
-        self.pp_time = cost.pp_transfer_time()
-        self.pp_launch = cost.pp_launch_overhead()
+        # Per-stage durations come from the memoized family table
+        # (repro.sim.cost.stage_time_table): candidates differing only in
+        # n_dp / n_mb / sharding / schedule share one computation, within
+        # a search cell and across adjacent batch-size cells of a sweep.
+        times = cost.stage_times()
+        self.pp_time = times.pp_transfer
+        self.pp_launch = times.pp_launch
+        self.forward_times = times.forward
+        self.backward_times = times.backward
         stages = range(self.n_stages)
-        self.forward_times = [cost.forward_time(s) for s in stages]
-        self.backward_times = [cost.backward_time(s) for s in stages]
         self.head_fractions = [
             1.0 / cost.placement.n_layers_of_stage(s) for s in stages
         ]
@@ -181,9 +186,10 @@ class _ProgramBuilder:
         # keys both the last-use prefill and the emission loop below.
         schedule_kind = self.schedule.kind
         n_pp = self.schedule.n_pp
+        seq = self.schedule.sequence_size
         if sharded_full:
             group_keys = [
-                (op.stage, _rep_key(schedule_kind, op.microbatch, n_pp))
+                (op.stage, _rep_key(schedule_kind, op.microbatch, n_pp, seq))
                 for op in order
             ]
         else:

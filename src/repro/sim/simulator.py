@@ -69,6 +69,7 @@ def simulate(
     schedule: Schedule | None = None,
     record_events: bool = False,
     memory: MemoryBreakdown | None = None,
+    cost: CostModel | None = None,
 ) -> SimulationResult:
     """Simulate one training step.
 
@@ -88,19 +89,37 @@ def simulate(
         memory: Pre-computed memory breakdown (recomputed if omitted).
             The search evaluates memory *before* simulating to exclude
             configurations, and passes the result here.
+        cost: Pre-built cost model for exactly these inputs (rebuilt if
+            omitted).  The search's bound stage already constructed one
+            per surviving candidate and passes it here.  Its
+            implementation is authoritative: passing a conflicting
+            ``implementation`` raises rather than silently mixing the
+            cost model's program with another profile's memory/labels.
     """
-    if implementation is None:
+    if cost is not None:
+        if implementation is not None and implementation is not cost.implementation:
+            raise ValueError(
+                f"cost was built for {cost.implementation.name}, but "
+                f"implementation={implementation.name} was also passed"
+            )
+        implementation = cost.implementation
+    elif implementation is None:
         implementation = default_implementation_for(config.schedule)
-    cost = CostModel(
-        spec=spec,
-        config=config,
-        cluster=cluster,
-        implementation=implementation,
-        calibration=calibration,
-    )
+    if cost is None:
+        cost = CostModel(
+            spec=spec,
+            config=config,
+            cluster=cluster,
+            implementation=implementation,
+            calibration=calibration,
+        )
     if schedule is None:
         schedule = build_schedule(
-            config.schedule, config.n_pp, config.n_microbatches, config.n_loop
+            config.schedule,
+            config.n_pp,
+            config.n_microbatches,
+            config.n_loop,
+            config.sequence_size,
         )
     streams = build_program(cost, schedule, record_events=record_events)
     result = run_streams(streams, record_events=record_events)

@@ -118,8 +118,9 @@ class TestRunnerCli:
 
     def test_cli_default_selects_all(self, capsys):
         # Regression: `repro-experiments` with no arguments must expand to
-        # every experiment (argparse nargs="*" + choices rejects a list
-        # default, so the default goes through post-processing instead).
+        # every *paper* experiment (argparse nargs="*" + choices rejects a
+        # list default, so the default goes through post-processing
+        # instead).  Extensions like "hybrid" stay opt-in by name.
         import repro.experiments.runner as runner
 
         recorded = []
@@ -132,5 +133,7 @@ class TestRunnerCli:
             assert runner.main([]) == 0
         finally:
             runner.EXPERIMENTS.update(originals)
-        assert recorded == list(runner.EXPERIMENTS)
+        assert recorded == list(runner.PAPER_EXPERIMENTS)
+        assert "hybrid" in runner.EXPERIMENTS
+        assert "hybrid" not in runner.PAPER_EXPERIMENTS
         capsys.readouterr()

@@ -1,0 +1,190 @@
+"""Tests for the analytical step-time lower bound (branch-and-bound).
+
+The bound's one non-negotiable property: it never exceeds the simulated
+step time.  If it did, the search could prune a candidate that would
+have won, silently corrupting every Figure 7 / Appendix E result.  The
+property test hammers exactly that over a randomized sample of the real
+configuration spaces (hybrid axis included); the exactness test pins the
+bound's arithmetic on a case small enough to compute by hand.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.lower_bound import (
+    FLOAT_MARGIN,
+    step_time_lower_bound,
+)
+from repro.hardware.cluster import DGX1_CLUSTER_64, DGX1_CLUSTER_64_ETHERNET
+from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind
+from repro.search.space import configuration_space
+from repro.sim.calibration import DEFAULT_CALIBRATION
+from repro.sim.cost import CostModel
+from repro.sim.simulator import simulate
+
+_CLUSTERS = {
+    "infiniband": DGX1_CLUSTER_64,
+    "ethernet": DGX1_CLUSTER_64_ETHERNET,
+}
+_SPECS = {"52B": MODEL_52B, "6.6B": MODEL_6_6B}
+
+
+@lru_cache(maxsize=None)
+def _space(spec_name: str, cluster_name: str, method: Method, batch: int):
+    """Materialized candidate list for one cell (hybrid axis on)."""
+    return tuple(
+        configuration_space(
+            method,
+            _SPECS[spec_name],
+            _CLUSTERS[cluster_name],
+            batch,
+            include_hybrid=True,
+        )
+    )
+
+
+def _cost_for(spec, cluster, config, impl) -> CostModel:
+    return CostModel(
+        spec=spec,
+        config=config,
+        cluster=cluster,
+        implementation=impl,
+        calibration=DEFAULT_CALIBRATION,
+    )
+
+
+class TestBoundNeverExceedsSimulation:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        spec_name=st.sampled_from(sorted(_SPECS)),
+        cluster_name=st.sampled_from(sorted(_CLUSTERS)),
+        method=st.sampled_from(list(Method)),
+        batch=st.sampled_from([8, 32, 64, 96]),
+        pick=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_lower_bound_below_step_time(
+        self, spec_name, cluster_name, method, batch, pick
+    ):
+        """Property: bound <= simulate(...).step_time across the space.
+
+        Samples uniformly from the actual enumerated candidates —
+        including hybrid-schedule ones — so the property covers exactly
+        what the branch-and-bound stage can ever see.
+        """
+        space = _space(spec_name, cluster_name, method, batch)
+        if not space:
+            return
+        config, impl = space[pick % len(space)]
+        spec, cluster = _SPECS[spec_name], _CLUSTERS[cluster_name]
+        cost = _cost_for(spec, cluster, config, impl)
+        bound = step_time_lower_bound(cost)
+        result = simulate(
+            spec, config, cluster, implementation=impl, cost=cost
+        )
+        assert bound.step_time <= result.step_time, (
+            f"bound {bound.step_time} exceeds simulated "
+            f"{result.step_time} for {config.describe()}"
+        )
+        assert bound.step_time > 0
+
+    def test_bound_covers_hybrid_schedules(self):
+        space = _space("6.6B", "ethernet", Method.BREADTH_FIRST, 32)
+        hybrids = [
+            (c, i) for c, i in space if c.schedule is ScheduleKind.HYBRID
+        ]
+        assert hybrids, "hybrid axis missing from the sampled space"
+        for config, impl in hybrids[:10]:
+            cost = _cost_for(
+                MODEL_6_6B, DGX1_CLUSTER_64_ETHERNET, config, impl
+            )
+            bound = step_time_lower_bound(cost)
+            result = simulate(
+                MODEL_6_6B,
+                config,
+                DGX1_CLUSTER_64_ETHERNET,
+                implementation=impl,
+                cost=cost,
+            )
+            assert bound.step_time <= result.step_time
+
+
+class TestExactness:
+    def test_single_device_single_microbatch_is_tight(self):
+        """Hand-computable case: one GPU, one micro-batch, no pipeline.
+
+        The engine runs exactly three serial instructions — forward,
+        backward, optimizer — so its makespan is their sum and the
+        bound's compute certificate equals it (up to the deliberate
+        float margin).
+        """
+        from repro.implementations import OUR_IMPLEMENTATION
+
+        config = ParallelConfig(
+            n_dp=1, n_pp=1, n_tp=1, microbatch_size=1, n_microbatches=1,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        cost = CostModel(
+            spec=MODEL_6_6B, config=config, cluster=DGX1_CLUSTER_64,
+            implementation=OUR_IMPLEMENTATION, calibration=DEFAULT_CALIBRATION,
+        )
+        expected_makespan = (
+            cost.forward_time(0) + cost.backward_time(0)
+            + cost.optimizer_time(0)
+        )
+        bound = step_time_lower_bound(cost)
+        assert bound.compute_seconds == pytest.approx(
+            expected_makespan, rel=1e-12
+        )
+        assert bound.step_time == pytest.approx(
+            expected_makespan + DEFAULT_CALIBRATION.fixed_step_overhead,
+            rel=1e-9,
+        )
+
+        result = simulate(
+            MODEL_6_6B, config, DGX1_CLUSTER_64, cost=cost,
+            implementation=cost.implementation,
+        )
+        assert bound.step_time <= result.step_time
+        # Tight to within the float margin: nothing in this program can
+        # overlap, so the bound *is* the step time.
+        assert bound.step_time >= result.step_time * (1 - 10 * FLOAT_MARGIN)
+
+    def test_fill_certificate_counted_for_pipelines(self):
+        """With N_PP = 2 the last rank waits for stage 0's first forward
+        plus one transfer — the bound must include that fill."""
+        config = ParallelConfig(
+            n_dp=1, n_pp=2, n_tp=1, microbatch_size=1, n_microbatches=4,
+            n_loop=2, schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        from repro.implementations import OUR_IMPLEMENTATION
+
+        cost = CostModel(
+            spec=MODEL_6_6B, config=config, cluster=DGX1_CLUSTER_64,
+            implementation=OUR_IMPLEMENTATION, calibration=DEFAULT_CALIBRATION,
+        )
+        times = cost.stage_times()
+        fill = times.forward[0] + times.pp_launch + times.pp_transfer
+        assert cost.rank_fill_seconds(1) == pytest.approx(fill, rel=1e-12)
+        rank1_floor = fill + cost.rank_compute_seconds(1)
+        bound = step_time_lower_bound(cost)
+        assert bound.compute_seconds >= rank1_floor * (1 - 1e-12)
+
+    def test_margin_only_loosens(self):
+        config = ParallelConfig(
+            n_dp=1, n_pp=1, n_tp=1, microbatch_size=1, n_microbatches=2,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        )
+        from repro.implementations import OUR_IMPLEMENTATION
+
+        cost = CostModel(
+            spec=MODEL_6_6B, config=config, cluster=DGX1_CLUSTER_64,
+            implementation=OUR_IMPLEMENTATION, calibration=DEFAULT_CALIBRATION,
+        )
+        bound = step_time_lower_bound(cost)
+        assert bound.makespan < bound.compute_seconds

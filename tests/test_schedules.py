@@ -151,10 +151,11 @@ def test_every_schedule_validates(kind, n_pp, n_mb_factor, n_loop):
         n_loop = 1
     n_mb = (
         n_mb_factor * n_pp
-        if kind is ScheduleKind.DEPTH_FIRST
+        if kind in (ScheduleKind.DEPTH_FIRST, ScheduleKind.HYBRID)
         else n_mb_factor + n_pp - 1
     )
-    schedule = build_schedule(kind, n_pp, n_mb, n_loop)
+    sequence_size = n_pp if kind is ScheduleKind.HYBRID else None
+    schedule = build_schedule(kind, n_pp, n_mb, n_loop, sequence_size)
     analysis = validate_schedule(schedule)
     assert analysis.makespan > 0
     assert schedule.total_ops == 2 * n_mb * n_pp * n_loop

@@ -5,10 +5,12 @@ from __future__ import annotations
 import pytest
 
 import repro.search.grid as grid
-from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.hardware.cluster import DGX1_CLUSTER_64, DGX1_CLUSTER_64_ETHERNET
 from repro.models.presets import MODEL_6_6B, MODEL_52B
 from repro.parallel.config import Method, ScheduleKind, Sharding
+from repro.search.cell import SearchSettings
 from repro.search.grid import best_configuration
+from repro.search.service.serialize import outcome_to_json, result_to_json
 from repro.search.space import configuration_space
 from repro.implementations import MEGATRON_LM, OUR_IMPLEMENTATION
 
@@ -150,18 +152,20 @@ class TestPruneBeforeSimulate:
             memory = grid.memory_model(MODEL_52B, config, impl, schedule)
             assert memory.total <= limit
 
-    def test_tried_and_excluded_partition_the_space(self):
+    def test_tried_excluded_pruned_partition_the_space(self):
+        # The accounting contract: every enumerated candidate lands in
+        # exactly one of the three counters — no silent skips (the old
+        # n_stages > n_layers drop is now excluded from enumeration).
         outcome = best_configuration(
             MODEL_52B, DGX1_CLUSTER_64, Method.DEPTH_FIRST, 8
         )
-        space = [
-            config
-            for config, _ in configuration_space(
-                Method.DEPTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 8
-            )
-            if config.n_stages <= MODEL_52B.n_layers
-        ]
-        assert outcome.n_tried + outcome.n_excluded == len(space)
+        space = list(configuration_space(
+            Method.DEPTH_FIRST, MODEL_52B, DGX1_CLUSTER_64, 8
+        ))
+        assert (
+            outcome.n_tried + outcome.n_excluded + outcome.n_pruned
+            == len(space)
+        )
         assert outcome.n_tried > 0
 
     def test_all_excluded_reports_no_best(self, monkeypatch):
@@ -177,3 +181,135 @@ class TestPruneBeforeSimulate:
         assert outcome.best is None
         assert outcome.n_tried == 0
         assert outcome.n_excluded > 0
+
+
+class TestEnumerationCompleteness:
+    """Satellite of the pipeline refactor: no silent candidate drops."""
+
+    def test_space_never_yields_more_stages_than_layers(self):
+        # The old best_configuration silently skipped n_stages > n_layers
+        # candidates outside every counter; the space now excludes them.
+        for method in Method:
+            for config, _ in configuration_space(
+                method, MODEL_6_6B, DGX1_CLUSTER_64, 64
+            ):
+                assert config.n_stages <= MODEL_6_6B.n_layers
+
+    def test_deep_non_looped_pipelines_are_not_enumerated(self):
+        # 6.6B has 32 layers; a 64-way non-looped pipeline (one stage per
+        # rank) cannot exist.  It used to be enumerated and dropped.
+        pps = {
+            config.n_pp
+            for config, _ in configuration_space(
+                Method.NON_LOOPED, MODEL_6_6B, DGX1_CLUSTER_64, 64
+            )
+        }
+        assert pps
+        assert max(pps) <= MODEL_6_6B.n_layers
+
+    @pytest.mark.parametrize("method", list(Method))
+    def test_accounting_sums_to_enumerated_space(self, method):
+        outcome = best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, method, 64
+        )
+        space = list(configuration_space(
+            method, MODEL_6_6B, DGX1_CLUSTER_64, 64
+        ))
+        assert (
+            outcome.n_tried + outcome.n_excluded + outcome.n_pruned
+            == len(space)
+        )
+
+
+class TestBoundPruning:
+    """Branch-and-bound invariants: same winner, strictly less work."""
+
+    CELLS = [
+        (MODEL_52B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 8),
+        (MODEL_52B, DGX1_CLUSTER_64, Method.DEPTH_FIRST, 64),
+        (MODEL_6_6B, DGX1_CLUSTER_64, Method.NON_LOOPED, 32),
+        (MODEL_6_6B, DGX1_CLUSTER_64_ETHERNET, Method.BREADTH_FIRST, 64),
+        (MODEL_6_6B, DGX1_CLUSTER_64, Method.NO_PIPELINE, 64),
+    ]
+
+    @pytest.mark.parametrize(
+        "spec,cluster,method,batch", CELLS,
+        ids=[f"{m.value}-B{b}" for _s, _c, m, b in CELLS],
+    )
+    def test_byte_identical_winner_with_and_without_pruning(
+        self, spec, cluster, method, batch
+    ):
+        pruned = best_configuration(spec, cluster, method, batch)
+        full = best_configuration(
+            spec, cluster, method, batch,
+            settings=SearchSettings(bound_pruning=False),
+        )
+        # The serialized winner (the checkpoint payload) must match byte
+        # for byte — the acceptance criterion for the pruning stage.
+        assert result_to_json(pruned.best) == result_to_json(full.best)
+        assert full.n_pruned == 0
+        assert pruned.n_excluded == full.n_excluded
+        assert pruned.n_tried + pruned.n_pruned == full.n_tried
+
+    def test_pruning_skips_work_on_a_paper_cell(self):
+        # Figure 7a cell: the bound must actually fire.
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 8
+        )
+        assert outcome.n_pruned > 0
+
+    def test_pruned_outcome_counts_serialize(self):
+        outcome = best_configuration(
+            MODEL_52B, DGX1_CLUSTER_64, Method.DEPTH_FIRST, 8
+        )
+        data = outcome_to_json(outcome)
+        assert data["n_pruned"] == outcome.n_pruned
+
+
+class TestHybridAxis:
+    def test_hybrid_candidates_present_when_enabled(self):
+        space = list(configuration_space(
+            Method.BREADTH_FIRST, MODEL_6_6B, DGX1_CLUSTER_64, 32,
+            include_hybrid=True,
+        ))
+        hybrids = [
+            c for c, _ in space if c.schedule is ScheduleKind.HYBRID
+        ]
+        assert hybrids
+        for config in hybrids:
+            assert config.n_pp <= config.sequence_size <= config.n_microbatches
+            assert config.n_microbatches % config.sequence_size == 0
+        # The axis widens the space strictly.
+        baseline = list(configuration_space(
+            Method.BREADTH_FIRST, MODEL_6_6B, DGX1_CLUSTER_64, 32,
+        ))
+        assert len(space) == len(baseline) + len(hybrids)
+
+    def test_hybrid_axis_off_by_default(self):
+        for config, _ in configuration_space(
+            Method.BREADTH_FIRST, MODEL_6_6B, DGX1_CLUSTER_64, 32
+        ):
+            assert config.schedule is not ScheduleKind.HYBRID
+
+    def test_search_with_hybrid_axis_end_to_end(self):
+        outcome = best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 32,
+            settings=SearchSettings(include_hybrid=True),
+        )
+        assert outcome.best is not None
+        space = list(configuration_space(
+            Method.BREADTH_FIRST, MODEL_6_6B, DGX1_CLUSTER_64, 32,
+            include_hybrid=True,
+        ))
+        assert (
+            outcome.n_tried + outcome.n_excluded + outcome.n_pruned
+            == len(space)
+        )
+        # The hybrid space is a superset: its winner cannot be worse.
+        baseline = best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, Method.BREADTH_FIRST, 32
+        )
+        assert (
+            outcome.best.throughput_per_gpu
+            >= baseline.best.throughput_per_gpu
+        )

@@ -183,9 +183,9 @@ class TestRunSweep:
         calls = []
         real = best_configuration
 
-        def counting(spec, cluster, method, batch, calibration):
+        def counting(spec, cluster, method, batch, calibration, settings):
             calls.append((method, batch))
-            return real(spec, cluster, method, batch, calibration)
+            return real(spec, cluster, method, batch, calibration, settings)
 
         monkeypatch.setattr(
             "repro.search.service.executors.best_configuration", counting
@@ -248,6 +248,81 @@ class TestRunSweep:
         assert run_sweep(MODEL_6_6B, DGX1_CLUSTER_64, []) == []
 
 
+class TestCellTiming:
+    """Per-cell wall-clock sidecars and longest-cell-first scheduling."""
+
+    def test_sweep_records_timing_sidecars(self, tmp_path):
+        opts = SweepOptions(backend="serial", checkpoint_dir=tmp_path)
+        run_sweep(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, options=opts)
+        store = CheckpointStore(tmp_path)
+        for cell in CELLS:
+            key = cell_key(
+                MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION, cell
+            )
+            seconds = store.load_timing(key)
+            assert seconds is not None and seconds > 0
+
+    def test_timing_sidecar_round_trip_and_corruption(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.store_timing("abc123", 1.25)
+        assert store.load_timing("abc123") == 1.25
+        assert store.load_timing("missing") is None
+        store.timing_path_for("bad999").write_bytes(b"{nope")
+        assert store.load_timing("bad999") is None  # silently advisory
+        with pytest.raises(ValueError):
+            store.store_timing("abc123", -1.0)
+
+    def test_timing_files_do_not_pollute_checkpoint_keys(
+        self, tmp_path, outcomes
+    ):
+        store = CheckpointStore(tmp_path)
+        store.store("deadbeef", outcomes[0])
+        store.store_timing("deadbeef", 2.0)
+        assert store.keys() == ["deadbeef"]
+
+    def test_recorded_timings_schedule_longest_first(self, tmp_path):
+        from repro.search.service.service import _order_longest_first
+
+        store = CheckpointStore(tmp_path)
+        tasks = [
+            (0, "aaa", SweepCell(Method.NO_PIPELINE, 8)),
+            (1, "bbb", SweepCell(Method.NO_PIPELINE, 64)),
+            (2, "ccc", SweepCell(Method.DEPTH_FIRST, 16)),
+        ]
+        store.store_timing("aaa", 0.5)
+        store.store_timing("ccc", 9.0)
+        ordered = _order_longest_first(store, tasks)
+        # Recorded cells rank by their measured seconds; the unrecorded
+        # B=64 cell is estimated from the steepest recorded rate
+        # (9.0s / 16 samples), putting its ~36s ahead of both — a big
+        # new cell must not be scheduled after small known ones.
+        assert [key for _i, key, _c in ordered] == ["bbb", "ccc", "aaa"]
+
+    def test_unknown_cells_order_by_batch_size(self, tmp_path):
+        from repro.search.service.service import _order_longest_first
+
+        store = CheckpointStore(tmp_path)
+        tasks = [
+            (0, "aaa", SweepCell(Method.NO_PIPELINE, 8)),
+            (1, "bbb", SweepCell(Method.NO_PIPELINE, 64)),
+        ]
+        ordered = _order_longest_first(store, tasks)
+        assert [key for _i, key, _c in ordered] == ["bbb", "aaa"]
+
+    def test_scheduling_order_never_changes_results(self, tmp_path, outcomes):
+        # Seed timings that force a non-input order, then sweep: results
+        # must still come back in input order.
+        opts = SweepOptions(backend="serial", checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path)
+        for cell, seconds in zip(CELLS, (1.0, 50.0, 10.0)):
+            key = cell_key(
+                MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION, cell
+            )
+            store.store_timing(key, seconds)
+        got = run_sweep(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, options=opts)
+        assert got == outcomes
+
+
 class TestBackendParity:
     """Every backend must reproduce the serial outcomes exactly."""
 
@@ -272,7 +347,7 @@ class TestTieBreak:
 
         def flat_simulate(
             spec, config, cluster, implementation=None, calibration=None,
-            schedule=None, record_events=False, memory=None,
+            schedule=None, record_events=False, memory=None, cost=None,
         ):
             seen.append(config)
             return SimulationResult(

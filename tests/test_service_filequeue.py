@@ -15,6 +15,7 @@ from repro.models.presets import MODEL_6_6B
 from repro.parallel.config import Method
 from repro.search.grid import best_configuration
 from repro.search.service import (
+    DEFAULT_SETTINGS,
     CheckpointStore,
     FileQueueExecutor,
     FileWorkQueue,
@@ -83,10 +84,11 @@ class TestClaimProtocol:
     def test_context_round_trips(self, tmp_path):
         make_queue(tmp_path, max_retries=5)
         queue = FileWorkQueue.open(tmp_path)
-        spec, cluster, calibration = queue.load_context()
+        spec, cluster, calibration, settings = queue.load_context()
         assert spec == MODEL_6_6B
         assert cluster == DGX1_CLUSTER_64
         assert calibration == DEFAULT_CALIBRATION
+        assert settings == DEFAULT_SETTINGS
         assert queue.max_retries == 5
 
     def test_open_requires_initialized_queue(self, tmp_path):
@@ -233,7 +235,7 @@ class TestWorkerFunction:
             raise AssertionError("recomputed a checkpointed cell")
 
         monkeypatch.setattr(
-            "repro.search.service.worker.best_configuration", boom
+            "repro.search.service.worker._timed_search", boom
         )
         assert run_worker(
             str(tmp_path / "q"), str(tmp_path / "ck"), worker_id="w"
@@ -272,9 +274,15 @@ class TestFileQueueEndToEnd:
             workers=2,
             crash_first_worker_after=1,
         )
-        context = (MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION)
+        context = (
+            MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION,
+            DEFAULT_SETTINGS,
+        )
         tasks = list(zip(range(len(CELLS)), keys, CELLS))
-        results = dict(executor.run(context, tasks))
+        results = {
+            index: outcome
+            for index, outcome, _elapsed in executor.run(context, tasks)
+        }
         assert [results[i] for i in range(len(CELLS))] == reference
 
         store = CheckpointStore(tmp_path / "ck")
@@ -296,7 +304,10 @@ class TestFileQueueEndToEnd:
         )
         # Crash injection only applies to the first worker launched; with
         # max_retries=0 its crashed cell fails immediately.
-        context = (MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION)
+        context = (
+            MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION,
+            DEFAULT_SETTINGS,
+        )
         tasks = [(0, keys_for(CELLS)[0], CELLS[0])]
         with pytest.raises(SweepError, match="retry cap"):
             list(executor.run(context, tasks))
