@@ -12,6 +12,17 @@ the executor (in-process pools or the multi-machine file queue),
 skips cells already checkpointed — an interrupted ``--full`` grid picks
 up where it left off.  ``--trace-out`` additionally exports the
 Figure 4 schedule timelines as a ``chrome://tracing`` JSON file.
+
+Two calibration hooks (see ``docs/calibration.md``):
+
+- ``repro-experiments calibrate [--quick] [--out PATH]`` least-squares
+  fits the :class:`~repro.sim.calibration.Calibration` constants to the
+  published Appendix E anchor rows and reports per-anchor residuals
+  before/after; it exits non-zero if the fit fails to strictly improve
+  on the hand-tuned constants (the CI smoke contract).
+- ``--calibration PATH`` runs any experiment under a calibration loaded
+  from JSON (e.g. the committed ``fitted_calibration.json``) instead of
+  the hand-tuned default.
 """
 
 from __future__ import annotations
@@ -37,7 +48,9 @@ from repro.experiments.hybrid_search import (
 from repro.experiments.table41 import run_table41
 from repro.experiments.table51 import format_table51
 from repro.experiments.tableE import format_table_e, run_table_e
+from repro.fit import fit_calibration, format_fit_result, load_calibration, save_calibration
 from repro.search.service import BACKENDS, SweepOptions
+from repro.sim.calibration import DEFAULT_CALIBRATION
 from repro.utils.tables import ascii_table
 from repro.viz.chart import ascii_line_chart
 from repro.viz.chrome_trace import write_chrome_trace
@@ -192,6 +205,9 @@ def _export_trace(path: str) -> None:
 
 def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
     """Sweep-service settings from parsed CLI flags."""
+    calibration = DEFAULT_CALIBRATION
+    if args.calibration is not None:
+        calibration = load_calibration(args.calibration)
     return SweepOptions(
         backend=args.backend,
         processes=args.jobs,
@@ -200,13 +216,74 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         resume=args.resume,
         progress=args.progress,
         bound_pruning=not args.no_bound_pruning,
+        calibration=calibration,
     )
+
+
+def calibrate_main(argv: Sequence[str] | None = None) -> int:
+    """``repro-experiments calibrate``: fit the calibration to the anchors.
+
+    Prints the parameter table, per-anchor residuals before/after, and
+    the headline weighted mean relative throughput error.  Exit status 0
+    means the fit *strictly* reduced that error versus the starting
+    (hand-tuned) calibration; 1 means it did not — the property the CI
+    smoke step asserts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments calibrate",
+        description="Least-squares fit of the cost-model calibration "
+        "constants to the paper's Appendix E anchor rows.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small iteration budget (CI smoke mode; still deterministic, "
+        "just less converged than the default full fit)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the fitted calibration (plus fit provenance) as JSON "
+        "to PATH — the file format --calibration consumes",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    result = fit_calibration(quick=args.quick)
+    print(format_fit_result(result))
+    print(f"--- calibrate done in {time.time() - start:.1f}s "
+          f"({'quick' if args.quick else 'full'} budget) ---")
+    if args.out:
+        written = save_calibration(
+            args.out, result.fitted_calibration, result=result
+        )
+        print(f"wrote fitted calibration to {written}")
+    if not result.improved:
+        print(
+            "FAIL: fit did not strictly improve on the hand-tuned "
+            "calibration in both metrics (objective "
+            f"{result.objective_before:.3e} -> {result.objective_after:.3e}, "
+            f"mean relative throughput error "
+            f"{result.throughput_error_before:.2%} -> "
+            f"{result.throughput_error_after:.2%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch before experiment parsing: `calibrate` has its
+    # own flags (--quick/--out) that the experiments parser must not see.
+    if argv and argv[0] == "calibrate":
+        return calibrate_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's figures and tables."
+        description="Regenerate the paper's figures and tables "
+        "(or `calibrate` to fit the cost model to the paper's anchors)."
     )
     parser.add_argument(
         "names",
@@ -273,6 +350,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="also export the Figure 4 schedule timelines as a "
              "chrome://tracing JSON file at PATH",
+    )
+    parser.add_argument(
+        "--calibration",
+        default=None,
+        metavar="PATH",
+        help="run the search-backed experiments under the calibration in "
+             "this JSON file (e.g. the committed fitted_calibration.json "
+             "produced by `calibrate --out`) instead of the hand-tuned "
+             "default",
     )
     args = parser.parse_args(argv)
     # Validate by hand: argparse (<=3.11) checks nargs="*" defaults

@@ -1,0 +1,64 @@
+"""Calibration fitting against the paper's Appendix E anchors.
+
+The cost model's free constants (:class:`~repro.sim.calibration.Calibration`)
+were originally hand-tuned to land in the paper's reported bands.  This
+package replaces the hand-tuning with least squares against the
+published rows themselves:
+
+- :mod:`~repro.fit.residuals` — re-simulates every
+  :data:`~repro.paper_data.PAPER_ANCHORS` row under a candidate
+  calibration and returns weighted relative errors in throughput and
+  memory.
+- :mod:`~repro.fit.optimize` — deterministic, dependency-free bounded
+  minimizers (coordinate descent + Nelder–Mead polish; no scipy).
+- :mod:`~repro.fit.fitter` — :func:`fit_calibration`, the entry point.
+- :mod:`~repro.fit.report` — the :class:`FitResult` record, its CLI
+  rendering, and JSON round-trips of fitted calibrations in the sweep
+  serializer's exact format.
+
+``repro-experiments calibrate`` drives it from the command line; the
+committed ``fitted_calibration.json`` at the repo root is its output,
+usable by every experiment via ``--calibration``.
+"""
+
+from repro.fit.fitter import FIT_PARAMETERS, FitParameter, fit_calibration
+from repro.fit.optimize import (
+    BoundedObjective,
+    OptimizationStep,
+    coordinate_descent,
+    nelder_mead,
+)
+from repro.fit.report import (
+    FitResult,
+    format_fit_result,
+    load_calibration,
+    save_calibration,
+)
+from repro.fit.residuals import (
+    AnchorEvaluator,
+    AnchorResidual,
+    FitWeights,
+    anchor_environment,
+    objective_value,
+    weighted_throughput_error,
+)
+
+__all__ = [
+    "FIT_PARAMETERS",
+    "AnchorEvaluator",
+    "AnchorResidual",
+    "BoundedObjective",
+    "FitParameter",
+    "FitResult",
+    "FitWeights",
+    "OptimizationStep",
+    "anchor_environment",
+    "coordinate_descent",
+    "fit_calibration",
+    "format_fit_result",
+    "load_calibration",
+    "nelder_mead",
+    "objective_value",
+    "save_calibration",
+    "weighted_throughput_error",
+]

@@ -1,0 +1,159 @@
+"""Least-squares fitting of the calibration constants to the paper anchors.
+
+:func:`fit_calibration` is the entry point: starting from a (usually the
+hand-tuned default) :class:`~repro.sim.calibration.Calibration`, it
+minimizes the weighted anchor residuals (:mod:`repro.fit.residuals`)
+over a bounded box of the calibration fields using the deterministic
+two-stage optimizer in :mod:`repro.fit.optimize`, and returns a
+:class:`~repro.fit.report.FitResult` with everything a reviewer needs:
+per-anchor residuals before and after, the parameter table with bounds,
+and the improvement trace.
+
+Both stages only ever accept improvements, so the fitted objective is
+never worse than the starting point's — the CLI turns *strict*
+improvement into its exit code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.fit.optimize import BoundedObjective, coordinate_descent, nelder_mead
+from repro.fit.report import FitResult
+from repro.fit.residuals import (
+    DEFAULT_WEIGHTS,
+    AnchorEvaluator,
+    FitWeights,
+    objective_value,
+    weighted_throughput_error,
+)
+from repro.paper_data import PAPER_ANCHORS, PaperAnchor
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = ["FIT_PARAMETERS", "FitParameter", "fit_calibration"]
+
+
+@dataclass(frozen=True)
+class FitParameter:
+    """One fitted calibration field and its search box.
+
+    The bounds are physical, not cosmetic: they keep every candidate a
+    *valid* ``Calibration`` (the constructor rejects non-positive
+    saturation constants), and they keep the fitter inside the regime
+    the cost model's formulas were derived for.
+    """
+
+    name: str
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not self.lower < self.upper:
+            raise ValueError(
+                f"{self.name}: lower bound {self.lower} must be below "
+                f"upper bound {self.upper}"
+            )
+
+
+#: The full fitted parameter set, in optimization order.
+FIT_PARAMETERS: tuple[FitParameter, ...] = (
+    # Fraction of peak that large matmuls can reach: below ~0.3 the model
+    # could no longer reproduce any measured row; 1.0 is physical peak.
+    FitParameter("kernel_efficiency_max", 0.3, 1.0),
+    # Saturation half-points (tokens, per-GPU hidden width): positive by
+    # construction; the upper ends are far beyond the anchor regime.
+    FitParameter("tokens_half_point", 1.0, 2000.0),
+    FitParameter("width_half_point", 1.0, 2000.0),
+    # Optimizer traffic per parameter: 16 B (pure fp32 read+write of
+    # weights) up to 128 B (full Adam state several times over).
+    FitParameter("optimizer_bytes_per_param", 16.0, 128.0),
+    # Fixed per-step overhead: zero to 50 ms.
+    FitParameter("fixed_step_overhead", 0.0, 0.05),
+)
+
+
+def _calibration_from_vector(
+    base: Calibration,
+    parameters: Sequence[FitParameter],
+    vector: Sequence[float],
+) -> Calibration:
+    return replace(
+        base, **{p.name: float(x) for p, x in zip(parameters, vector)}
+    )
+
+
+def fit_calibration(
+    anchors: Sequence[PaperAnchor] = PAPER_ANCHORS,
+    *,
+    initial: Calibration = DEFAULT_CALIBRATION,
+    parameters: Sequence[FitParameter] = FIT_PARAMETERS,
+    weights: FitWeights = DEFAULT_WEIGHTS,
+    quick: bool = False,
+) -> FitResult:
+    """Fit the calibration constants to the anchor rows by least squares.
+
+    Args:
+        anchors: Published rows to fit against (the full Appendix E
+            anchor set by default).
+        initial: Starting calibration; also the baseline every reported
+            "before" number refers to.
+        parameters: Which fields to fit, with bounds.  Fields not listed
+            are carried through unchanged.
+        weights: Relative weight of throughput vs memory residuals.
+        quick: Use a small iteration budget (a handful of
+            coordinate-descent rounds, short polish) — the CI smoke
+            setting.  The result is still deterministic, just less
+            converged.
+
+    Returns:
+        A :class:`~repro.fit.report.FitResult`; its
+        ``fitted_calibration`` minimizes the weighted residuals within
+        the parameter box, and its objective is never above the
+        initial calibration's.
+    """
+    if not parameters:
+        raise ValueError("need at least one parameter to fit")
+    names = [p.name for p in parameters]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate fit parameters: {names}")
+    evaluator = AnchorEvaluator(anchors)
+
+    def loss(vector: Sequence[float]) -> float:
+        candidate = _calibration_from_vector(initial, parameters, vector)
+        return objective_value(evaluator.evaluate(candidate), weights)
+
+    objective = BoundedObjective(loss, [(p.lower, p.upper) for p in parameters])
+    start = objective.clip([getattr(initial, p.name) for p in parameters])
+
+    if quick:
+        rounds, polish = 2, 20
+    else:
+        rounds, polish = 6, 150
+    best_point, best_value = coordinate_descent(objective, start, rounds=rounds)
+    best_point, best_value = nelder_mead(
+        objective, best_point, max_iterations=polish
+    )
+    # The descent stages only accept improvements, but guard anyway: the
+    # report must never claim a fit that lost to its own starting point.
+    start_value = objective(start)
+    if start_value < best_value:
+        best_point, best_value = start, start_value
+
+    fitted = _calibration_from_vector(initial, parameters, best_point)
+    residuals_before = evaluator.evaluate(initial)
+    residuals_after = evaluator.evaluate(fitted)
+    return FitResult(
+        initial_calibration=initial,
+        fitted_calibration=fitted,
+        parameters=tuple(parameters),
+        weights=weights,
+        residuals_before=residuals_before,
+        residuals_after=residuals_after,
+        objective_before=objective_value(residuals_before, weights),
+        objective_after=objective_value(residuals_after, weights),
+        throughput_error_before=weighted_throughput_error(residuals_before),
+        throughput_error_after=weighted_throughput_error(residuals_after),
+        n_evaluations=objective.n_evaluations,
+        trace=tuple(objective.trace),
+    )

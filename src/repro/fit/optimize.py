@@ -1,0 +1,218 @@
+"""Dependency-free bounded minimizers for the calibration fitter.
+
+Two deterministic stages, both derivative-free (the objective runs a
+discrete-event simulator, so gradients are unavailable and the surface
+has small plateaus):
+
+- :func:`coordinate_descent` — cycles over the coordinates with a
+  shrinking pattern step.  Robust and bound-aware; gets within a few
+  percent of a local optimum quickly.
+- :func:`nelder_mead` — a standard simplex polish seeded at the
+  coordinate-descent result, with every trial point clipped into the box
+  (the projection variant of bound handling).
+
+Nothing here imports beyond the standard library, and nothing draws
+random numbers: given the same objective, the full evaluation sequence —
+and therefore the result — is identical on every run and platform.
+Evaluations are memoized, so re-visited points (frequent once steps
+shrink or the simplex collapses onto a bound) cost nothing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "BoundedObjective",
+    "OptimizationStep",
+    "coordinate_descent",
+    "nelder_mead",
+]
+
+Bounds = Sequence[tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class OptimizationStep:
+    """One accepted improvement in an optimizer's trace."""
+
+    evaluation: int
+    stage: str
+    point: tuple[float, ...]
+    value: float
+
+
+class BoundedObjective:
+    """Counting, memoizing wrapper shared by both optimizer stages.
+
+    Clips every query into the bounds box, so the optimizers can propose
+    freely; records every *improvement* into ``trace`` for the fit
+    report.  The memo also guarantees determinism is cheap to verify:
+    identical runs produce identical ``n_evaluations``.
+    """
+
+    def __init__(self, fn: Callable[[Sequence[float]], float], bounds: Bounds) -> None:
+        for low, high in bounds:
+            if not low < high:
+                raise ValueError(f"invalid bound ({low}, {high})")
+        self.fn = fn
+        self.bounds = tuple((float(low), float(high)) for low, high in bounds)
+        self.n_evaluations = 0
+        self.trace: list[OptimizationStep] = []
+        self._memo: dict[tuple[float, ...], float] = {}
+        self._best: float = float("inf")
+        self._stage = "init"
+
+    def set_stage(self, stage: str) -> None:
+        self._stage = stage
+
+    def clip(self, point: Sequence[float]) -> tuple[float, ...]:
+        return tuple(
+            min(max(float(x), low), high)
+            for x, (low, high) in zip(point, self.bounds)
+        )
+
+    def __call__(self, point: Sequence[float]) -> float:
+        clipped = self.clip(point)
+        if clipped in self._memo:
+            return self._memo[clipped]
+        self.n_evaluations += 1
+        value = self.fn(clipped)
+        self._memo[clipped] = value
+        if value < self._best:
+            self._best = value
+            self.trace.append(OptimizationStep(
+                evaluation=self.n_evaluations,
+                stage=self._stage,
+                point=clipped,
+                value=value,
+            ))
+        return value
+
+
+def coordinate_descent(
+    objective: BoundedObjective,
+    start: Sequence[float],
+    *,
+    rounds: int = 6,
+    initial_step_fraction: float = 0.2,
+    shrink: float = 0.5,
+    min_step_fraction: float = 1e-3,
+) -> tuple[tuple[float, ...], float]:
+    """Bounded pattern search, one coordinate at a time.
+
+    For each coordinate in a fixed cycle, tries ``x +/- step`` (step a
+    fraction of that coordinate's bound width) and moves while it
+    improves; steps halve between rounds.  Accept-only-improvement makes
+    the final value monotonically non-increasing from the start point.
+    """
+    objective.set_stage("coordinate-descent")
+    x = list(objective.clip(start))
+    best = objective(x)
+    steps = [
+        initial_step_fraction * (high - low) for low, high in objective.bounds
+    ]
+    floors = [
+        min_step_fraction * (high - low) for low, high in objective.bounds
+    ]
+    for _round in range(rounds):
+        improved_any = False
+        for i in range(len(x)):
+            # Walk this coordinate at the current step size until neither
+            # direction improves; the step only shrinks between rounds.
+            while True:
+                improved = False
+                for direction in (+1.0, -1.0):
+                    candidate = list(x)
+                    candidate[i] = x[i] + direction * steps[i]
+                    value = objective(candidate)
+                    if value < best:
+                        x = list(objective.clip(candidate))
+                        best = value
+                        improved = True
+                        improved_any = True
+                        break
+                if not improved:
+                    break
+        steps = [max(s * shrink, f) for s, f in zip(steps, floors)]
+        if not improved_any and all(
+            s <= f for s, f in zip(steps, floors)
+        ):
+            break
+    return tuple(x), best
+
+
+def nelder_mead(
+    objective: BoundedObjective,
+    start: Sequence[float],
+    *,
+    max_iterations: int = 120,
+    scale_fraction: float = 0.05,
+    tolerance: float = 1e-7,
+) -> tuple[tuple[float, ...], float]:
+    """Nelder–Mead simplex polish with projection onto the bounds box.
+
+    Standard coefficients (reflect 1, expand 2, contract 0.5, shrink
+    0.5).  The initial simplex offsets each coordinate by a fraction of
+    its bound width, inward when the start sits on the upper bound.  Ties
+    are broken by vertex insertion order, which is itself deterministic.
+    """
+    objective.set_stage("nelder-mead")
+    n = len(objective.bounds)
+    x0 = objective.clip(start)
+
+    simplex: list[tuple[float, ...]] = [x0]
+    for i in range(n):
+        low, high = objective.bounds[i]
+        offset = scale_fraction * (high - low)
+        point = list(x0)
+        point[i] = point[i] + offset if point[i] + offset <= high else point[i] - offset
+        simplex.append(objective.clip(point))
+    values = [objective(p) for p in simplex]
+
+    for _iteration in range(max_iterations):
+        order = sorted(range(n + 1), key=lambda i: (values[i], i))
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        if values[-1] - values[0] <= tolerance:
+            break
+
+        centroid = [
+            sum(p[i] for p in simplex[:-1]) / n for i in range(n)
+        ]
+        worst = simplex[-1]
+
+        def blend(factor: float) -> tuple[float, ...]:
+            return objective.clip(
+                [c + factor * (c - w) for c, w in zip(centroid, worst)]
+            )
+
+        reflected = blend(1.0)
+        f_reflected = objective(reflected)
+        if f_reflected < values[0]:
+            expanded = blend(2.0)
+            f_expanded = objective(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            contracted = blend(0.5 if f_reflected < values[-1] else -0.5)
+            f_contracted = objective(contracted)
+            if f_contracted < min(f_reflected, values[-1]):
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:
+                # Shrink toward the best vertex.
+                best_point = simplex[0]
+                for i in range(1, n + 1):
+                    simplex[i] = objective.clip([
+                        b + 0.5 * (p - b)
+                        for b, p in zip(best_point, simplex[i])
+                    ])
+                    values[i] = objective(simplex[i])
+
+    best_index = min(range(n + 1), key=lambda i: (values[i], i))
+    return simplex[best_index], values[best_index]

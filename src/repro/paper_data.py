@@ -13,6 +13,14 @@ from dataclasses import dataclass
 from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
 
 
+#: Reproduction tolerance bands (see EXPERIMENTS.md).  The global bands
+#: bound the *whole* anchor set loosely; each anchor additionally carries
+#: its own, tighter band (ratio of simulated to published value) that
+#: tests assert for the hand-tuned and the fitted calibration alike.
+THROUGHPUT_BAND = (0.75, 1.35)
+MEMORY_BAND = (0.6, 1.5)
+
+
 @dataclass(frozen=True)
 class PaperAnchor:
     """One published configuration row.
@@ -26,6 +34,15 @@ class PaperAnchor:
         throughput_tflops: Published Tflop/s per GPU.
         memory_gb: Published measured memory (GB).
         memory_min_gb: Published predicted-minimum memory (GB).
+        throughput_band: Per-row reproduction band for the ratio
+            ``simulated / published`` throughput.  Chosen to hold, with
+            margin, for both the hand-tuned ``DEFAULT_CALIBRATION`` and
+            the committed least-squares fit (``fitted_calibration.json``)
+            — so any cost-model change that degrades a row past its
+            recorded reproduction quality fails a test instead of
+            shifting a plot shape silently.
+        memory_band: Same, for peak memory (calibration-independent
+            today, recorded per row for the same regression purpose).
     """
 
     table: str
@@ -36,6 +53,8 @@ class PaperAnchor:
     throughput_tflops: float
     memory_gb: float
     memory_min_gb: float
+    throughput_band: tuple[float, float] = THROUGHPUT_BAND
+    memory_band: tuple[float, float] = MEMORY_BAND
 
 
 def _cfg(ndp, npp, ntp, smb, nmb, loop, schedule, sharded=False):
@@ -56,38 +75,52 @@ def _cfg(ndp, npp, ntp, smb, nmb, loop, schedule, sharded=False):
 BF, DF = ScheduleKind.BREADTH_FIRST, ScheduleKind.DEPTH_FIRST
 GP, FB = ScheduleKind.GPIPE, ScheduleKind.ONE_F_ONE_B
 
-#: Anchor rows transcribed from Tables E.1-E.3.
+#: Anchor rows transcribed from Tables E.1-E.3.  The trailing band pair
+#: per row is (throughput_band, memory_band) — measured reproduction
+#: ratios of both calibrations plus ~5-10% headroom; the documented
+#: outliers (the no-pipeline rows and the E.2/E.3 memory rows) carry
+#: visibly wider or shifted bands rather than being silently excluded.
 PAPER_ANCHORS: tuple[PaperAnchor, ...] = (
     PaperAnchor("E.1", "BF B=9 loop8 DP0", "52B", False,
-                _cfg(1, 8, 8, 1, 9, 8, BF), 42.33, 14.74, 2.25),
+                _cfg(1, 8, 8, 1, 9, 8, BF), 42.33, 14.74, 2.25,
+                (0.90, 1.25), (0.95, 1.25)),
     PaperAnchor("E.1", "BF B=16 pp4 loop8 FS", "52B", False,
-                _cfg(2, 4, 8, 1, 8, 8, BF, sharded=True), 44.49, 16.60, 3.60),
+                _cfg(2, 4, 8, 1, 8, 8, BF, sharded=True), 44.49, 16.60, 3.60,
+                (0.90, 1.20), (0.70, 0.95)),
     PaperAnchor("E.1", "BF B=48 tp2 loop8 FS", "52B", False,
-                _cfg(4, 8, 2, 1, 12, 8, BF, sharded=True), 55.34, 19.73, 5.80),
+                _cfg(4, 8, 2, 1, 12, 8, BF, sharded=True), 55.34, 19.73, 5.80,
+                (0.85, 1.05), (0.75, 1.00)),
     PaperAnchor("E.1", "DF B=8 loop2", "52B", False,
-                _cfg(1, 8, 8, 1, 8, 2, DF), 29.53, 15.78, 6.42),
+                _cfg(1, 8, 8, 1, 8, 2, DF), 29.53, 15.78, 6.42,
+                (0.95, 1.25), (0.80, 1.05)),
     PaperAnchor("E.1", "DF B=128 loop4", "52B", False,
-                _cfg(1, 8, 8, 4, 32, 4, DF), 51.46, 19.18, 9.81),
+                _cfg(1, 8, 8, 4, 32, 4, DF), 51.46, 19.18, 9.81,
+                (0.85, 1.15), (0.70, 0.95)),
     PaperAnchor("E.1", "NL B=8 GPipe", "52B", False,
-                _cfg(1, 8, 8, 1, 8, 1, GP), 26.04, 16.87, 4.38),
+                _cfg(1, 8, 8, 1, 8, 1, GP), 26.04, 16.87, 4.38,
+                (0.95, 1.25), (0.85, 1.10)),
     PaperAnchor("E.1", "NL B=512 1F1B", "52B", False,
-                _cfg(1, 8, 8, 4, 128, 1, FB), 55.52, 17.68, 8.31),
+                _cfg(1, 8, 8, 4, 128, 1, FB), 55.52, 17.68, 8.31,
+                (0.85, 1.15), (0.75, 1.00)),
+    # No-pipeline small/large-batch rows: the paper's own implementation
+    # underperforms its theory here, so the simulator sits high.
     PaperAnchor("E.1", "NP B=512 tp2 FS", "52B", False,
-                _cfg(32, 1, 2, 4, 4, 1, BF, sharded=True), 62.40, 21.44, 9.19),
+                _cfg(32, 1, 2, 4, 4, 1, BF, sharded=True), 62.40, 21.44, 9.19,
+                (1.00, 1.35), (1.00, 1.30)),
     PaperAnchor("E.2", "BF B=256 FS", "6.6B", False,
-                _cfg(32, 2, 1, 2, 4, 8, BF, sharded=True), 60.45, 7.02, 5.36),
+                _cfg(32, 2, 1, 2, 4, 8, BF, sharded=True), 60.45, 7.02, 5.36,
+                (0.85, 1.10), (0.60, 0.80)),
     PaperAnchor("E.2", "NP B=256 tp1 FS", "6.6B", False,
-                _cfg(64, 1, 1, 4, 1, 1, BF, sharded=True), 60.02, 6.01, 4.43),
+                _cfg(64, 1, 1, 4, 1, 1, BF, sharded=True), 60.02, 6.01, 4.43,
+                (0.70, 1.00), (0.75, 1.00)),
     PaperAnchor("E.3", "BF B=64 (Ethernet)", "6.6B", True,
-                _cfg(4, 4, 4, 2, 8, 4, BF), 31.31, 8.70, 2.21),
+                _cfg(4, 4, 4, 2, 8, 4, BF), 31.31, 8.70, 2.21,
+                (1.00, 1.35), (0.90, 1.15)),
     PaperAnchor("E.3", "DF B=512 (Ethernet)", "6.6B", True,
-                _cfg(8, 8, 1, 2, 32, 2, DF), 40.75, 17.45, 7.00),
+                _cfg(8, 8, 1, 2, 32, 2, DF), 40.75, 17.45, 7.00,
+                (0.95, 1.25), (0.90, 1.15)),
 )
 
 #: Paper-quoted headline gains near beta_min (Section 5.3).
 HEADLINE_GAIN_VS_DEPTH_FIRST = 1.43
 HEADLINE_GAIN_VS_NON_LOOPED = 1.53
-
-#: Reproduction tolerance bands (see EXPERIMENTS.md).
-THROUGHPUT_BAND = (0.75, 1.35)
-MEMORY_BAND = (0.6, 1.5)

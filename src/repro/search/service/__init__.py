@@ -27,8 +27,10 @@ from repro.search.service.executors import (
     SweepError,
 )
 from repro.search.service.progress import ProgressReporter
-from repro.search.service.queue import ClaimedCell, FileWorkQueue
+from repro.search.service.queue import ClaimedCell, FileWorkQueue, LeaseHeartbeat
 from repro.search.service.serialize import (
+    calibration_from_json,
+    calibration_to_json,
     cell_key,
     outcome_from_json,
     outcome_to_json,
@@ -43,6 +45,7 @@ __all__ = [
     "Executor",
     "FileQueueExecutor",
     "FileWorkQueue",
+    "LeaseHeartbeat",
     "MultiprocessingExecutor",
     "ProcessPoolBackend",
     "ProgressReporter",
@@ -51,6 +54,8 @@ __all__ = [
     "SweepCell",
     "SweepError",
     "SweepOptions",
+    "calibration_from_json",
+    "calibration_to_json",
     "cell_key",
     "outcome_from_json",
     "outcome_to_json",

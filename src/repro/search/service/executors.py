@@ -39,7 +39,7 @@ from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome, best_configuration
 from repro.sim.calibration import Calibration
 from repro.search.service.checkpoint import CheckpointStore
-from repro.search.service.queue import FileWorkQueue
+from repro.search.service.queue import FileWorkQueue, heartbeat_interval_for_lease
 
 __all__ = [
     "Executor",
@@ -238,9 +238,15 @@ def worker_command(
     *,
     worker_id: str | None = None,
     wait: bool = False,
+    heartbeat_interval: float | None = None,
     crash_after_claims: int | None = None,
 ) -> list[str]:
-    """The subprocess argv for one file-queue worker."""
+    """The subprocess argv for one file-queue worker.
+
+    ``heartbeat_interval=None`` leaves the worker's own default; pass
+    :func:`repro.search.service.queue.heartbeat_interval_for_lease` of
+    the coordinator's lease so the heartbeat always beats the janitor.
+    """
     cmd = [
         sys.executable,
         "-m",
@@ -254,6 +260,8 @@ def worker_command(
         cmd += ["--worker-id", worker_id]
     if wait:
         cmd.append("--wait")
+    if heartbeat_interval is not None:
+        cmd += ["--heartbeat-interval", repr(heartbeat_interval)]
     if crash_after_claims is not None:
         cmd += ["--crash-after-claims", str(crash_after_claims)]
     return cmd
@@ -297,10 +305,17 @@ class FileQueueExecutor(Executor):
         #: Requeue claims older than this many seconds — the recovery
         #: path for *external* workers (other machines) whose liveness
         #: the coordinator can't probe.  None disables lease expiry;
-        #: locally-launched workers are reaped by pid regardless.  Set
-        #: it above the longest expected cell: a live worker whose claim
-        #: expires merely duplicates work (completion is idempotent),
-        #: but each expiry costs one of the cell's retries.
+        #: locally-launched workers are reaped by pid regardless.  Live
+        #: workers renew their claim by heartbeat (touching the file
+        #: every third of this lease — see ``_spawn``), so the lease no
+        #: longer needs to exceed the longest cell: it only bounds how
+        #: long a *dead* external worker's cell stays stuck.  Expiry of
+        #: a genuinely stalled worker still just duplicates work
+        #: (completion is idempotent) at the cost of one retry.
+        if stale_lease is not None and stale_lease <= 0:
+            raise ValueError(
+                f"stale_lease must be positive or None, got {stale_lease}"
+            )
         self.stale_lease = stale_lease
         #: Fallback lease applied only when the coordinator is idle (no
         #: local workers alive, nothing pending) yet claimed cells
@@ -324,6 +339,9 @@ class FileQueueExecutor(Executor):
             self.queue_dir,
             self.checkpoint_dir,
             worker_id=worker_id,
+            # Derived from the configured lease so the heartbeat always
+            # outpaces the janitor, whatever lease the caller picked.
+            heartbeat_interval=heartbeat_interval_for_lease(self.stale_lease),
             crash_after_claims=(
                 self.crash_first_worker_after if inject_crash else None
             ),

@@ -23,12 +23,20 @@ with the attempt count incremented via :meth:`FileWorkQueue.requeue_claims_of`
 expired — the only option across machines, where liveness can't be
 probed).  Past ``max_retries`` requeues the cell lands in ``failed/``
 and the sweep reports it loudly rather than silently dropping it.
+
+A claim doubles as a *lease* keyed on the claim file's mtime.  A live
+worker computing a cell for longer than the lease renews it by touching
+the file (:meth:`FileWorkQueue.renew`, typically via a
+:class:`LeaseHeartbeat` thread), so ``requeue_stale`` only ever expires
+claims whose holder has actually stopped heartbeating — not merely one
+that drew a slow cell.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,7 +55,38 @@ from repro.search.service.serialize import (
     settings_to_json,
 )
 
-__all__ = ["ClaimedCell", "FileWorkQueue"]
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "ClaimedCell",
+    "FileWorkQueue",
+    "LeaseHeartbeat",
+    "heartbeat_interval_for_lease",
+]
+
+#: Default seconds between claim-file touches while a cell is computing.
+#: Kept well under the coordinator's idle-orphan fallback lease (300 s);
+#: callers configuring a custom lease should derive the interval from it
+#: via :func:`heartbeat_interval_for_lease` instead of using this
+#: constant directly.
+DEFAULT_HEARTBEAT_INTERVAL = 30.0
+
+
+def heartbeat_interval_for_lease(lease_seconds: float | None) -> float | None:
+    """The heartbeat interval matching a stale-claim lease.
+
+    A third of the lease: several touches fit inside one lease window,
+    so a single missed tick (GC pause, slow shared FS) cannot expire a
+    live worker's claim.  ``None`` (no lease configured) falls back to
+    :data:`DEFAULT_HEARTBEAT_INTERVAL`, which sits safely under the
+    idle-orphan fallback.
+    """
+    if lease_seconds is None:
+        return DEFAULT_HEARTBEAT_INTERVAL
+    if lease_seconds <= 0:
+        raise ValueError(
+            f"lease must be positive, got {lease_seconds}"
+        )
+    return min(DEFAULT_HEARTBEAT_INTERVAL, lease_seconds / 3.0)
 
 _SUBDIRS = ("pending", "claimed", "done", "failed")
 #: Separates the cell key from the worker id in claim filenames.  Keys
@@ -229,6 +268,22 @@ class FileWorkQueue:
             }
             self._atomic_write(dest, canonical_dumps(payload).encode("utf-8"))
 
+    def renew(self, claim: ClaimedCell) -> bool:
+        """Refresh a claim's lease by touching its file (heartbeat).
+
+        Returns False — without raising — when the claim file is gone:
+        either the lease already expired and a janitor requeued the cell
+        (the worker should finish anyway; ``complete`` tolerates this),
+        or the cell was completed.  Touching is race-free against the
+        rename-based expiry: ``os.utime`` on a path that was renamed
+        away simply fails, it can never resurrect the moved file.
+        """
+        try:
+            os.utime(claim.path)
+        except FileNotFoundError:
+            return False
+        return True
+
     def release(self, claim: ClaimedCell) -> bool:
         """Give a claimed cell back (worker-side graceful failure).
 
@@ -340,3 +395,62 @@ class FileWorkQueue:
 
     def counts(self) -> dict[str, int]:
         return {name: len(self._keys_in(name)) for name in _SUBDIRS}
+
+
+class LeaseHeartbeat:
+    """Background lease renewal for one claim (a worker-side janitor foil).
+
+    While active, a daemon thread touches the claim file every
+    ``interval`` seconds so :meth:`FileWorkQueue.requeue_stale` sees a
+    fresh mtime and leaves the cell alone, no matter how long the search
+    takes.  Use as a context manager around the computation::
+
+        with LeaseHeartbeat(queue, claim, interval=lease / 3):
+            outcome = search(cell)
+
+    The thread stops promptly on exit (the stop event interrupts the
+    wait), and a vanished claim file — lease already expired, or the
+    cell completed elsewhere — ends the heartbeat quietly: renewing is
+    best-effort, correctness rests on completion being idempotent.
+    """
+
+    def __init__(
+        self, queue: FileWorkQueue, claim: ClaimedCell, *, interval: float
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.queue = queue
+        self.claim = claim
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Renewals performed (observable by tests and logs).
+        self.renewals = 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                alive = self.queue.renew(self.claim)
+            except OSError:
+                # Transient shared-FS hiccup (EIO/ESTALE/EACCES on NFS):
+                # keep heartbeating — dying here would silently reopen
+                # the requeue-of-live-worker hole this thread closes.
+                continue
+            if not alive:
+                return
+            self.renewals += 1
+
+    def __enter__(self) -> "LeaseHeartbeat":
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"lease-heartbeat-{self.claim.key}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

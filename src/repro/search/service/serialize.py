@@ -35,6 +35,8 @@ from repro.sim.timeline import TimelineEvent
 
 __all__ = [
     "FORMAT_VERSION",
+    "calibration_from_json",
+    "calibration_to_json",
     "canonical_dumps",
     "cell_key",
     "config_from_json",
@@ -86,6 +88,23 @@ def canonical_dumps(data: Any) -> str:
     and for the byte-identical-resume guarantee.
     """
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------- Calibration
+
+
+def calibration_to_json(calibration: Calibration) -> dict:
+    """The calibration payload hashed into every checkpoint cell key.
+
+    Also the on-disk format of ``fitted_calibration.json`` (see
+    :mod:`repro.fit.report`): a fitted calibration saved and reloaded
+    through this pair flows into content hashes byte-identically.
+    """
+    return {f: getattr(calibration, f) for f in _CALIBRATION_FIELDS}
+
+
+def calibration_from_json(data: dict) -> Calibration:
+    return Calibration(**{f: float(data[f]) for f in _CALIBRATION_FIELDS})
 
 
 # ------------------------------------------------------------- ParallelConfig
@@ -231,7 +250,7 @@ def context_to_json(
     return {
         "spec": _spec_to_json(spec),
         "cluster": _cluster_to_json(cluster),
-        "calibration": {f: getattr(calibration, f) for f in _CALIBRATION_FIELDS},
+        "calibration": calibration_to_json(calibration),
     }
 
 
@@ -249,7 +268,7 @@ def context_from_json(
             intra_node=NetworkSpec(**cluster["intra_node"]),
             inter_node=NetworkSpec(**cluster["inter_node"]),
         ),
-        Calibration(**data["calibration"]),
+        calibration_from_json(data["calibration"]),
     )
 
 

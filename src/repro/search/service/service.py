@@ -72,6 +72,15 @@ class SweepOptions:
             experiments CLI maps here.
         include_hybrid: Add the Section 4.2 hybrid ``sequence_size`` axis
             to every breadth-first cell's space.
+        calibration: Cost-model constants used when the caller does not
+            pass an explicit calibration to :func:`run_sweep`.  This is
+            how the experiments CLI's ``--calibration`` (e.g. the
+            committed least-squares fit, ``fitted_calibration.json``)
+            reaches every search-backed experiment: the calibration
+            rides with the options into each panel's sweep, and — being
+            part of the checkpoint content hash — keeps fitted and
+            hand-tuned checkpoints strictly separate in a shared
+            directory.
     """
 
     backend: str = "multiprocessing"
@@ -86,6 +95,7 @@ class SweepOptions:
     progress: bool = False
     bound_pruning: bool = True
     include_hybrid: bool = False
+    calibration: Calibration = DEFAULT_CALIBRATION
 
     @property
     def search_settings(self) -> SearchSettings:
@@ -176,7 +186,7 @@ def run_sweep(
     cluster: ClusterSpec,
     cells: Iterable[SweepCell],
     *,
-    calibration: Calibration = DEFAULT_CALIBRATION,
+    calibration: Calibration | None = None,
     options: SweepOptions | None = None,
     executor: Executor | None = None,
     **overrides,
@@ -187,7 +197,10 @@ def run_sweep(
         spec: Model to search for.
         cluster: Hardware description.
         cells: The (method, batch size) cells to search.
-        calibration: Cost-model constants, shared by all cells.
+        calibration: Cost-model constants, shared by all cells.  ``None``
+            (the default) uses ``options.calibration``, which is itself
+            the hand-tuned default unless the caller (e.g. the CLI's
+            ``--calibration``) overrode it.
         options: Execution settings (see :class:`SweepOptions`).
         executor: Pre-built backend instance, overriding
             ``options.backend`` — the hook for custom executors.
@@ -203,6 +216,8 @@ def run_sweep(
         options = SweepOptions()
     if overrides:
         options = replace(options, **overrides)
+    if calibration is None:
+        calibration = options.calibration
     settings = options.search_settings
 
     cells = list(cells)

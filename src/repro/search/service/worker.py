@@ -23,9 +23,13 @@ import uuid
 
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import _timed_search
-from repro.search.service.queue import FileWorkQueue
+from repro.search.service.queue import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    FileWorkQueue,
+    LeaseHeartbeat,
+)
 
-__all__ = ["default_worker_id", "main", "run_worker"]
+__all__ = ["DEFAULT_HEARTBEAT_INTERVAL", "default_worker_id", "main", "run_worker"]
 
 
 def default_worker_id() -> str:
@@ -42,14 +46,22 @@ def run_worker(
     wait: bool = False,
     poll_interval: float = 0.5,
     max_cells: int | None = None,
+    heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
     crash_after_claims: int | None = None,
 ) -> int:
     """Drain the queue; returns the number of cells this worker completed.
 
+    While a cell is searching, a :class:`LeaseHeartbeat` thread touches
+    the claim file every ``heartbeat_interval`` seconds, so a slow cell
+    is never mistaken for a dead worker by ``requeue_stale`` janitors
+    (``None`` disables the heartbeat — the pre-heartbeat behaviour,
+    kept for tests that exercise lease expiry itself).
+
     ``crash_after_claims`` is a failure-injection hook for tests and the
     CI smoke run: after that many claims the worker dies via ``os._exit``
     with a claim in flight — indistinguishable, to the rest of the
-    system, from a SIGKILL mid-cell.
+    system, from a SIGKILL mid-cell.  A crashed worker's heartbeat dies
+    with it, which is exactly what lets the lease expire.
     """
     queue = FileWorkQueue.open(queue_dir)
     context = queue.load_context()
@@ -72,7 +84,13 @@ def run_worker(
         outcome = store.load(claim.key)
         if outcome is None:
             try:
-                outcome, elapsed = _timed_search(context, claim.cell)
+                if heartbeat_interval is not None:
+                    with LeaseHeartbeat(
+                        queue, claim, interval=heartbeat_interval
+                    ):
+                        outcome, elapsed = _timed_search(context, claim.cell)
+                else:
+                    outcome, elapsed = _timed_search(context, claim.cell)
             except Exception:
                 # Don't swallow the cell with the traceback: requeue (or
                 # fail past the cap) before dying.
@@ -106,6 +124,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--poll-interval", type=float, default=0.5)
     parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL,
+        metavar="SECONDS",
+        help="touch the claim file this often while computing, so lease "
+             "janitors never requeue a live worker's slow cell "
+             f"(default: {DEFAULT_HEARTBEAT_INTERVAL:g}; <= 0 disables)",
+    )
+    parser.add_argument(
         "--max-cells",
         type=int,
         default=None,
@@ -123,6 +150,9 @@ def main(argv=None) -> int:
         wait=args.wait,
         poll_interval=args.poll_interval,
         max_cells=args.max_cells,
+        heartbeat_interval=(
+            args.heartbeat_interval if args.heartbeat_interval > 0 else None
+        ),
         crash_after_claims=args.crash_after_claims,
     )
     print(f"worker finished: {completed} cell(s) completed", file=sys.stderr)

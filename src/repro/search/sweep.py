@@ -29,7 +29,7 @@ from repro.parallel.config import Method
 from repro.search.cell import SweepCell
 from repro.search.grid import SearchOutcome
 from repro.search.service.service import SweepOptions, run_sweep
-from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.calibration import Calibration
 
 __all__ = ["SweepCell", "sweep_cells", "sweep_grid"]
 
@@ -39,7 +39,7 @@ def sweep_cells(
     cluster: ClusterSpec,
     cells: Iterable[SweepCell],
     *,
-    calibration: Calibration = DEFAULT_CALIBRATION,
+    calibration: Calibration | None = None,
     processes: int | None = None,
     options: SweepOptions | None = None,
 ) -> list[SearchOutcome]:
@@ -49,7 +49,8 @@ def sweep_cells(
         spec: Model to search for.
         cluster: Hardware description.
         cells: The (method, batch size) cells to search.
-        calibration: Cost-model constants, shared by all cells.
+        calibration: Cost-model constants, shared by all cells
+            (``None`` defers to ``options.calibration``).
         processes: Pool size; ``None`` uses the CPU count (capped at the
             number of cells), ``1`` runs serially in this process.
         options: Full service options (backend, checkpointing, resume).
@@ -71,7 +72,7 @@ def sweep_grid(
     methods: Sequence[Method],
     batch_sizes: Sequence[int],
     *,
-    calibration: Calibration = DEFAULT_CALIBRATION,
+    calibration: Calibration | None = None,
     processes: int | None = None,
     options: SweepOptions | None = None,
 ) -> dict[Method, list[SearchOutcome]]:

@@ -15,6 +15,12 @@ fitted, both documented here:
    that beta_net ~ 4 on InfiniBand and ~32 on Ethernet, and so that the
    non-overlapped depth-first schedule loses ~40% at N_loop = 8
    (Figure 6b) while the overlapped breadth-first schedule loses little.
+
+The hand-tuned defaults below are no longer the only option: the
+:mod:`repro.fit` subsystem least-squares fits these constants to the
+paper's published Appendix E rows (``repro-experiments calibrate``), and
+experiments can run under the committed fit via ``--calibration
+fitted_calibration.json`` — see ``docs/calibration.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +50,36 @@ class Calibration:
     width_half_point: float = 200.0
     optimizer_bytes_per_param: float = 32.0
     fixed_step_overhead: float = 5e-3
+
+    def __post_init__(self) -> None:
+        # Reject bad constants at construction, not deep inside
+        # kernel_efficiency(): a non-positive half-point or max would
+        # otherwise yield negative "efficiencies" (and nonsense search
+        # results) long after the mistake.  The calibration fitter's
+        # bound handling relies on every in-bounds vector constructing.
+        if self.kernel_efficiency_max <= 0 or self.kernel_efficiency_max > 1:
+            raise ValueError(
+                "kernel_efficiency_max must be in (0, 1], got "
+                f"{self.kernel_efficiency_max}"
+            )
+        if self.tokens_half_point <= 0:
+            raise ValueError(
+                f"tokens_half_point must be positive, got {self.tokens_half_point}"
+            )
+        if self.width_half_point <= 0:
+            raise ValueError(
+                f"width_half_point must be positive, got {self.width_half_point}"
+            )
+        if self.optimizer_bytes_per_param <= 0:
+            raise ValueError(
+                "optimizer_bytes_per_param must be positive, got "
+                f"{self.optimizer_bytes_per_param}"
+            )
+        if self.fixed_step_overhead < 0:
+            raise ValueError(
+                "fixed_step_overhead must be non-negative, got "
+                f"{self.fixed_step_overhead}"
+            )
 
     def kernel_efficiency(self, tokens_per_microbatch: float, width_per_gpu: float) -> float:
         """Fraction of peak flop/s achieved by compute kernels.

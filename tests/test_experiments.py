@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import runner as runner_module
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import run_fig4
@@ -149,3 +150,104 @@ class TestFig8Machinery:
 class TestMethodEnum:
     def test_four_methods(self):
         assert len(list(Method)) == 4
+
+
+class TestCalibrationCLI:
+    """The `calibrate` subcommand and the --calibration flag (the fit
+    itself is covered in tests/test_fit.py; here a stub keeps the CLI
+    paths fast)."""
+
+    def _stub_result(self, improved: bool):
+        from repro.fit import (
+            AnchorEvaluator,
+            FitParameter,
+            FitWeights,
+            objective_value,
+            weighted_throughput_error,
+        )
+        from repro.fit.report import FitResult
+        from repro.paper_data import PAPER_ANCHORS
+        from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+
+        fitted = Calibration(kernel_efficiency_max=0.62)
+        residuals = AnchorEvaluator(PAPER_ANCHORS[:2]).evaluate(
+            DEFAULT_CALIBRATION
+        )
+        error = weighted_throughput_error(residuals)
+        objective = objective_value(residuals)
+        scale = 0.5 if improved else 1.0
+        return FitResult(
+            initial_calibration=DEFAULT_CALIBRATION,
+            fitted_calibration=fitted,
+            parameters=(FitParameter("kernel_efficiency_max", 0.3, 1.0),),
+            weights=FitWeights(),
+            residuals_before=residuals,
+            residuals_after=residuals,
+            objective_before=objective,
+            objective_after=objective * scale,
+            throughput_error_before=error,
+            throughput_error_after=error * scale,
+            n_evaluations=7,
+            trace=(),
+        )
+
+    def test_calibrate_dispatch_and_out_file(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.fit import load_calibration
+
+        recorded = {}
+
+        def fake_fit(*, quick):
+            recorded["quick"] = quick
+            return self._stub_result(improved=True)
+
+        monkeypatch.setattr(runner_module, "fit_calibration", fake_fit)
+        out = tmp_path / "fit.json"
+        code = runner_module.main(["calibrate", "--quick", "--out", str(out)])
+        assert code == 0
+        assert recorded == {"quick": True}
+        assert (
+            load_calibration(out)
+            == self._stub_result(True).fitted_calibration
+        )
+        assert "weighted mean relative throughput error" in capsys.readouterr().out
+
+    def test_calibrate_fails_loudly_without_improvement(self, monkeypatch):
+        monkeypatch.setattr(
+            runner_module,
+            "fit_calibration",
+            lambda *, quick: self._stub_result(improved=False),
+        )
+        assert runner_module.main(["calibrate"]) == 1
+
+    def test_calibration_flag_reaches_sweep_options(self, tmp_path):
+        import argparse
+
+        from repro.fit import save_calibration
+        from repro.sim.calibration import Calibration
+
+        custom = Calibration(tokens_half_point=99.0)
+        path = save_calibration(tmp_path / "c.json", custom)
+        args = argparse.Namespace(
+            backend="serial", jobs=None, checkpoint_dir=None, workers=2,
+            resume=False, progress=False, no_bound_pruning=False,
+            calibration=str(path),
+        )
+        options = runner_module.build_sweep_options(args)
+        assert options.calibration == custom
+
+    def test_default_options_use_hand_tuned_calibration(self):
+        import argparse
+
+        from repro.sim.calibration import DEFAULT_CALIBRATION
+
+        args = argparse.Namespace(
+            backend="serial", jobs=None, checkpoint_dir=None, workers=2,
+            resume=False, progress=False, no_bound_pruning=False,
+            calibration=None,
+        )
+        assert (
+            runner_module.build_sweep_options(args).calibration
+            is DEFAULT_CALIBRATION
+        )

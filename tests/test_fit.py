@@ -1,0 +1,380 @@
+"""Tests for the calibration-fitting subsystem (``repro.fit``).
+
+Covers the bounded optimizers on analytic functions, the anchor residual
+evaluator against direct simulation, the end-to-end fitter (improvement,
+determinism, bound handling), calibration JSON round-trips through the
+sweep serializer (including the checkpoint content-hash contract), the
+constructor validation the fitter relies on, and the committed
+``fitted_calibration.json`` together with the per-anchor tolerance bands
+in ``paper_data``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fit import (
+    FIT_PARAMETERS,
+    AnchorEvaluator,
+    BoundedObjective,
+    FitParameter,
+    FitWeights,
+    anchor_environment,
+    coordinate_descent,
+    fit_calibration,
+    format_fit_result,
+    load_calibration,
+    nelder_mead,
+    objective_value,
+    save_calibration,
+    weighted_throughput_error,
+)
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_6_6B
+from repro.paper_data import PAPER_ANCHORS
+from repro.search.cell import SweepCell
+from repro.search.service.serialize import (
+    calibration_from_json,
+    calibration_to_json,
+    canonical_dumps,
+    cell_key,
+)
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.sim.simulator import simulate
+from repro.utils.units import GB
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FITTED_PATH = REPO_ROOT / "fitted_calibration.json"
+
+#: A cheap fitting problem for end-to-end fitter tests: two parameters,
+#: a four-anchor subset spanning both models and both fabrics.
+CHEAP_PARAMETERS = (
+    FitParameter("kernel_efficiency_max", 0.3, 1.0),
+    FitParameter("tokens_half_point", 1.0, 2000.0),
+)
+CHEAP_ANCHORS = (
+    PAPER_ANCHORS[0], PAPER_ANCHORS[3], PAPER_ANCHORS[8], PAPER_ANCHORS[10],
+)
+
+
+@pytest.fixture(scope="module")
+def cheap_fit():
+    return fit_calibration(
+        CHEAP_ANCHORS, parameters=CHEAP_PARAMETERS, quick=True
+    )
+
+
+class TestOptimizers:
+    def quadratic(self, minimum):
+        def f(x):
+            return sum((xi - mi) ** 2 for xi, mi in zip(x, minimum))
+        return f
+
+    def test_coordinate_descent_finds_interior_minimum(self):
+        objective = BoundedObjective(
+            self.quadratic([0.3, -1.0]), [(-2.0, 2.0), (-2.0, 2.0)]
+        )
+        point, value = coordinate_descent(objective, [1.5, 1.5], rounds=12)
+        assert value < 1e-3
+        assert point == pytest.approx((0.3, -1.0), abs=0.05)
+
+    def test_nelder_mead_polishes_to_high_precision(self):
+        objective = BoundedObjective(
+            self.quadratic([0.3, -1.0]), [(-2.0, 2.0), (-2.0, 2.0)]
+        )
+        point, _ = coordinate_descent(objective, [1.5, 1.5], rounds=4)
+        point, value = nelder_mead(objective, point, max_iterations=200)
+        assert value < 1e-8
+
+    def test_bounds_are_respected_when_minimum_is_outside(self):
+        objective = BoundedObjective(self.quadratic([5.0]), [(0.0, 1.0)])
+        point, value = coordinate_descent(objective, [0.5], rounds=10)
+        point, value = nelder_mead(objective, point, max_iterations=100)
+        assert point[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic_evaluation_sequence(self):
+        def run():
+            objective = BoundedObjective(
+                self.quadratic([0.1, 0.2, 0.3]), [(-1.0, 1.0)] * 3
+            )
+            point, value = coordinate_descent(objective, [0.9, -0.9, 0.0])
+            point, value = nelder_mead(objective, point)
+            return point, value, objective.n_evaluations
+        assert run() == run()
+
+    def test_memoization_counts_distinct_points_only(self):
+        calls = []
+
+        def f(x):
+            calls.append(tuple(x))
+            return x[0] ** 2
+
+        objective = BoundedObjective(f, [(-1.0, 1.0)])
+        for _ in range(3):
+            objective([0.5])
+        assert objective.n_evaluations == 1
+        assert len(calls) == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="invalid bound"):
+            BoundedObjective(lambda x: 0.0, [(1.0, 1.0)])
+
+    def test_trace_records_improvements_in_order(self):
+        objective = BoundedObjective(self.quadratic([0.0]), [(-1.0, 1.0)])
+        coordinate_descent(objective, [0.9], rounds=6)
+        values = [step.value for step in objective.trace]
+        assert values == sorted(values, reverse=True)
+
+
+class TestResiduals:
+    def test_evaluator_matches_direct_simulation(self):
+        anchor = PAPER_ANCHORS[8]  # E.2 BF B=256 FS (6.6B, InfiniBand)
+        spec, cluster = anchor_environment(anchor)
+        assert spec == MODEL_6_6B and cluster == DGX1_CLUSTER_64
+        direct = simulate(spec, anchor.config, cluster)
+        [residual] = AnchorEvaluator([anchor]).evaluate(DEFAULT_CALIBRATION)
+        assert residual.throughput_tflops == pytest.approx(
+            direct.throughput_per_gpu / 1e12
+        )
+        assert residual.memory_gb == pytest.approx(direct.memory.total / GB)
+        assert residual.throughput_ratio == pytest.approx(
+            (direct.throughput_per_gpu / 1e12) / anchor.throughput_tflops
+        )
+
+    def test_objective_and_headline_metric(self):
+        residuals = AnchorEvaluator(CHEAP_ANCHORS).evaluate(DEFAULT_CALIBRATION)
+        weights = FitWeights(throughput=1.0, memory=0.0)
+        expected = sum(r.throughput_rel_err**2 for r in residuals) / len(residuals)
+        assert objective_value(residuals, weights) == pytest.approx(expected)
+        expected_mae = sum(abs(r.throughput_rel_err) for r in residuals) / len(
+            residuals
+        )
+        assert weighted_throughput_error(residuals) == pytest.approx(expected_mae)
+
+    def test_anchor_weights_reweight_the_headline_metric(self):
+        residuals = AnchorEvaluator(CHEAP_ANCHORS[:2]).evaluate(
+            DEFAULT_CALIBRATION
+        )
+        only_first = weighted_throughput_error(residuals, [1.0, 0.0])
+        assert only_first == pytest.approx(abs(residuals[0].throughput_rel_err))
+        with pytest.raises(ValueError, match="weights"):
+            weighted_throughput_error(residuals, [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            weighted_throughput_error(residuals, [0.0, 0.0])
+
+    def test_empty_anchor_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one anchor"):
+            AnchorEvaluator([])
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            FitWeights(throughput=0.0)
+        with pytest.raises(ValueError):
+            FitWeights(memory=-1.0)
+
+
+class TestFitter:
+    def test_fit_strictly_improves_and_reports(self, cheap_fit):
+        assert cheap_fit.improved
+        assert cheap_fit.objective_after < cheap_fit.objective_before
+        assert (
+            cheap_fit.throughput_error_after < cheap_fit.throughput_error_before
+        )
+        assert len(cheap_fit.residuals_before) == len(CHEAP_ANCHORS)
+        assert cheap_fit.n_evaluations > 0
+        # Unfitted fields pass through untouched.
+        assert (
+            cheap_fit.fitted_calibration.width_half_point
+            == DEFAULT_CALIBRATION.width_half_point
+        )
+
+    def test_fit_is_deterministic(self, cheap_fit):
+        again = fit_calibration(
+            CHEAP_ANCHORS, parameters=CHEAP_PARAMETERS, quick=True
+        )
+        assert again.fitted_calibration == cheap_fit.fitted_calibration
+        assert again.n_evaluations == cheap_fit.n_evaluations
+        assert again.trace == cheap_fit.trace
+
+    def test_fitted_values_respect_bounds(self, cheap_fit):
+        for p in CHEAP_PARAMETERS:
+            value = getattr(cheap_fit.fitted_calibration, p.name)
+            assert p.lower <= value <= p.upper
+
+    def test_format_fit_result_renders(self, cheap_fit):
+        text = format_fit_result(cheap_fit)
+        assert "weighted mean relative throughput error" in text
+        assert "kernel_efficiency_max" in text
+        for anchor in CHEAP_ANCHORS:
+            assert anchor.label in text
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            fit_calibration(
+                CHEAP_ANCHORS,
+                parameters=(CHEAP_PARAMETERS[0], CHEAP_PARAMETERS[0]),
+                quick=True,
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError, match="at least one parameter"):
+            fit_calibration(CHEAP_ANCHORS, parameters=(), quick=True)
+
+    def test_default_parameter_set_constructs_valid_calibrations(self):
+        # Every corner of the default fit box must be a constructible
+        # Calibration — the bound-handling contract with __post_init__.
+        for p in FIT_PARAMETERS:
+            for value in (p.lower, p.upper):
+                Calibration(**{p.name: value})
+
+
+class TestCalibrationValidation:
+    @pytest.mark.parametrize("field", [
+        "kernel_efficiency_max", "tokens_half_point", "width_half_point",
+        "optimizer_bytes_per_param",
+    ])
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_non_positive_constants_rejected_at_construction(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            Calibration(**{field: bad})
+
+    def test_efficiency_above_peak_rejected(self):
+        with pytest.raises(ValueError, match="kernel_efficiency_max"):
+            Calibration(kernel_efficiency_max=1.5)
+
+    def test_negative_step_overhead_rejected(self):
+        with pytest.raises(ValueError, match="fixed_step_overhead"):
+            Calibration(fixed_step_overhead=-1e-3)
+
+    def test_zero_step_overhead_allowed(self):
+        assert Calibration(fixed_step_overhead=0.0).fixed_step_overhead == 0.0
+
+    def test_defaults_are_valid(self):
+        Calibration()
+
+
+NON_DEFAULT = Calibration(
+    kernel_efficiency_max=0.71234,
+    tokens_half_point=87.5,
+    width_half_point=310.25,
+    optimizer_bytes_per_param=48.125,
+    fixed_step_overhead=7.8125e-3,
+)
+
+
+class TestSerialization:
+    def test_json_round_trip_is_exact(self):
+        payload = canonical_dumps(calibration_to_json(NON_DEFAULT))
+        import json
+
+        restored = calibration_from_json(json.loads(payload))
+        assert restored == NON_DEFAULT
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        path = save_calibration(tmp_path / "cal.json", NON_DEFAULT)
+        assert load_calibration(path) == NON_DEFAULT
+
+    def test_load_accepts_bare_field_dict(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(canonical_dumps(calibration_to_json(NON_DEFAULT)))
+        assert load_calibration(path) == NON_DEFAULT
+
+    def test_load_fills_missing_fields_from_defaults(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"kernel_efficiency_max": 0.5}')
+        calibration = load_calibration(path)
+        assert calibration.kernel_efficiency_max == 0.5
+        assert (
+            calibration.tokens_half_point
+            == DEFAULT_CALIBRATION.tokens_half_point
+        )
+
+    def test_load_rejects_unknown_fields_by_name(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text('{"kernel_eficiency_max": 0.5}')
+        with pytest.raises(ValueError, match="kernel_eficiency_max"):
+            load_calibration(path)
+
+    def test_load_rejects_wrong_format_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(canonical_dumps({
+            "format": 1, "calibration": calibration_to_json(NON_DEFAULT),
+        }))
+        with pytest.raises(ValueError, match="format"):
+            load_calibration(path)
+
+    def test_every_fitted_constant_changes_the_cell_key(self):
+        """Checkpoint content hashes must fold in every calibration field,
+        so a fitted calibration can never accidentally resume a cell
+        computed under the hand-tuned one (or vice versa)."""
+        from dataclasses import replace
+
+        from repro.parallel.config import Method
+
+        cell = SweepCell(Method.BREADTH_FIRST, 64)
+
+        def key(calibration):
+            return cell_key(MODEL_6_6B, DGX1_CLUSTER_64, calibration, cell)
+
+        base_key = key(DEFAULT_CALIBRATION)
+        seen = {base_key}
+        for p in FIT_PARAMETERS:
+            tweaked = replace(
+                DEFAULT_CALIBRATION,
+                **{p.name: getattr(DEFAULT_CALIBRATION, p.name) * 1.0009765625},
+            )
+            tweaked_key = key(tweaked)
+            assert tweaked_key not in seen, f"{p.name} not hashed into cell keys"
+            seen.add(tweaked_key)
+
+    def test_fitted_calibration_hashes_identically_after_round_trip(
+        self, tmp_path
+    ):
+        from repro.parallel.config import Method
+
+        cell = SweepCell(Method.DEPTH_FIRST, 32)
+        path = save_calibration(tmp_path / "fit.json", NON_DEFAULT)
+        reloaded = load_calibration(path)
+        assert cell_key(MODEL_6_6B, DGX1_CLUSTER_64, reloaded, cell) == cell_key(
+            MODEL_6_6B, DGX1_CLUSTER_64, NON_DEFAULT, cell
+        )
+
+
+class TestCommittedFit:
+    """The checked-in ``fitted_calibration.json`` and the per-anchor bands."""
+
+    def test_committed_file_loads(self):
+        calibration = load_calibration(FITTED_PATH)
+        assert calibration != DEFAULT_CALIBRATION
+
+    def test_committed_fit_beats_hand_tuned_on_anchors(self):
+        evaluator = AnchorEvaluator()
+        before = weighted_throughput_error(
+            evaluator.evaluate(DEFAULT_CALIBRATION)
+        )
+        after = weighted_throughput_error(
+            evaluator.evaluate(load_calibration(FITTED_PATH))
+        )
+        assert after < before
+
+    @pytest.mark.parametrize(
+        "name,calibration",
+        [("hand-tuned", DEFAULT_CALIBRATION), ("fitted", None)],
+    )
+    def test_per_anchor_bands_hold(self, name, calibration):
+        if calibration is None:
+            calibration = load_calibration(FITTED_PATH)
+        for residual in AnchorEvaluator().evaluate(calibration):
+            anchor = residual.anchor
+            low, high = anchor.throughput_band
+            assert low <= residual.throughput_ratio <= high, (
+                f"{name}: {anchor.label} throughput ratio "
+                f"{residual.throughput_ratio:.3f} outside [{low}, {high}]"
+            )
+            low, high = anchor.memory_band
+            assert low <= residual.memory_ratio <= high, (
+                f"{name}: {anchor.label} memory ratio "
+                f"{residual.memory_ratio:.3f} outside [{low}, {high}]"
+            )

@@ -44,3 +44,26 @@ class TestAnchors:
     def test_ethernet_only_in_e3(self):
         for anchor in PAPER_ANCHORS:
             assert anchor.ethernet == (anchor.table == "E.3")
+
+
+class TestToleranceBands:
+    """Shape of the per-anchor reproduction bands (the assertions that
+    the simulator actually sits inside them live in tests/test_fit.py,
+    which checks both the hand-tuned and the fitted calibration)."""
+
+    def test_bands_are_ordered_and_bracket_unity_scale(self):
+        for anchor in PAPER_ANCHORS:
+            for low, high in (anchor.throughput_band, anchor.memory_band):
+                assert 0.0 < low < high
+                # A band that excludes the whole [0.5, 2] decade would
+                # mean the row is transcribed wrong, not mis-simulated.
+                assert low < 2.0 and high > 0.5
+
+    def test_every_anchor_has_a_tighter_band_than_the_global_ones(self):
+        from repro.paper_data import MEMORY_BAND, THROUGHPUT_BAND
+
+        for anchor in PAPER_ANCHORS:
+            t_width = anchor.throughput_band[1] - anchor.throughput_band[0]
+            m_width = anchor.memory_band[1] - anchor.memory_band[0]
+            assert t_width < THROUGHPUT_BAND[1] - THROUGHPUT_BAND[0]
+            assert m_width < MEMORY_BAND[1] - MEMORY_BAND[0]

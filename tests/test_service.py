@@ -247,6 +247,43 @@ class TestRunSweep:
     def test_empty_cells(self):
         assert run_sweep(MODEL_6_6B, DGX1_CLUSTER_64, []) == []
 
+    def test_options_calibration_is_used_when_not_passed_explicitly(self):
+        """``SweepOptions.calibration`` (the --calibration plumbing) must
+        reach the actual search: a huge fixed step overhead visibly
+        drags every cell's throughput."""
+        slow = Calibration(fixed_step_overhead=1.0)
+        via_options = run_sweep(
+            MODEL_6_6B, DGX1_CLUSTER_64, CELLS[:1],
+            options=SweepOptions(backend="serial", calibration=slow),
+        )
+        explicit = run_sweep(
+            MODEL_6_6B, DGX1_CLUSTER_64, CELLS[:1],
+            calibration=slow,
+            options=SweepOptions(backend="serial"),
+        )
+        assert via_options == explicit
+        default = run_sweep(
+            MODEL_6_6B, DGX1_CLUSTER_64, CELLS[:1],
+            options=SweepOptions(backend="serial"),
+        )
+        assert (
+            via_options[0].best.throughput_per_gpu
+            < default[0].best.throughput_per_gpu
+        )
+
+    def test_explicit_calibration_overrides_options(self):
+        slow = Calibration(fixed_step_overhead=1.0)
+        got = run_sweep(
+            MODEL_6_6B, DGX1_CLUSTER_64, CELLS[:1],
+            calibration=DEFAULT_CALIBRATION,
+            options=SweepOptions(backend="serial", calibration=slow),
+        )
+        reference = run_sweep(
+            MODEL_6_6B, DGX1_CLUSTER_64, CELLS[:1],
+            options=SweepOptions(backend="serial"),
+        )
+        assert got == reference
+
 
 class TestCellTiming:
     """Per-cell wall-clock sidecars and longest-cell-first scheduling."""

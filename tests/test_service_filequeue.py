@@ -19,6 +19,7 @@ from repro.search.service import (
     CheckpointStore,
     FileQueueExecutor,
     FileWorkQueue,
+    LeaseHeartbeat,
     SweepCell,
     SweepError,
     SweepOptions,
@@ -197,6 +198,197 @@ class TestCrashRecovery:
         assert queue.claimed_keys() == {"k1"}  # not idle: wait politely
         executor._recover_stale_claims(queue, idle=True)
         assert queue.pending_keys() == {"k1"}
+
+
+class TestLeaseHeartbeat:
+    """A live worker holding a slow cell must never lose it to a janitor."""
+
+    def test_renew_refreshes_the_lease(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        queue = make_queue(tmp_path)
+        queue.enqueue("k1", CELLS[0])
+        claim = queue.claim("slow-worker")
+        # Backdate the claim far past any lease, then renew: the touched
+        # mtime must be what requeue_stale measures against.
+        old = _time.time() - 7200
+        _os.utime(claim.path, (old, old))
+        assert queue.renew(claim) is True
+        assert queue.requeue_stale(3600.0) == ([], [])
+        assert queue.claimed_keys() == {"k1"}
+
+    def test_renew_reports_vanished_claim(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.enqueue("k1", CELLS[0])
+        claim = queue.claim("w-0")
+        requeued, _ = queue.requeue_stale(0.0, now=claim.path.stat().st_mtime + 1)
+        assert requeued == ["k1"]
+        assert queue.renew(claim) is False  # expired; must not raise
+
+    def test_heartbeat_thread_defeats_short_lease(self, tmp_path):
+        import time as _time
+
+        queue = make_queue(tmp_path)
+        queue.enqueue("k1", CELLS[0])
+        claim = queue.claim("slow-worker")
+        # Lease 10x the heartbeat interval: a loaded CI runner would
+        # have to stall the heartbeat thread for ~a full second to
+        # flake this, not just miss one tick.
+        lease = 1.0
+        with LeaseHeartbeat(queue, claim, interval=lease / 10) as heartbeat:
+            deadline = _time.time() + 2 * lease  # "slow cell": 2 leases long
+            while _time.time() < deadline:
+                assert queue.requeue_stale(lease) == ([], [])
+                _time.sleep(lease / 10)
+        assert heartbeat.renewals > 0
+        assert queue.claimed_keys() == {"k1"}
+        queue.complete(claim)
+        assert queue.done_keys() == {"k1"}
+
+    def test_heartbeat_interval_validated(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.enqueue("k1", CELLS[0])
+        claim = queue.claim("w-0")
+        with pytest.raises(ValueError, match="interval"):
+            LeaseHeartbeat(queue, claim, interval=0.0)
+
+    def test_heartbeat_interval_derived_from_lease(self):
+        from repro.search.service.queue import (
+            DEFAULT_HEARTBEAT_INTERVAL,
+            heartbeat_interval_for_lease,
+        )
+
+        # Short lease: a third, so several touches fit in one window.
+        assert heartbeat_interval_for_lease(15.0) == pytest.approx(5.0)
+        # Long lease: capped at the default.
+        assert (
+            heartbeat_interval_for_lease(3600.0) == DEFAULT_HEARTBEAT_INTERVAL
+        )
+        assert heartbeat_interval_for_lease(None) == DEFAULT_HEARTBEAT_INTERVAL
+        with pytest.raises(ValueError, match="lease"):
+            heartbeat_interval_for_lease(0.0)
+
+    def test_coordinator_spawns_workers_with_lease_matched_heartbeat(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.search.service import executors as executors_mod
+
+        spawned = []
+
+        class FakeProc:
+            def __init__(self, cmd, **kwargs):
+                spawned.append(cmd)
+
+        monkeypatch.setattr(executors_mod.subprocess, "Popen", FakeProc)
+        executor = FileQueueExecutor(
+            tmp_path / "q", tmp_path / "ck", stale_lease=9.0
+        )
+        executor._spawn("w0", inject_crash=False)
+        [cmd] = spawned
+        index = cmd.index("--heartbeat-interval")
+        assert float(cmd[index + 1]) == pytest.approx(3.0)  # lease / 3
+
+        with pytest.raises(ValueError, match="stale_lease"):
+            FileQueueExecutor(tmp_path / "q", tmp_path / "ck", stale_lease=-1.0)
+
+    def test_slow_worker_cell_not_requeued_end_to_end(
+        self, tmp_path, monkeypatch
+    ):
+        """The ROADMAP regression scenario: a live worker computes a cell
+        for longer than ``stale_lease`` while a janitor polls
+        ``requeue_stale``; with the heartbeat the cell is never requeued,
+        never re-executed, and completes exactly once."""
+        import threading
+        import time as _time
+
+        from repro.search.service import worker as worker_mod
+
+        queue = make_queue(tmp_path / "q")
+        key = keys_for(CELLS)[0]
+        queue.enqueue(key, CELLS[0])
+
+        lease = 1.0  # 10x the heartbeat: stall-tolerant on loaded CI
+        searches = []
+        real_search = worker_mod._timed_search
+
+        def slow_search(context, cell):
+            searches.append(cell)
+            outcome, elapsed = real_search(context, cell)
+            _time.sleep(2 * lease)  # the cell outlives the lease
+            return outcome, elapsed
+
+        monkeypatch.setattr(worker_mod, "_timed_search", slow_search)
+
+        completed = []
+        worker = threading.Thread(
+            target=lambda: completed.append(run_worker(
+                str(tmp_path / "q"),
+                str(tmp_path / "ck"),
+                worker_id="slow-worker",
+                heartbeat_interval=lease / 10,
+            )),
+        )
+        worker.start()
+        requeue_events = []
+        while worker.is_alive():
+            requeued, exhausted = queue.requeue_stale(lease)
+            requeue_events += requeued + exhausted
+            _time.sleep(lease / 10)
+        worker.join()
+
+        assert requeue_events == []  # the live worker kept its lease
+        assert len(searches) == 1  # never re-executed
+        assert completed == [1]
+        assert queue.done_keys() == {key}
+        assert queue.pending_keys() == set()
+        assert queue.failed_keys() == set()
+        assert CheckpointStore(tmp_path / "ck").load(key) is not None
+
+    def test_without_heartbeat_short_lease_still_expires(
+        self, tmp_path, monkeypatch
+    ):
+        """Control for the regression test: with the heartbeat disabled
+        the same slow cell *does* get requeued — proving the test above
+        exercises the heartbeat and not merely a generous lease."""
+        import threading
+        import time as _time
+
+        from repro.search.service import worker as worker_mod
+
+        queue = make_queue(tmp_path / "q")
+        key = keys_for(CELLS)[0]
+        queue.enqueue(key, CELLS[0])
+
+        lease = 0.3
+        real_search = worker_mod._timed_search
+
+        def slow_search(context, cell):
+            outcome, elapsed = real_search(context, cell)
+            _time.sleep(3 * lease)
+            return outcome, elapsed
+
+        monkeypatch.setattr(worker_mod, "_timed_search", slow_search)
+
+        worker = threading.Thread(
+            target=lambda: run_worker(
+                str(tmp_path / "q"),
+                str(tmp_path / "ck"),
+                worker_id="slow-worker",
+                max_cells=1,
+                heartbeat_interval=None,
+            ),
+        )
+        worker.start()
+        requeue_events = []
+        while worker.is_alive():
+            requeued, exhausted = queue.requeue_stale(lease)
+            requeue_events += requeued + exhausted
+            _time.sleep(lease / 3)
+        worker.join()
+
+        assert key in requeue_events  # the old wasteful behaviour
+        assert queue.done_keys() == {key}  # completion still idempotent
 
 
 class TestWorkerFunction:
