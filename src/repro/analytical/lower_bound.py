@@ -37,11 +37,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analytical.memory import MemoryBreakdown
 from repro.core.schedules.base import dpfs_group_count
 from repro.parallel.config import Sharding
 from repro.sim.cost import CostModel
 
-__all__ = ["FLOAT_MARGIN", "StepTimeBound", "step_time_lower_bound"]
+__all__ = [
+    "FLOAT_MARGIN",
+    "CandidateBound",
+    "StepTimeBound",
+    "candidate_bound",
+    "step_time_lower_bound",
+]
 
 #: Relative slack absorbing float summation-order differences between the
 #: closed-form sums below and the engine's sequential additions (~n*eps
@@ -68,6 +75,45 @@ class StepTimeBound:
     pp_seconds: float
     makespan: float
     step_time: float
+
+
+@dataclass(frozen=True)
+class CandidateBound:
+    """Dual-sided certificate for one candidate: both search axes bounded.
+
+    Branch-and-bound pruning must stay admissible for *every* objective,
+    and different objectives prune on different axes — so candidates
+    carry a bound per axis:
+
+    Attributes:
+        step_time_bound: The provable step-time lower bound.
+        throughput: Upper bound on per-GPU throughput — the Eq. 11
+            metric evaluated at the step-time lower bound (``simulate``
+            can only report less; throughput falls monotonically with
+            step time).  Throughput-family objectives prune on this
+            side alone.
+        memory_bytes: Lower bound on peak per-GPU memory.  The
+            analytical memory model is *exact* for the simulator (the
+            simulation reuses the same breakdown), so this bound is
+            tight — which is what makes it usable both as the
+            constrained objective's feasibility test and as the second
+            axis of Pareto pruning (a candidate is skipped only when
+            dominated in **both** bounds).
+    """
+
+    step_time_bound: StepTimeBound
+    throughput: float
+    memory_bytes: float
+
+
+def candidate_bound(cost: CostModel, memory: MemoryBreakdown) -> CandidateBound:
+    """Bound both objective axes of one candidate in O(n_stages)."""
+    step = step_time_lower_bound(cost)
+    return CandidateBound(
+        step_time_bound=step,
+        throughput=cost.throughput_per_gpu(step.step_time),
+        memory_bytes=memory.total,
+    )
 
 
 def _rank_dp_seconds(cost: CostModel, rank: int, n_groups: int) -> float:

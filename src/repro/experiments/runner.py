@@ -10,8 +10,13 @@ the sweep service (:mod:`repro.search.service`): ``--backend`` selects
 the executor (in-process pools or the multi-machine file queue),
 ``--checkpoint-dir`` persists every completed cell, and ``--resume``
 skips cells already checkpointed — an interrupted ``--full`` grid picks
-up where it left off.  ``--trace-out`` additionally exports the
-Figure 4 schedule timelines as a ``chrome://tracing`` JSON file.
+up where it left off.  ``--objective`` / ``--memory-headroom`` select
+what every search cell optimizes (:mod:`repro.search.objective`);
+``repro-experiments frontier`` runs the Pareto-front search of the
+Figure-7 grid.  ``--trace-out`` additionally exports the Figure 4
+schedule timelines as a ``chrome://tracing`` JSON file, and
+``repro-experiments sweep-trace`` exports a *sweep's* per-worker cell
+timeline from its checkpoint/queue directories.
 
 Two calibration hooks (see ``docs/calibration.md``):
 
@@ -28,9 +33,11 @@ Two calibration hooks (see ``docs/calibration.md``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
@@ -41,6 +48,7 @@ from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import format_fig9
+from repro.experiments.frontier import format_frontier, run_frontier
 from repro.experiments.hybrid_search import (
     format_hybrid_search,
     run_hybrid_search,
@@ -49,11 +57,13 @@ from repro.experiments.table41 import run_table41
 from repro.experiments.table51 import format_table51
 from repro.experiments.tableE import format_table_e, run_table_e
 from repro.fit import fit_calibration, format_fit_result, load_calibration, save_calibration
+from repro.search.objective import OBJECTIVE_KINDS, parse_objective
 from repro.search.service import BACKENDS, SweepOptions
 from repro.sim.calibration import DEFAULT_CALIBRATION
 from repro.utils.tables import ascii_table
 from repro.viz.chart import ascii_line_chart
 from repro.viz.chrome_trace import write_chrome_trace
+from repro.viz.sweep_trace import write_sweep_trace
 
 
 def _print_fig1(full: bool, options: SweepOptions | None = None) -> None:
@@ -208,6 +218,10 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
     calibration = DEFAULT_CALIBRATION
     if args.calibration is not None:
         calibration = load_calibration(args.calibration)
+    objective = parse_objective(
+        getattr(args, "objective", "throughput"),
+        memory_headroom=getattr(args, "memory_headroom", None),
+    )
     return SweepOptions(
         backend=args.backend,
         processes=args.jobs,
@@ -216,6 +230,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         resume=args.resume,
         progress=args.progress,
         bound_pruning=not args.no_bound_pruning,
+        objective=objective,
         calibration=calibration,
     )
 
@@ -273,17 +288,135 @@ def calibrate_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def frontier_main(argv: Sequence[str] | None = None) -> int:
+    """``repro-experiments frontier``: the Pareto-front search.
+
+    Re-runs the Figure-7 grid (hybrid axis enabled) under
+    :class:`~repro.search.objective.ParetoFrontObjective` and reports
+    each batch size's combined throughput/peak-memory frontier.  Exit
+    status 0 means at least one *non-breadth-first* configuration
+    (hybrid or depth-first) sits on a combined frontier — a point no
+    breadth-first configuration dominates; 1 means none did — the
+    property the CI smoke step asserts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments frontier",
+        description="Search the throughput/peak-memory Pareto frontier of "
+        "a Figure 7 panel (all methods, hybrid axis enabled).",
+    )
+    parser.add_argument(
+        "--panel",
+        default="6.6B",
+        choices=("52B", "6.6B", "6.6B-ethernet"),
+        help="Figure 7 panel to search (default: 6.6B)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced batch list (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist each completed search cell as JSON under DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed under --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--no-chart", action="store_true",
+        help="tables only, skip the ASCII frontier scatter",
+    )
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+
+    start = time.time()
+    options = SweepOptions(
+        processes=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    cells = run_frontier(args.panel, quick=args.quick, options=options)
+    print(format_frontier(cells, chart=not args.no_chart))
+    footholds = sum(len(c.hybrid_or_depth_first) for c in cells)
+    print(
+        f"--- frontier ({args.panel}) done in {time.time() - start:.1f}s: "
+        f"{footholds} hybrid/depth-first frontier point(s) across "
+        f"{len(cells)} batch size(s) ---"
+    )
+    if footholds == 0:
+        print(
+            "FAIL: no hybrid or depth-first configuration reached the "
+            "combined frontier — breadth-first dominated everywhere",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def sweep_trace_main(argv: Sequence[str] | None = None) -> int:
+    """``repro-experiments sweep-trace``: export a sweep's worker timeline.
+
+    Builds a ``chrome://tracing`` / Perfetto file from a sweep
+    directory's timing sidecars plus (optionally) the file-queue's claim
+    event log — one process row per worker, one slice per cell.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep-trace",
+        description="Export a sweep's per-worker cell timeline as a "
+        "chrome://tracing JSON file (see repro.viz.sweep_trace).",
+    )
+    parser.add_argument("--checkpoint-dir", required=True, metavar="DIR")
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="file-queue directory with events/ claim logs "
+        "(default: DIR/queue if present)",
+    )
+    parser.add_argument("--out", required=True, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    queue_dir = args.queue_dir
+    if queue_dir is None:
+        candidate = Path(args.checkpoint_dir) / "queue"
+        queue_dir = candidate if candidate.is_dir() else None
+    written = write_sweep_trace(args.out, args.checkpoint_dir, queue_dir)
+    n_events = len(json.loads(written.read_text())["traceEvents"])
+    print(
+        f"wrote {n_events} events to {written} — load at chrome://tracing "
+        "or ui.perfetto.dev"
+    )
+    if n_events == 0:
+        print(
+            "note: no attributable cells found (sidecars lack worker "
+            "attribution before a file-queue run, and --queue-dir had no "
+            "events)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
     if argv is None:
         argv = sys.argv[1:]
-    # Subcommand dispatch before experiment parsing: `calibrate` has its
-    # own flags (--quick/--out) that the experiments parser must not see.
+    # Subcommand dispatch before experiment parsing: `calibrate` and
+    # friends have their own flags the experiments parser must not see.
     if argv and argv[0] == "calibrate":
         return calibrate_main(list(argv[1:]))
+    if argv and argv[0] == "frontier":
+        return frontier_main(list(argv[1:]))
+    if argv and argv[0] == "sweep-trace":
+        return sweep_trace_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's figures and tables "
-        "(or `calibrate` to fit the cost model to the paper's anchors)."
+        description="Regenerate the paper's figures and tables.  "
+        "Subcommands: `calibrate` fits the cost model to the paper's "
+        "anchors, `frontier` searches the throughput/memory Pareto "
+        "frontier, `sweep-trace` exports a sweep's worker timeline."
     )
     parser.add_argument(
         "names",
@@ -343,6 +476,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="disable the branch-and-bound stage of the search (simulate "
              "every memory-feasible candidate; the winners are identical, "
              "only slower — the escape hatch for validating the bound)",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=sorted(OBJECTIVE_KINDS),
+        default="throughput",
+        help="search objective for the search-backed experiments "
+             "(default: throughput, the paper's argmax; "
+             "memory-constrained takes --memory-headroom; pareto reports "
+             "the full throughput/memory frontier per cell)",
+    )
+    parser.add_argument(
+        "--memory-headroom",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="peak-memory budget as a fraction of device HBM for "
+             "--objective=memory-constrained (default: 0.5)",
     )
     parser.add_argument(
         "--trace-out",

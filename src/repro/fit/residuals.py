@@ -163,13 +163,20 @@ def objective_value(
     residuals: Sequence[AnchorResidual],
     weights: FitWeights = DEFAULT_WEIGHTS,
 ) -> float:
-    """Weighted mean of squared relative errors (the least-squares loss)."""
+    """Weighted mean of squared relative errors (the least-squares loss).
+
+    Each anchor contributes in proportion to ``anchor.weight`` — the
+    paper's own confidence in the row (Appendix E repeats some cells;
+    see :class:`repro.paper_data.PaperAnchor`) — so a twice-published
+    cell pulls the fit twice as hard as a once-published one.
+    """
     total = 0.0
     weight_sum = 0.0
     for r in residuals:
-        total += weights.throughput * r.throughput_rel_err**2
-        total += weights.memory * r.memory_rel_err**2
-        weight_sum += weights.throughput + weights.memory
+        w = r.anchor.weight
+        total += w * weights.throughput * r.throughput_rel_err**2
+        total += w * weights.memory * r.memory_rel_err**2
+        weight_sum += w * (weights.throughput + weights.memory)
     return total / weight_sum
 
 
@@ -182,12 +189,12 @@ def weighted_throughput_error(
     This is the number the ``calibrate`` CLI reports before and after
     fitting, and the one the acceptance check requires the fit to
     strictly reduce versus the hand-tuned defaults.  ``anchor_weights``
-    defaults to uniform (every published row counts the same); the
-    ROADMAP follow-on of weighting anchors by the paper's own confidence
-    plugs in here.
+    defaults to the anchors' own confidence weights
+    (:class:`repro.paper_data.PaperAnchor.weight`: twice-published cells
+    count double); pass an explicit sequence to override.
     """
     if anchor_weights is None:
-        anchor_weights = [1.0] * len(residuals)
+        anchor_weights = [r.anchor.weight for r in residuals]
     if len(anchor_weights) != len(residuals):
         raise ValueError(
             f"{len(anchor_weights)} weights for {len(residuals)} residuals"

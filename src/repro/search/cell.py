@@ -8,9 +8,10 @@ originated) so both the legacy pool wrappers and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.parallel.config import Method
+from repro.search.objective import DEFAULT_OBJECTIVE, Objective
 
 __all__ = ["DEFAULT_SETTINGS", "SearchSettings", "SweepCell"]
 
@@ -43,10 +44,18 @@ class SearchSettings:
             Off by default so the paper's Figure 7 / Appendix E grids
             reproduce exactly; the hybrid comparison experiment turns it
             on.
+        objective: What each cell optimizes — feasibility, ranking and
+            per-objective admissible pruning all delegate to it (see
+            :mod:`repro.search.objective`).  The default
+            :class:`~repro.search.objective.ThroughputObjective`
+            reproduces the paper's argmax byte-identically, checkpoint
+            keys included (the serializer omits the default objective
+            from hashed payloads).
     """
 
     bound_pruning: bool = True
     include_hybrid: bool = False
+    objective: Objective = field(default=DEFAULT_OBJECTIVE)
 
 
 DEFAULT_SETTINGS = SearchSettings()

@@ -4,28 +4,32 @@ Mirrors and extends the Section 5.3 protocol.  Each search cell runs its
 candidates through an ordered chain of pruner stages, each orders of
 magnitude cheaper than the one after it:
 
-1. **Memory filter** (:func:`repro.analytical.memory.memory_model`):
-   configurations predicted to exceed the device's usable memory are
-   excluded before any simulation — the paper excluded configurations
+1. **Feasibility filter** (:func:`repro.analytical.memory.memory_model`):
+   configurations predicted to exceed the effective memory limit — the
+   device's usable memory, tightened further by the objective's budget
+   (:meth:`repro.search.objective.Objective.memory_budget`) — are
+   excluded before any simulation; the paper excluded configurations
    "certain or highly likely to run out of memory" and only ran the
    remainder.  Counted in ``n_excluded``.
-2. **Step-time lower bound**
-   (:func:`repro.analytical.lower_bound.step_time_lower_bound`):
-   survivors are ordered best-bound-first and simulated under a
-   branch-and-bound incumbent.  A candidate whose *best possible*
-   throughput (the provable bound) is strictly below the incumbent's
-   measured throughput cannot win — nor tie — so it is skipped, counted
-   in ``n_pruned``.  Because candidates arrive in decreasing bound order,
-   the first prune ends the cell.
+2. **Dual-sided lower bound**
+   (:func:`repro.analytical.lower_bound.candidate_bound`): survivors are
+   ordered best-throughput-bound-first and simulated under per-objective
+   branch-and-bound.  The objective's state decides admissible pruning
+   from the bound alone — a throughput objective skips candidates whose
+   *best possible* throughput is strictly below the incumbent's; the
+   Pareto objective skips only candidates dominated in **both** bounds.
+   Counted in ``n_pruned``.
 3. **Simulation** (:func:`repro.sim.simulator.simulate`): everything
-   still alive is measured and ranked by throughput.  Counted in
+   still alive is measured and ranked by the objective.  Counted in
    ``n_tried``.
 
 The accounting contract: ``n_tried + n_excluded + n_pruned`` equals the
 enumerated size of :func:`repro.search.space.configuration_space` for the
-cell.  The winner is **byte-identical with pruning on or off** — the
-bound only removes candidates that provably lose, ties are never pruned
-(strict inequality), and equal-throughput ties resolve via
+cell, for **every** objective (constraint-infeasible candidates land in
+``n_excluded``).  The winner — and, for the Pareto objective, the whole
+frontier — is **byte-identical with pruning on or off**: the bound only
+removes candidates that provably cannot affect the outcome, ties are
+never pruned (strict inequality), and equal-throughput ties resolve via
 ``ParallelConfig.sort_key`` regardless of evaluation order.
 """
 
@@ -34,13 +38,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.analytical.lower_bound import StepTimeBound, step_time_lower_bound
+from repro.analytical.lower_bound import CandidateBound, candidate_bound
 from repro.analytical.memory import MemoryBreakdown, memory_model
 from repro.core.schedules.base import Schedule, build_schedule
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method, ParallelConfig, ScheduleKind
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings
+from repro.search.objective import Objective
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.sim.cost import CostModel
@@ -48,7 +53,8 @@ from repro.sim.implementation import ImplementationProfile
 from repro.sim.simulator import SimulationResult, simulate
 
 #: Fraction of device memory usable before fragmentation makes OOM likely
-#: (Appendix D.2 motivates the safety margin).
+#: (Appendix D.2 motivates the safety margin).  Always applied; an
+#: objective's budget can only tighten it.
 MEMORY_HEADROOM = 0.92
 
 
@@ -74,13 +80,13 @@ def cached_schedule(
 
 @dataclass(frozen=True)
 class Candidate:
-    """One memory-feasible configuration flowing through the pipeline.
+    """One feasible configuration flowing through the pipeline.
 
     Carries everything the earlier stages already paid for — the built
     schedule, the memory breakdown, the cost model (whose per-stage
     duration table is shared process-wide, see
-    :func:`repro.sim.cost.stage_time_table`) and the step-time bound — so
-    the simulation stage re-derives nothing.
+    :func:`repro.sim.cost.stage_time_table`) and the dual-sided bound —
+    so the simulation stage re-derives nothing.
     """
 
     config: ParallelConfig
@@ -88,14 +94,13 @@ class Candidate:
     schedule: Schedule
     memory: MemoryBreakdown
     cost: CostModel
-    bound: StepTimeBound
+    bound: CandidateBound
 
     @property
     def bound_throughput(self) -> float:
-        """Best possible per-GPU throughput: the Eq. 11 metric evaluated
-        at the step-time lower bound.  ``simulate`` can only report less
-        (throughput falls monotonically with step time)."""
-        return self.cost.throughput_per_gpu(self.bound.step_time)
+        """Best possible per-GPU throughput (see
+        :class:`~repro.analytical.lower_bound.CandidateBound`)."""
+        return self.bound.throughput
 
 
 @dataclass(frozen=True)
@@ -105,16 +110,23 @@ class SearchOutcome:
     Attributes:
         method: The method searched.
         batch_size: Global batch size of the cell.
-        best: The winning simulation, or None if nothing fit in memory.
+        best: The winning simulation under the cell's objective, or None
+            if nothing was feasible.
         n_tried: Configurations simulated (those surviving every pruner
             stage).
-        n_excluded: Configurations rejected by the memory filter before
-            simulation (excluded configurations are never simulated, so
-            ``n_tried`` never counts them).
+        n_excluded: Configurations rejected by the feasibility filter
+            before simulation — over the device's usable memory or over
+            the objective's tighter budget (excluded configurations are
+            never simulated, so ``n_tried`` never counts them).
         n_pruned: Configurations rejected by the branch-and-bound stage:
-            memory-feasible, but their step-time lower bound proves they
-            cannot beat the incumbent best.  Always 0 when bound pruning
-            is disabled; ``best`` is identical either way.
+            feasible, but the objective proved from their dual-sided
+            bound that they cannot affect the outcome.  Always 0 when
+            bound pruning is disabled; ``best`` and ``frontier`` are
+            identical either way.
+        frontier: The throughput/peak-memory Pareto frontier, reported
+            only by frontier-producing objectives
+            (:class:`~repro.search.objective.ParetoFrontObjective`);
+            None for single-winner objectives.
     """
 
     method: Method
@@ -123,6 +135,7 @@ class SearchOutcome:
     n_tried: int
     n_excluded: int
     n_pruned: int = 0
+    frontier: tuple[SimulationResult, ...] | None = None
 
 
 # --------------------------------------------------------- pipeline stages
@@ -133,15 +146,21 @@ def _memory_stage(
     cluster: ClusterSpec,
     calibration: Calibration,
     pairs,
+    objective: Objective,
 ) -> tuple[list[Candidate], int]:
-    """Stage 1+2 producer: memory-filter the space, bound the survivors.
+    """Stage 1+2 producer: feasibility-filter the space, bound survivors.
 
-    Returns the feasible candidates (bound attached, enumeration order)
-    and the count of memory-excluded configurations.
+    The effective limit is the device fragmentation limit tightened by
+    the objective's budget (if any).  Returns the feasible candidates
+    (dual-sided bound attached, enumeration order) and the count of
+    excluded configurations.
     """
     candidates: list[Candidate] = []
     n_excluded = 0
     memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
+    budget = objective.memory_budget(cluster)
+    if budget is not None:
+        memory_limit = min(memory_limit, budget)
     for config, impl in pairs:
         schedule = cached_schedule(
             config.schedule,
@@ -168,7 +187,7 @@ def _memory_stage(
                 schedule=schedule,
                 memory=memory,
                 cost=cost,
-                bound=step_time_lower_bound(cost),
+                bound=candidate_bound(cost, memory),
             )
         )
     return candidates, n_excluded
@@ -178,27 +197,14 @@ def _order_best_bound_first(candidates: list[Candidate]) -> list[Candidate]:
     """Branch-and-bound visit order: highest throughput bound first.
 
     Front-loading the most promising candidates tightens the incumbent
-    immediately, which is what lets the simulation stage stop at the
-    first prunable candidate.  Ties break on ``sort_key`` so the order —
-    and therefore ``n_tried`` under pruning — is deterministic.
+    (or seeds the frontier's high-throughput end) immediately, which is
+    what makes early pruning decisions possible.  Ties break on
+    ``sort_key`` so the order — and therefore ``n_tried`` under pruning
+    — is deterministic.
     """
     return sorted(
         candidates, key=lambda c: (-c.bound_throughput, c.config.sort_key)
     )
-
-
-def _better(result: SimulationResult, best: SimulationResult | None) -> bool:
-    """Ranking rule: throughput, then ``sort_key`` for exact ties.
-
-    Order-independent: the same winner emerges from any visit order,
-    which is what keeps pruned and unpruned searches byte-identical and
-    sweep results stable across backends and worker orderings.
-    """
-    if best is None:
-        return True
-    if result.throughput_per_gpu != best.throughput_per_gpu:
-        return result.throughput_per_gpu > best.throughput_per_gpu
-    return result.config.sort_key < best.config.sort_key
 
 
 def _simulate_stage(
@@ -206,28 +212,30 @@ def _simulate_stage(
     cluster: ClusterSpec,
     calibration: Calibration,
     ordered: list[Candidate],
+    objective: Objective,
     *,
     bound_pruning: bool,
-) -> tuple[SimulationResult | None, int, int]:
-    """Stage 3: simulate under a branch-and-bound incumbent.
+) -> tuple[SimulationResult | None, int, int, tuple[SimulationResult, ...] | None]:
+    """Stage 3: simulate under per-objective branch-and-bound.
 
-    A candidate is pruned only when its bound throughput is *strictly*
-    below the incumbent's measured throughput: it then cannot win or tie,
-    so skipping it cannot change the winner.  Candidates arrive in
-    decreasing bound order, so everything after the first prune is
-    prunable too and the stage stops there.
+    The objective's state judges each candidate's dual-sided bound:
+    pruning is admissible per-objective, so skipping can never change
+    the winner or the frontier.  For objectives whose prune test is
+    monotone in the visit order (the throughput family), candidates
+    arrive in decreasing bound order, so everything after the first
+    prune is prunable too and the stage stops there; non-monotone
+    objectives (Pareto) test every candidate individually.
     """
-    best: SimulationResult | None = None
+    state = objective.new_state()
     n_tried = 0
     n_pruned = 0
     for position, candidate in enumerate(ordered):
-        if (
-            bound_pruning
-            and best is not None
-            and candidate.bound_throughput < best.throughput_per_gpu
-        ):
-            n_pruned = len(ordered) - position
-            break
+        if bound_pruning and state.prunable(candidate.bound):
+            if state.monotone:
+                n_pruned += len(ordered) - position
+                break
+            n_pruned += 1
+            continue
         result = simulate(
             spec,
             candidate.config,
@@ -239,9 +247,8 @@ def _simulate_stage(
             cost=candidate.cost,
         )
         n_tried += 1
-        if _better(result, best):
-            best = result
-    return best, n_tried, n_pruned
+        state.observe(result)
+    return state.best(), n_tried, n_pruned, state.frontier()
 
 
 # ----------------------------------------------------------- entry point
@@ -260,26 +267,23 @@ def best_configuration(
     See the module docstring for the stage chain and the
     ``n_tried``/``n_excluded``/``n_pruned`` contract.  ``settings``
     selects the optional axes: branch-and-bound pruning (on by default;
-    the winner never depends on it) and the Section 4.2 hybrid schedule
-    axis (off by default to match the paper's grids).
+    the outcome never depends on it), the Section 4.2 hybrid schedule
+    axis (off by default to match the paper's grids), and the objective
+    (throughput argmax by default; see :mod:`repro.search.objective`).
     """
     candidates, n_excluded = _memory_stage(
         spec,
         cluster,
         calibration,
-        configuration_space(
-            method,
-            spec,
-            cluster,
-            batch_size,
-            include_hybrid=settings.include_hybrid,
-        ),
+        configuration_space(method, spec, cluster, batch_size, settings=settings),
+        settings.objective,
     )
-    best, n_tried, n_pruned = _simulate_stage(
+    best, n_tried, n_pruned, frontier = _simulate_stage(
         spec,
         cluster,
         calibration,
         _order_best_bound_first(candidates),
+        settings.objective,
         bound_pruning=settings.bound_pruning,
     )
     return SearchOutcome(
@@ -289,4 +293,5 @@ def best_configuration(
         n_tried=n_tried,
         n_excluded=n_excluded,
         n_pruned=n_pruned,
+        frontier=frontier,
     )

@@ -32,6 +32,8 @@ from repro.search.service.serialize import (
     calibration_from_json,
     calibration_to_json,
     cell_key,
+    objective_from_json,
+    objective_to_json,
     outcome_from_json,
     outcome_to_json,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "calibration_from_json",
     "calibration_to_json",
     "cell_key",
+    "objective_from_json",
+    "objective_to_json",
     "outcome_from_json",
     "outcome_to_json",
     "run_sweep",

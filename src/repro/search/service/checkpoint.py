@@ -99,35 +99,56 @@ class CheckpointStore:
     def timing_path_for(self, key: str) -> Path:
         return self.root / f"{key}.time.json"
 
-    def store_timing(self, key: str, seconds: float) -> Path:
-        """Atomically record a cell's measured search wall-clock."""
+    def store_timing(
+        self,
+        key: str,
+        seconds: float,
+        *,
+        worker: str | None = None,
+        started_at: float | None = None,
+    ) -> Path:
+        """Atomically record a cell's measured search wall-clock.
+
+        ``worker`` and ``started_at`` (epoch seconds) attribute the
+        measurement to the worker that computed it — the raw material of
+        the sweep-level Chrome trace (:mod:`repro.viz.sweep_trace`).
+        Both are optional: scheduling (``load_timing``) needs only the
+        duration.
+        """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
+        payload = {"format": FORMAT_VERSION, "key": key, "seconds": seconds}
+        if worker is not None:
+            payload["worker"] = worker
+        if started_at is not None:
+            payload["started_at"] = started_at
         path = self.timing_path_for(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(
-            canonical_dumps(
-                {"format": FORMAT_VERSION, "key": key, "seconds": seconds}
-            ).encode("utf-8")
-        )
+        tmp.write_bytes(canonical_dumps(payload).encode("utf-8"))
         os.replace(tmp, path)
         return path
 
-    def load_timing(self, key: str) -> float | None:
-        """Recorded wall-clock seconds for a cell, or ``None``.
+    def load_timing_record(self, key: str) -> dict | None:
+        """The full timing sidecar payload for a cell, or ``None``.
 
         Corrupt sidecars are ignored silently — timing is advisory (it
-        only influences scheduling order), so it never warrants the
-        corruption warning a lost *result* gets.
+        only influences scheduling order and trace rendering), so it
+        never warrants the corruption warning a lost *result* gets.
         """
         try:
             data = json.loads(self.timing_path_for(key).read_bytes())
             if data.get("key") != key or data.get("format") != FORMAT_VERSION:
                 return None
-            seconds = float(data["seconds"])
+            if float(data["seconds"]) < 0:
+                return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
             return None
-        return seconds if seconds >= 0 else None
+        return data
+
+    def load_timing(self, key: str) -> float | None:
+        """Recorded wall-clock seconds for a cell, or ``None``."""
+        record = self.load_timing_record(key)
+        return None if record is None else float(record["seconds"])
 
     def load_many(self, keys) -> dict[str, SearchOutcome]:
         """Valid checkpoints among ``keys``, as ``{key: outcome}``."""

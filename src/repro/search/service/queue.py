@@ -8,6 +8,14 @@ This is the multi-machine backend's substrate.  The queue is a directory
     claimed/<key>--<worker>.json   a worker owns the cell
     done/<key>.json       finished (its checkpoint was written first)
     failed/<key>.json     exhausted the retry cap
+    events/<actor>.jsonl  advisory claim/complete/release/requeue log
+
+The event log feeds the sweep-level Chrome trace
+(:mod:`repro.viz.sweep_trace`): every actor — worker or janitor —
+appends to its *own* file (single writer per file, so appends need no
+cross-machine locking), and a claim/complete pair brackets exactly the
+wall-clock one worker spent owning one cell.  Events are advisory:
+writes are best-effort and correctness never depends on them.
 
 A worker claims a cell by renaming its pending file into ``claimed/``
 under the worker's own id.  POSIX rename is atomic, so exactly one of
@@ -89,6 +97,9 @@ def heartbeat_interval_for_lease(lease_seconds: float | None) -> float | None:
     return min(DEFAULT_HEARTBEAT_INTERVAL, lease_seconds / 3.0)
 
 _SUBDIRS = ("pending", "claimed", "done", "failed")
+#: Advisory per-actor event logs (not a queue state — kept out of
+#: ``_SUBDIRS`` so ``counts()`` reports queue states only).
+_EVENTS_DIR = "events"
 #: Separates the cell key from the worker id in claim filenames.  Keys
 #: are hex so the separator can never appear inside one.
 _CLAIM_SEP = "--"
@@ -133,7 +144,7 @@ class FileWorkQueue:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         queue = cls(root)
         queue.root.mkdir(parents=True, exist_ok=True)
-        for name in _SUBDIRS:
+        for name in (*_SUBDIRS, _EVENTS_DIR):
             sub = queue.root / name
             sub.mkdir(exist_ok=True)
             for stale in sub.iterdir():
@@ -197,6 +208,54 @@ class FileWorkQueue:
     def _keys_in(self, name: str) -> set[str]:
         return {p.stem for p in self._dir(name).glob("*.json")}
 
+    # ---------------------------------------------------------- event log
+
+    def record_event(
+        self, actor: str, event: str, key: str, **extra
+    ) -> None:
+        """Append one advisory event to ``events/<actor>.jsonl``.
+
+        One file per actor keeps every file single-writer, so appends
+        are safe without locking even across machines sharing the
+        filesystem.  Best-effort by design: a full disk or a flaky
+        shared FS must never take down a worker over trace data.
+        """
+        payload = {"t": time.time(), "event": event, "key": key, **extra}
+        path = self._dir(_EVENTS_DIR) / f"{actor}.jsonl"
+        try:
+            path.parent.mkdir(exist_ok=True)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(canonical_dumps(payload) + "\n")
+        except OSError:
+            pass
+
+    def events(self) -> list[dict]:
+        """Every recorded event across all actors, time-ordered.
+
+        The actor (the file that recorded the event) is exposed as the
+        ``actor`` field; unreadable lines are skipped — the log is
+        advisory.
+        """
+        out: list[dict] = []
+        events_dir = self._dir(_EVENTS_DIR)
+        if not events_dir.is_dir():
+            return out
+        for path in sorted(events_dir.glob("*.jsonl")):
+            try:
+                lines = path.read_text().splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(payload, dict):
+                    payload.setdefault("actor", path.stem)
+                    out.append(payload)
+        out.sort(key=lambda e: e.get("t", 0.0))
+        return out
+
     # -------------------------------------------------------------- enqueue
 
     def enqueue(self, key: str, cell: SweepCell, *, attempts: int = 0) -> None:
@@ -243,8 +302,21 @@ class FileWorkQueue:
                 os.replace(dest, self._dir("failed") / f"{key}.json")
                 continue
             _key, cell, attempts = parsed
+            self.record_event(
+                worker_id, "claim", key,
+                worker=worker_id,
+                method=cell.method.value,
+                batch_size=cell.batch_size,
+                attempts=attempts,
+            )
             return ClaimedCell(key=key, cell=cell, attempts=attempts, path=dest)
         return None
+
+    @staticmethod
+    def _claim_worker(claim: ClaimedCell) -> str:
+        """The worker id a claim file is held under."""
+        stem = claim.path.stem
+        return stem.split(_CLAIM_SEP, 1)[1] if _CLAIM_SEP in stem else stem
 
     def complete(self, claim: ClaimedCell) -> None:
         """Mark a claimed cell finished.
@@ -267,6 +339,8 @@ class FileWorkQueue:
                 "attempts": claim.attempts,
             }
             self._atomic_write(dest, canonical_dumps(payload).encode("utf-8"))
+        worker = self._claim_worker(claim)
+        self.record_event(worker, "complete", claim.key, worker=worker)
 
     def renew(self, claim: ClaimedCell) -> bool:
         """Refresh a claim's lease by touching its file (heartbeat).
@@ -290,6 +364,8 @@ class FileWorkQueue:
         Returns True if the cell was requeued, False if it exhausted the
         retry cap and moved to ``failed/``.
         """
+        worker = self._claim_worker(claim)
+        self.record_event(worker, "release", claim.key, worker=worker)
         return self._requeue(claim.path, claim.key, claim.cell, claim.attempts)
 
     # -------------------------------------------------------------- recovery
@@ -335,6 +411,7 @@ class FileWorkQueue:
         """
         requeued: list[str] = []
         exhausted: list[str] = []
+        janitor = f"janitor-{os.getpid()}"
         pattern = f"*{_CLAIM_SEP}{worker_id}.json"
         for path in sorted(self._dir("claimed").glob(pattern)):
             parsed = self._parse_claim(path)
@@ -343,8 +420,10 @@ class FileWorkQueue:
             key, cell, attempts = parsed
             if self._requeue(path, key, cell, attempts):
                 requeued.append(key)
+                self.record_event(janitor, "requeue", key, worker=worker_id)
             else:
                 exhausted.append(key)
+                self.record_event(janitor, "fail", key, worker=worker_id)
         return requeued, exhausted
 
     def requeue_stale(
@@ -359,6 +438,7 @@ class FileWorkQueue:
             now = time.time()
         requeued: list[str] = []
         exhausted: list[str] = []
+        janitor = f"janitor-{os.getpid()}"
         for path in sorted(self._dir("claimed").glob("*.json")):
             try:
                 age = now - path.stat().st_mtime
@@ -366,14 +446,17 @@ class FileWorkQueue:
                 continue
             if age < lease_seconds:
                 continue
+            holder = path.stem.split(_CLAIM_SEP, 1)[-1]
             parsed = self._parse_claim(path)
             if parsed is None:
                 continue
             key, cell, attempts = parsed
             if self._requeue(path, key, cell, attempts):
                 requeued.append(key)
+                self.record_event(janitor, "requeue", key, worker=holder)
             else:
                 exhausted.append(key)
+                self.record_event(janitor, "fail", key, worker=holder)
         return requeued, exhausted
 
     # ------------------------------------------------------------ inspection

@@ -29,6 +29,7 @@ from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
+from repro.search.objective import DEFAULT_OBJECTIVE, OBJECTIVE_KINDS, Objective
 from repro.sim.calibration import Calibration
 from repro.sim.simulator import SimulationResult
 from repro.sim.timeline import TimelineEvent
@@ -43,6 +44,8 @@ __all__ = [
     "config_to_json",
     "context_from_json",
     "context_to_json",
+    "objective_from_json",
+    "objective_to_json",
     "outcome_from_json",
     "outcome_to_json",
     "result_from_json",
@@ -55,6 +58,12 @@ __all__ = [
 #: under another version are rejected (and recomputed), never guessed at.
 #: Version 2: configs carry ``sequence_size`` (hybrid axis), outcomes
 #: carry ``n_pruned``, and cell keys/contexts fold in the search settings.
+#: The objective extension is *additive within* version 2: settings
+#: payloads name the objective — and outcomes carry a frontier — only
+#: when the objective is not the default throughput argmax, so every
+#: pre-objective checkpoint still loads and every default-objective cell
+#: key and checkpoint byte stays identical (regression-tested against
+#: committed golden hashes in ``tests/test_checkpoint_keys.py``).
 FORMAT_VERSION = 2
 
 _CONFIG_INT_FIELDS = (
@@ -128,20 +137,65 @@ def config_from_json(data: dict) -> ParallelConfig:
     )
 
 
+# ------------------------------------------------------------------ Objective
+
+
+def objective_to_json(objective: Objective) -> dict:
+    """Serialize an objective by kind tag plus its own parameters.
+
+    Round-trips through the registry in
+    :data:`repro.search.objective.OBJECTIVE_KINDS`, so a new objective
+    class that registers itself serializes without touching this module.
+    """
+    if objective.kind not in OBJECTIVE_KINDS:
+        raise ValueError(
+            f"objective kind {objective.kind!r} is not registered; add it "
+            "to repro.search.objective.OBJECTIVE_KINDS"
+        )
+    return {"kind": objective.kind, **objective.params_to_json()}
+
+
+def objective_from_json(data: dict) -> Objective:
+    kind = data["kind"]
+    if kind not in OBJECTIVE_KINDS:
+        raise ValueError(
+            f"unknown objective kind {kind!r}; known: "
+            f"{', '.join(sorted(OBJECTIVE_KINDS))}"
+        )
+    return OBJECTIVE_KINDS[kind].from_json(data)
+
+
 # -------------------------------------------------------------- SearchSettings
 
 
 def settings_to_json(settings: SearchSettings) -> dict:
-    return {
+    """Settings payload — part of every checkpoint content hash.
+
+    The objective is written only when it is not the default throughput
+    argmax: a throughput-objective sweep must produce byte-identical
+    cell keys to pre-objective checkpoints so existing checkpoint
+    directories keep resuming, while differently-constrained sweeps hash
+    differently and can never satisfy each other's cells.
+    """
+    data = {
         "bound_pruning": settings.bound_pruning,
         "include_hybrid": settings.include_hybrid,
     }
+    if settings.objective != DEFAULT_OBJECTIVE:
+        data["objective"] = objective_to_json(settings.objective)
+    return data
 
 
 def settings_from_json(data: dict) -> SearchSettings:
+    objective = (
+        objective_from_json(data["objective"])
+        if "objective" in data
+        else DEFAULT_OBJECTIVE
+    )
     return SearchSettings(
         bound_pruning=bool(data["bound_pruning"]),
         include_hybrid=bool(data["include_hybrid"]),
+        objective=objective,
     )
 
 
@@ -194,7 +248,7 @@ def result_from_json(data: dict) -> SimulationResult:
 
 
 def outcome_to_json(outcome: SearchOutcome) -> dict:
-    return {
+    data = {
         "method": outcome.method.value,
         "batch_size": outcome.batch_size,
         "best": None if outcome.best is None else result_to_json(outcome.best),
@@ -202,6 +256,11 @@ def outcome_to_json(outcome: SearchOutcome) -> dict:
         "n_excluded": outcome.n_excluded,
         "n_pruned": outcome.n_pruned,
     }
+    # Written only when present, so single-winner checkpoints stay
+    # byte-identical to the pre-objective layout.
+    if outcome.frontier is not None:
+        data["frontier"] = [result_to_json(r) for r in outcome.frontier]
+    return data
 
 
 def outcome_from_json(data: dict) -> SearchOutcome:
@@ -211,6 +270,7 @@ def outcome_from_json(data: dict) -> SearchOutcome:
     callers (the checkpoint store) treat those as corruption.
     """
     best = data["best"]
+    frontier = data.get("frontier")
     return SearchOutcome(
         method=Method(data["method"]),
         batch_size=int(data["batch_size"]),
@@ -218,6 +278,11 @@ def outcome_from_json(data: dict) -> SearchOutcome:
         n_tried=int(data["n_tried"]),
         n_excluded=int(data["n_excluded"]),
         n_pruned=int(data["n_pruned"]),
+        frontier=(
+            None
+            if frontier is None
+            else tuple(result_from_json(r) for r in frontier)
+        ),
     )
 
 

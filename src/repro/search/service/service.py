@@ -26,6 +26,7 @@ from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
+from repro.search.objective import DEFAULT_OBJECTIVE, Objective
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import (
@@ -72,6 +73,13 @@ class SweepOptions:
             experiments CLI maps here.
         include_hybrid: Add the Section 4.2 hybrid ``sequence_size`` axis
             to every breadth-first cell's space.
+        objective: What every cell of the sweep optimizes (see
+            :mod:`repro.search.objective`; the CLI's ``--objective`` /
+            ``--memory-headroom`` map here).  Part of the checkpoint
+            content hash — but only when non-default, so existing
+            throughput-sweep checkpoint directories keep resuming
+            byte-identically while differently-constrained sweeps can
+            share a directory safely.
         calibration: Cost-model constants used when the caller does not
             pass an explicit calibration to :func:`run_sweep`.  This is
             how the experiments CLI's ``--calibration`` (e.g. the
@@ -95,6 +103,7 @@ class SweepOptions:
     progress: bool = False
     bound_pruning: bool = True
     include_hybrid: bool = False
+    objective: Objective = DEFAULT_OBJECTIVE
     calibration: Calibration = DEFAULT_CALIBRATION
 
     @property
@@ -103,6 +112,7 @@ class SweepOptions:
         return SearchSettings(
             bound_pruning=self.bound_pruning,
             include_hybrid=self.include_hybrid,
+            objective=self.objective,
         )
 
 

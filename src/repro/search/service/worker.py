@@ -83,6 +83,7 @@ def run_worker(
             os._exit(13)  # simulate SIGKILL holding the claim
         outcome = store.load(claim.key)
         if outcome is None:
+            started_at = time.time()
             try:
                 if heartbeat_interval is not None:
                     with LeaseHeartbeat(
@@ -98,8 +99,11 @@ def run_worker(
                 raise
             store.store(claim.key, outcome)
             # Timing sidecar after the result: a crash in between loses
-            # only scheduling advice, never the outcome.
-            store.store_timing(claim.key, elapsed)
+            # only scheduling advice, never the outcome.  Worker and
+            # start-time attribution feed the sweep-level Chrome trace.
+            store.store_timing(
+                claim.key, elapsed, worker=worker_id, started_at=started_at
+            )
         queue.complete(claim)
         completed += 1
     return completed

@@ -15,6 +15,7 @@ from collections.abc import Iterator
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
+from repro.search.cell import SearchSettings
 from repro.sim.implementation import (
     MEGATRON_LM,
     OUR_IMPLEMENTATION,
@@ -85,8 +86,17 @@ def configuration_space(
     batch_size: int,
     *,
     include_hybrid: bool = False,
+    settings: SearchSettings | None = None,
 ) -> Iterator[tuple[ParallelConfig, ImplementationProfile]]:
     """All candidate (config, implementation) pairs for one search cell.
+
+    ``settings`` (the same :class:`~repro.search.cell.SearchSettings`
+    that configures the whole evaluation pipeline) supersedes the bare
+    ``include_hybrid`` flag when given, so the enumeration and the
+    pipeline can never disagree about which axes a cell searches.  The
+    space is objective-independent by design: objectives change which
+    candidates are *feasible* or *preferred*, never which exist, so
+    every objective's counters partition the same enumeration.
 
     Every yielded configuration is valid against the model: stages never
     outnumber layers (a stage holds at least one transformer layer), so
@@ -108,6 +118,8 @@ def configuration_space(
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if settings is not None:
+        include_hybrid = settings.include_hybrid
     pipeline = method is not Method.NO_PIPELINE
 
     for n_dp, n_pp, n_tp, smb, n_mb in _candidate_grids(

@@ -28,6 +28,7 @@ from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
 from repro.search.cell import SweepCell
 from repro.search.grid import SearchOutcome
+from repro.search.objective import Objective
 from repro.search.service.service import SweepOptions, run_sweep
 from repro.sim.calibration import Calibration
 
@@ -42,6 +43,7 @@ def sweep_cells(
     calibration: Calibration | None = None,
     processes: int | None = None,
     options: SweepOptions | None = None,
+    objective: Objective | None = None,
 ) -> list[SearchOutcome]:
     """Search every cell; return outcomes in the input order.
 
@@ -54,13 +56,17 @@ def sweep_cells(
         processes: Pool size; ``None`` uses the CPU count (capped at the
             number of cells), ``1`` runs serially in this process.
         options: Full service options (backend, checkpointing, resume).
-            When given, ``processes`` overrides its pool size only if
-            not None.
+            When given, ``processes``/``objective`` override its fields
+            only if not None.
+        objective: Search objective for every cell (``None`` defers to
+            ``options.objective``; see :mod:`repro.search.objective`).
     """
     if options is None:
         options = SweepOptions(processes=processes)
     elif processes is not None:
         options = replace(options, processes=processes)
+    if objective is not None:
+        options = replace(options, objective=objective)
     return run_sweep(
         spec, cluster, cells, calibration=calibration, options=options
     )
@@ -75,6 +81,7 @@ def sweep_grid(
     calibration: Calibration | None = None,
     processes: int | None = None,
     options: SweepOptions | None = None,
+    objective: Objective | None = None,
 ) -> dict[Method, list[SearchOutcome]]:
     """Search the full methods x batch-sizes grid of one Figure 7 panel.
 
@@ -91,6 +98,7 @@ def sweep_grid(
         calibration=calibration,
         processes=processes,
         options=options,
+        objective=objective,
     )
     grouped: dict[Method, list[SearchOutcome]] = {m: [] for m in methods}
     for cell, outcome in zip(cells, outcomes):

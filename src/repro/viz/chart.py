@@ -1,4 +1,10 @@
-"""Tiny ASCII line chart used by the figure benches."""
+"""Tiny ASCII charts used by the figure benches.
+
+Two renderers: :func:`ascii_line_chart` (rank-ordered x positions, for
+the paper's batch-size sweeps) and :func:`ascii_frontier_chart`
+(linear real-valued x, for throughput-vs-memory Pareto frontiers where
+the *gaps* between points are the story).
+"""
 
 from __future__ import annotations
 
@@ -48,6 +54,66 @@ def ascii_line_chart(
     lines.append(f"{y_min:8.1f} +" + "-" * width)
     lines.append(
         " " * 10 + f"x: {xs[0]:g} .. {xs[-1]:g}" + (f"   y: {y_label}" if y_label else "")
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_frontier_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    height: int = 14,
+    width: int = 64,
+    title: str = "",
+    x_label: str = "peak memory (GB)",
+    y_label: str = "throughput (Tflop/s)",
+) -> str:
+    """Scatter named series on a linearly scaled (x, y) grid.
+
+    Built for Pareto frontiers (x = peak memory, y = throughput): unlike
+    :func:`ascii_line_chart`, x positions are mapped *linearly* in value
+    rather than by rank, so the memory cost of moving along the frontier
+    is visible as horizontal distance.  Later series overwrite earlier
+    ones on collisions, so pass the frontier series last to keep it on
+    top.
+    """
+    if height < 3 or width < 10:
+        raise ValueError("chart too small")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@%&"
+    for idx, (_name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in pts:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((1 - (y - y_min) / (y_max - y_min)) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:8.1f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_min:8.1f} +" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"x: {x_min:.2f} .. {x_max:.2f} {x_label}"
+        + (f"   y: {y_label}" if y_label else "")
     )
     legend = "   ".join(
         f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)

@@ -1,0 +1,211 @@
+"""Chrome-trace export of a *sweep itself*: one slice per cell per worker.
+
+The engine-timeline exporter (:mod:`repro.viz.chrome_trace`) shows what
+happens *inside* one simulated step; this module shows what happened to
+the sweep that produced it — which worker computed which cell, when, and
+where the queue sat idle or requeued a dead worker's claim.  Load the
+output at ``chrome://tracing`` or https://ui.perfetto.dev to see
+multi-machine queue utilization at a glance: every worker (on any
+machine sharing the queue's filesystem) becomes a process row, every
+completed cell a slice on it, and janitor requeues become instant
+markers.
+
+Two data sources, merged:
+
+- **Queue claim events** (``events/<actor>.jsonl``, written by
+  :class:`repro.search.service.queue.FileWorkQueue`): a claim/complete
+  pair brackets the full ownership of a cell, including checkpoint I/O.
+- **Timing sidecars** (``<key>.time.json`` with worker/start
+  attribution, written by the file-queue worker): cover cells whose
+  events are missing — e.g. a sweep traced after the queue directory
+  was reset — with the measured search wall-clock.
+
+Both sources are advisory and clock-stamped by whichever machine wrote
+them; cross-machine clock skew shifts lanes relative to each other but
+never corrupts a lane's own story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.queue import FileWorkQueue
+
+__all__ = ["sweep_trace", "sweep_trace_events", "write_sweep_trace"]
+
+_SECONDS_TO_US = 1e6
+
+
+def _cell_label(info: dict, key: str) -> str:
+    method = info.get("method")
+    batch = info.get("batch_size")
+    if method and batch is not None:
+        return f"{method} B={batch}"
+    return key[:10]
+
+
+def _collect_slices(
+    checkpoint_dir: str | os.PathLike,
+    queue_dir: str | os.PathLike | None,
+) -> tuple[list[dict], list[dict]]:
+    """Returns (slices, markers): per-cell spans and instant events.
+
+    A slice is ``{worker, key, start, end, name, source}`` in epoch
+    seconds; a marker is ``{worker, key, t, name}``.
+    """
+    slices: list[dict] = []
+    markers: list[dict] = []
+    seen: set[tuple[str, str, int]] = set()
+
+    if queue_dir is not None:
+        open_claims: dict[tuple[str, str], dict] = {}
+        for event in FileWorkQueue(queue_dir).events():
+            kind = event.get("event")
+            key = event.get("key")
+            worker = event.get("worker") or event.get("actor")
+            t = event.get("t")
+            if not (kind and key and worker) or not isinstance(t, (int, float)):
+                continue
+            if kind == "claim":
+                open_claims[(worker, key)] = event
+            elif kind in ("complete", "release"):
+                claim = open_claims.pop((worker, key), None)
+                if claim is None:
+                    continue
+                attempt = int(claim.get("attempts", 0))
+                slices.append({
+                    "worker": worker,
+                    "key": key,
+                    "start": float(claim["t"]),
+                    "end": float(t),
+                    "name": _cell_label(claim, key),
+                    "source": "queue",
+                    "attempt": attempt,
+                })
+                seen.add((worker, key, attempt))
+            elif kind in ("requeue", "fail"):
+                markers.append({
+                    "worker": worker,
+                    "key": key,
+                    "t": float(t),
+                    "name": f"{kind} {key[:10]}",
+                })
+
+    store = CheckpointStore(checkpoint_dir)
+    suffix = ".time.json"
+    sidecar_keys = sorted(
+        p.name[: -len(suffix)]
+        for p in Path(checkpoint_dir).glob(f"*{suffix}")
+        if not p.name.startswith(".")
+    )
+    for key in sidecar_keys:
+        record = store.load_timing_record(key)
+        if record is None:
+            continue
+        worker = record.get("worker")
+        started = record.get("started_at")
+        if worker is None or not isinstance(started, (int, float)):
+            continue
+        if any(w == worker and k == key for w, k, _a in seen):
+            continue  # the queue events already cover this computation
+        outcome = store.load(key)
+        info = (
+            {"method": outcome.method.value, "batch_size": outcome.batch_size}
+            if outcome is not None
+            else {}
+        )
+        slices.append({
+            "worker": str(worker),
+            "key": key,
+            "start": float(started),
+            "end": float(started) + float(record["seconds"]),
+            "name": _cell_label(info, key),
+            "source": "sidecar",
+            "attempt": 0,
+        })
+    return slices, markers
+
+
+def sweep_trace_events(
+    checkpoint_dir: str | os.PathLike,
+    queue_dir: str | os.PathLike | None = None,
+) -> list[dict]:
+    """Trace Event Format dicts for one sweep directory."""
+    slices, markers = _collect_slices(checkpoint_dir, queue_dir)
+    if not slices and not markers:
+        return []
+    t0 = min(
+        [s["start"] for s in slices] + [m["t"] for m in markers]
+    )
+    workers = sorted(
+        {s["worker"] for s in slices} | {m["worker"] for m in markers}
+    )
+    pid_of = {worker: pid for pid, worker in enumerate(workers)}
+
+    out: list[dict] = []
+    for worker, pid in pid_of.items():
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"worker {worker}"},
+        })
+        out.append({
+            "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+            "args": {"sort_index": pid},
+        })
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+            "args": {"name": "cells"},
+        })
+    for s in slices:
+        out.append({
+            "ph": "X",
+            "name": s["name"],
+            "cat": "cell",
+            "pid": pid_of[s["worker"]],
+            "tid": 0,
+            "ts": (s["start"] - t0) * _SECONDS_TO_US,
+            "dur": max(0.0, s["end"] - s["start"]) * _SECONDS_TO_US,
+            "args": {
+                "key": s["key"],
+                "source": s["source"],
+                "attempt": s["attempt"],
+            },
+        })
+    for m in markers:
+        out.append({
+            "ph": "i",
+            "s": "p",  # process-scoped instant
+            "name": m["name"],
+            "cat": "recovery",
+            "pid": pid_of[m["worker"]],
+            "tid": 0,
+            "ts": (m["t"] - t0) * _SECONDS_TO_US,
+            "args": {"key": m["key"]},
+        })
+    return out
+
+
+def sweep_trace(
+    checkpoint_dir: str | os.PathLike,
+    queue_dir: str | os.PathLike | None = None,
+) -> dict:
+    """A complete JSON-serializable trace document for one sweep."""
+    return {
+        "traceEvents": sweep_trace_events(checkpoint_dir, queue_dir),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_sweep_trace(
+    path: str | os.PathLike,
+    checkpoint_dir: str | os.PathLike,
+    queue_dir: str | os.PathLike | None = None,
+) -> Path:
+    """Write the sweep trace file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sweep_trace(checkpoint_dir, queue_dir)))
+    return path

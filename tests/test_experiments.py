@@ -251,3 +251,114 @@ class TestCalibrationCLI:
             runner_module.build_sweep_options(args).calibration
             is DEFAULT_CALIBRATION
         )
+
+
+class TestObjectiveCLI:
+    """--objective/--memory-headroom flags and the frontier subcommand."""
+
+    def _args(self, **overrides):
+        import argparse
+
+        base = dict(
+            backend="serial", jobs=None, checkpoint_dir=None, workers=2,
+            resume=False, progress=False, no_bound_pruning=False,
+            calibration=None, objective="throughput", memory_headroom=None,
+        )
+        base.update(overrides)
+        return argparse.Namespace(**base)
+
+    def test_objective_flags_reach_sweep_options(self):
+        from repro.search.objective import (
+            MemoryConstrainedThroughput,
+            ParetoFrontObjective,
+            ThroughputObjective,
+        )
+
+        assert (
+            runner_module.build_sweep_options(self._args()).objective
+            == ThroughputObjective()
+        )
+        assert (
+            runner_module.build_sweep_options(
+                self._args(objective="pareto")
+            ).objective
+            == ParetoFrontObjective()
+        )
+        options = runner_module.build_sweep_options(
+            self._args(objective="memory-constrained", memory_headroom=0.4)
+        )
+        assert options.objective == MemoryConstrainedThroughput(headroom=0.4)
+
+    def test_headroom_without_constrained_objective_rejected(self):
+        with pytest.raises(ValueError, match="memory-headroom"):
+            runner_module.build_sweep_options(
+                self._args(memory_headroom=0.4)
+            )
+
+
+class TestFrontierExperiment:
+    def test_run_frontier_single_batch(self):
+        from repro.experiments.frontier import format_frontier, run_frontier
+        from repro.parallel.config import ScheduleKind
+
+        cells = run_frontier("6.6B", batch_sizes=[64])
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.batch_size == 64
+        assert set(cell.outcomes) == set(Method)
+        assert cell.frontier
+        # Every frontier point is non-dominated against every per-method
+        # frontier point (merging loses nothing).
+        from repro.search.objective import dominates
+
+        all_points = [
+            r
+            for outcome in cell.outcomes.values()
+            for r in (outcome.frontier or ())
+        ]
+        for p in cell.frontier:
+            assert not any(
+                dominates(q, p.result) for q in all_points if q is not p.result
+            )
+        # The PR 3 finding, frontier-shaped: a hybrid or depth-first
+        # schedule reaches a trade-off no breadth-first config dominates.
+        assert cell.hybrid_or_depth_first
+        schedules = {p.schedule for p in cell.hybrid_or_depth_first}
+        assert schedules <= {ScheduleKind.HYBRID, ScheduleKind.DEPTH_FIRST}
+        assert set(cell.hybrid_or_depth_first) <= set(cell.non_breadth_first)
+        text = format_frontier(cells)
+        assert "combined throughput/memory frontier" in text
+        assert "non-breadth-first frontier points at B=64" in text
+
+    def test_frontier_cli_exit_status(self, monkeypatch, capsys):
+        # Exit 1 when breadth-first dominates everywhere (stubbed), 0
+        # when a foothold exists (the real quick run is CI's job).
+        class FakeCell:
+            batch_size = 8
+            non_breadth_first = ()
+            hybrid_or_depth_first = ()
+
+        monkeypatch.setattr(
+            runner_module, "run_frontier", lambda *a, **k: [FakeCell()]
+        )
+        monkeypatch.setattr(
+            runner_module, "format_frontier", lambda cells, chart=True: "(stub)"
+        )
+        assert runner_module.main(["frontier", "--quick"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+        class FakeCellWithFoothold(FakeCell):
+            class _P:
+                class schedule:
+                    value = "hybrid"
+                throughput_tflops = 1.0
+                memory_gb = 1.0
+            non_breadth_first = (_P(),)
+            hybrid_or_depth_first = (_P(),)
+
+        monkeypatch.setattr(
+            runner_module,
+            "run_frontier",
+            lambda *a, **k: [FakeCellWithFoothold()],
+        )
+        assert runner_module.main(["frontier", "--quick"]) == 0

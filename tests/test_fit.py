@@ -144,14 +144,24 @@ class TestResiduals:
         )
 
     def test_objective_and_headline_metric(self):
+        # Both metrics weight each anchor by the paper's own confidence
+        # (PaperAnchor.weight: twice-published cells count double).
         residuals = AnchorEvaluator(CHEAP_ANCHORS).evaluate(DEFAULT_CALIBRATION)
         weights = FitWeights(throughput=1.0, memory=0.0)
-        expected = sum(r.throughput_rel_err**2 for r in residuals) / len(residuals)
+        anchor_w = [r.anchor.weight for r in residuals]
+        assert anchor_w != [1.0] * len(anchor_w)  # the repeats are encoded
+        expected = sum(
+            w * r.throughput_rel_err**2 for w, r in zip(anchor_w, residuals)
+        ) / sum(anchor_w)
         assert objective_value(residuals, weights) == pytest.approx(expected)
-        expected_mae = sum(abs(r.throughput_rel_err) for r in residuals) / len(
-            residuals
-        )
+        expected_mae = sum(
+            w * abs(r.throughput_rel_err) for w, r in zip(anchor_w, residuals)
+        ) / sum(anchor_w)
         assert weighted_throughput_error(residuals) == pytest.approx(expected_mae)
+        uniform = [1.0] * len(residuals)
+        assert weighted_throughput_error(residuals, uniform) == pytest.approx(
+            sum(abs(r.throughput_rel_err) for r in residuals) / len(residuals)
+        )
 
     def test_anchor_weights_reweight_the_headline_metric(self):
         residuals = AnchorEvaluator(CHEAP_ANCHORS[:2]).evaluate(
