@@ -15,10 +15,17 @@ from dataclasses import dataclass
 
 from repro.core.ops import ComputeOp, OpKind
 from repro.core.schedules.base import Schedule
+from repro.verify.labels import op_label
 
 
 class ScheduleError(Exception):
-    """A schedule violated a structural invariant or deadlocked."""
+    """A schedule violated a structural invariant or deadlocked.
+
+    Messages label the offending op through
+    :func:`repro.verify.labels.op_label`, so every diagnostic carries
+    the full (rank, op kind, stage, micro-batch) coordinate in the same
+    form the static verifier's findings use.
+    """
 
 
 @dataclass(frozen=True)
@@ -76,34 +83,36 @@ def _check_structure(schedule: Schedule) -> None:
     seen: set[tuple[OpKind, int, int]] = set()
     for rank, _, op in schedule.all_ops():
         key = _op_key(op)
+        label = op_label(op.kind, op.microbatch, op.stage, rank=rank)
         if key in seen:
-            raise ScheduleError(f"duplicate op {op} on rank {rank}")
+            raise ScheduleError(f"duplicate op {label}")
         if key not in expected:
             raise ScheduleError(
-                f"op {op} on rank {rank} is outside the schedule's "
+                f"op {label} is outside the schedule's "
                 f"{schedule.n_microbatches} micro-batches x {n_stages} stages"
             )
         if op.stage % schedule.n_pp != rank:
             raise ScheduleError(
-                f"op {op} scheduled on rank {rank}, but stage {op.stage} "
+                f"op {label} is misplaced: stage {op.stage} "
                 f"lives on rank {op.stage % schedule.n_pp}"
             )
         seen.add(key)
     missing = expected - seen
     if missing:
-        example = sorted(missing)[0]
+        kind, mb, stage = sorted(missing)[0]
         raise ScheduleError(
             f"{len(missing)} ops missing from the schedule, e.g. "
-            f"{example[0].value}(mb={example[1]}, s={example[2]})"
+            f"{op_label(kind, mb, stage, rank=stage % schedule.n_pp)}"
         )
     for rank in range(schedule.n_pp):
         forwards_done: set[tuple[int, int]] = set()
-        for op in schedule.ops_of(rank):
+        for position, op in enumerate(schedule.ops_of(rank)):
             if op.kind is OpKind.FORWARD:
                 forwards_done.add((op.microbatch, op.stage))
             elif (op.microbatch, op.stage) not in forwards_done:
                 raise ScheduleError(
-                    f"rank {rank} schedules {op} before its forward"
+                    f"{op_label(op.kind, op.microbatch, op.stage, rank=rank, position=position)} "
+                    "runs before its forward"
                 )
 
 
@@ -153,11 +162,20 @@ def analyze_schedule(
                 remaining -= 1
                 progressed = True
         if not progressed:
-            blocked = [
-                f"rank {rank}: waiting on {orders[rank][heads[rank]]}"
-                for rank in range(schedule.n_pp)
-                if heads[rank] < len(orders[rank])
-            ]
+            blocked = []
+            for rank in range(schedule.n_pp):
+                if heads[rank] < len(orders[rank]):
+                    op = orders[rank][heads[rank]]
+                    blocked.append(
+                        "waiting on "
+                        + op_label(
+                            op.kind,
+                            op.microbatch,
+                            op.stage,
+                            rank=rank,
+                            position=heads[rank],
+                        )
+                    )
             raise ScheduleError(
                 "schedule deadlocked; blocked streams:\n  " + "\n  ".join(blocked)
             )

@@ -232,6 +232,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         bound_pruning=not args.no_bound_pruning,
         objective=objective,
         calibration=calibration,
+        verify_winners=getattr(args, "verify_winners", False),
     )
 
 
@@ -412,11 +413,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return frontier_main(list(argv[1:]))
     if argv and argv[0] == "sweep-trace":
         return sweep_trace_main(list(argv[1:]))
+    if argv and argv[0] == "verify":
+        # Lazy: the verifier pulls in the full search/sim stack only
+        # when actually invoked.
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's figures and tables.  "
         "Subcommands: `calibrate` fits the cost model to the paper's "
         "anchors, `frontier` searches the throughput/memory Pareto "
-        "frontier, `sweep-trace` exports a sweep's worker timeline."
+        "frontier, `sweep-trace` exports a sweep's worker timeline, "
+        "`verify` runs the static schedule verifier and repo linter."
     )
     parser.add_argument(
         "names",
@@ -476,6 +484,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="disable the branch-and-bound stage of the search (simulate "
              "every memory-feasible candidate; the winners are identical, "
              "only slower — the escape hatch for validating the bound)",
+    )
+    parser.add_argument(
+        "--verify-winners",
+        action="store_true",
+        help="statically verify every search winner (deadlock freedom, "
+             "schedule completeness/ordering, memory cross-check) before "
+             "accepting it; a finding aborts the experiment",
     )
     parser.add_argument(
         "--objective",

@@ -138,6 +138,17 @@ class SearchOutcome:
     frontier: tuple[SimulationResult, ...] | None = None
 
 
+class WinnerVerificationError(RuntimeError):
+    """A search winner failed static verification.
+
+    Raised by :func:`best_configuration` under
+    ``SearchSettings.verify_winners`` when :mod:`repro.verify` finds a
+    defect (deadlock, incomplete/misordered schedule, memory
+    divergence) in a program the search is about to report as a result.
+    The message carries the full finding report.
+    """
+
+
 # --------------------------------------------------------- pipeline stages
 
 
@@ -286,7 +297,7 @@ def best_configuration(
         settings.objective,
         bound_pruning=settings.bound_pruning,
     )
-    return SearchOutcome(
+    outcome = SearchOutcome(
         method=method,
         batch_size=batch_size,
         best=best,
@@ -295,3 +306,12 @@ def best_configuration(
         n_pruned=n_pruned,
         frontier=frontier,
     )
+    if settings.verify_winners:
+        # Opt-in post-check; imported lazily so the search stack does
+        # not depend on the verifier unless the knob is on.
+        from repro.verify.program import verify_outcome
+
+        report = verify_outcome(spec, cluster, outcome, calibration)
+        if not report.ok:
+            raise WinnerVerificationError(report.format())
+    return outcome

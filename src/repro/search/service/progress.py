@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, TextIO
+from collections.abc import Callable
+from typing import TextIO
 
 __all__ = ["ProgressReporter"]
 

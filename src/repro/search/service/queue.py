@@ -53,7 +53,6 @@ from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import Method
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
-from repro.sim.calibration import Calibration
 from repro.search.service.serialize import (
     FORMAT_VERSION,
     canonical_dumps,
@@ -62,6 +61,7 @@ from repro.search.service.serialize import (
     settings_from_json,
     settings_to_json,
 )
+from repro.sim.calibration import Calibration
 
 __all__ = [
     "DEFAULT_HEARTBEAT_INTERVAL",

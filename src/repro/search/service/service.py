@@ -27,7 +27,6 @@ from repro.models.spec import TransformerSpec
 from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
 from repro.search.objective import DEFAULT_OBJECTIVE, Objective
-from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import (
     Executor,
@@ -38,6 +37,7 @@ from repro.search.service.executors import (
     SweepError,
 )
 from repro.search.service.progress import ProgressReporter
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.search.service.serialize import cell_key
 
 __all__ = ["BACKENDS", "SweepOptions", "run_sweep"]
@@ -89,6 +89,11 @@ class SweepOptions:
             part of the checkpoint content hash — keeps fitted and
             hand-tuned checkpoints strictly separate in a shared
             directory.
+        verify_winners: Statically verify every cell's reported
+            configurations with :mod:`repro.verify` before accepting
+            the outcome (``--verify-winners`` on the experiments CLI;
+            see :class:`repro.search.cell.SearchSettings`).  A pure
+            post-check — not part of checkpoint content hashes.
     """
 
     backend: str = "multiprocessing"
@@ -105,6 +110,7 @@ class SweepOptions:
     include_hybrid: bool = False
     objective: Objective = DEFAULT_OBJECTIVE
     calibration: Calibration = DEFAULT_CALIBRATION
+    verify_winners: bool = False
 
     @property
     def search_settings(self) -> SearchSettings:
@@ -113,6 +119,7 @@ class SweepOptions:
             bound_pruning=self.bound_pruning,
             include_hybrid=self.include_hybrid,
             objective=self.objective,
+            verify_winners=self.verify_winners,
         )
 
 

@@ -1,0 +1,53 @@
+"""Static analysis for the reproduction (see ``docs/verify.md``).
+
+Two levels:
+
+- **Level 1 — program verifier** (:mod:`repro.verify.program`,
+  :mod:`repro.verify.deadlock`, :mod:`repro.verify.memory_static`):
+  proves deadlock freedom, schedule completeness/ordering and the
+  static activation high-water mark of lowered programs.
+- **Level 2 — repo contract linter** (:mod:`repro.verify.lint`): AST
+  checks over the sources guarding the checkpoint/serialization and
+  registry contracts.
+
+The package root stays import-light (the report types only); the entry
+points below resolve lazily so ``repro.core.validation`` can use
+:mod:`repro.verify.labels` without dragging in the search stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.verify.labels import op_label, uid_label
+from repro.verify.report import Finding, VerifyReport
+
+__all__ = [
+    "Finding",
+    "VerifyReport",
+    "lint_repo",
+    "op_label",
+    "run_mutation_tests",
+    "uid_label",
+    "verify_config",
+    "verify_outcome",
+    "verify_program",
+]
+
+_LAZY = {
+    "verify_program": ("repro.verify.program", "verify_program"),
+    "verify_config": ("repro.verify.program", "verify_config"),
+    "verify_outcome": ("repro.verify.program", "verify_outcome"),
+    "lint_repo": ("repro.verify.lint", "lint_repo"),
+    "run_mutation_tests": ("repro.verify.mutation", "run_mutation_tests"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,66 @@
+"""Uniform labels for schedule/program operations in diagnostics.
+
+Every error message that points at a pipeline operation — the
+verifier's findings, :class:`repro.core.validation.ScheduleError`
+diagnostics, mutation descriptions — goes through :func:`op_label`, so
+a failure always carries the full (rank, op kind, stage, micro-batch)
+coordinate and reads the same everywhere.
+
+Deliberately dependency-free (stdlib only, no imports from the rest of
+the package): :mod:`repro.core.validation` imports this module, and
+anything heavier would cycle back through the schedule machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["op_label", "uid_label"]
+
+
+def op_label(
+    kind: object,
+    microbatch: int,
+    stage: int,
+    rank: int | None = None,
+    position: int | None = None,
+) -> str:
+    """Canonical coordinate label for one compute op.
+
+    ``kind`` accepts an :class:`~repro.core.ops.OpKind`, a
+    :class:`~repro.core.ops.ComputeOp` kind's ``.value`` string ("F" /
+    "B"), or anything with a ``value`` attribute; enums render by value
+    so labels match instruction uids.
+
+    >>> op_label("B", 5, 11, rank=3)
+    '[rank 3] B(mb=5, s=11)'
+    """
+    tag = getattr(kind, "value", kind)
+    label = f"{tag}(mb={microbatch}, s={stage})"
+    where = []
+    if rank is not None:
+        where.append(f"rank {rank}")
+    if position is not None:
+        where.append(f"pos {position}")
+    if where:
+        return f"[{' '.join(where)}] {label}"
+    return label
+
+
+def uid_label(uid: object, rank: int | None = None, stream: str | None = None) -> str:
+    """Best-effort label for an engine instruction uid.
+
+    Compute uids ``(tag, microbatch, stage)`` render through
+    :func:`op_label`; transfer/collective uids fall back to their tuple
+    form, still prefixed with the (rank, stream) coordinate when known.
+    """
+    prefix = ""
+    if rank is not None:
+        prefix = f"[rank {rank}{'/' + stream if stream else ''}] "
+    if (
+        isinstance(uid, tuple)
+        and len(uid) == 3
+        and uid[0] in ("F", "B")
+        and isinstance(uid[1], int)
+        and isinstance(uid[2], int)
+    ):
+        return prefix + op_label(uid[0], uid[1], uid[2])
+    return prefix + repr(uid)

@@ -1,0 +1,123 @@
+"""Level-2 repo contract linter: clean tree, dirty sources, CLI exit.
+
+The linter's own contract has the same two halves as the program
+verifier's: the committed tree must lint clean (its findings gate CI),
+and seeded contract violations — nondeterminism primitives, unsorted
+hashing, set iteration, bare excepts, missing serializer fields,
+unregistered subclasses — must each fire their rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.lint import (
+    KEY_DERIVATION_SOURCES,
+    lint_repo,
+    lint_sources,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SERIALIZE = "src/repro/search/service/serialize.py"
+
+
+@pytest.fixture(scope="module")
+def clean_sources():
+    from repro.verify.lint import _scan_paths
+
+    return {
+        path.relative_to(REPO_ROOT).as_posix(): path.read_text(
+            encoding="utf-8"
+        )
+        for path in _scan_paths(REPO_ROOT)
+        if path.is_file()
+    }
+
+
+def test_committed_tree_lints_clean():
+    findings = lint_repo(REPO_ROOT)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_missing_configured_module_is_a_finding(clean_sources):
+    sources = dict(clean_sources)
+    del sources[SERIALIZE]
+    rules = {f.rule for f in lint_sources(sources)}
+    assert "L001" in rules
+
+
+def _with_appended(clean_sources, path, text):
+    sources = dict(clean_sources)
+    sources[path] = sources[path] + text
+    return sources
+
+
+@pytest.mark.parametrize(
+    "snippet, rule",
+    [
+        ("\nimport time\n_STAMP = time.time()\n", "L301"),
+        ("\nimport random\n_SALT = random.random()\n", "L301"),
+        ("\n_BAD_HASH = hash((1, 2))\n", "L301"),
+        ("\nimport json as _json\n_RAW = json.dumps({'a': 1})\n", "L302"),
+        ("\n_ORDERED = [x for x in {1, 2, 3}]\n", "L303"),
+    ],
+)
+def test_nondeterminism_in_key_derivation_modules(clean_sources, snippet, rule):
+    assert SERIALIZE in KEY_DERIVATION_SOURCES
+    sources = _with_appended(clean_sources, SERIALIZE, snippet)
+    rules = {f.rule for f in lint_sources(sources)}
+    assert rule in rules
+
+
+def test_bare_except_in_service_code(clean_sources):
+    snippet = "\ndef _swallow():\n    try:\n        pass\n    except:\n        pass\n"
+    sources = _with_appended(
+        clean_sources, "src/repro/search/service/service.py", snippet
+    )
+    rules = {f.rule for f in lint_sources(sources)}
+    assert "L401" in rules
+
+
+def test_unhandled_schedule_kind_is_a_finding(clean_sources):
+    sources = dict(clean_sources)
+    path = "src/repro/parallel/config.py"
+    sources[path] = sources[path].replace(
+        '    HYBRID = "hybrid"',
+        '    HYBRID = "hybrid"\n    MUTANT = "mutant"',
+        1,
+    )
+    findings = lint_sources(sources)
+    assert any(
+        f.rule == "L202" and "MUTANT" in f.message for f in findings
+    )
+
+
+def test_not_serialized_marker_suppresses_coverage(clean_sources):
+    # SearchSettings.verify_winners is the real in-tree use of the
+    # marker: never serialized, must not trip L101.
+    sources = dict(clean_sources)
+    cell = "src/repro/search/cell.py"
+    assert "lint: not-serialized" in sources[cell]
+    assert not any(
+        f.rule == "L101" and "verify_winners" in f.message
+        for f in lint_sources(sources)
+    )
+    # Removing the marker makes the same field a finding.
+    sources[cell] = sources[cell].replace(
+        "# lint: not-serialized (post-check knob)", "", 1
+    )
+    assert any(
+        f.rule == "L101" and "verify_winners" in f.message
+        for f in lint_sources(sources)
+    )
+
+
+def test_cli_lint_and_zoo_exit_zero(capsys):
+    from repro.verify.cli import main
+
+    assert main(["--lint", "--zoo"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "verify: OK" in out
