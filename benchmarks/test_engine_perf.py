@@ -13,16 +13,29 @@
    engine (:func:`repro.sim.engine_sweep.run_streams_sweep`), and the
    memory filter ran only *after* the simulation.
 
-2. **Branch-and-bound vs prune-disabled** (this PR's claim): with the
+2. **Branch-and-bound vs prune-disabled** (PR 2's claim): with the
    analytical step-time lower bound driving best-bound-first
    branch-and-bound, the same cell must search at least 2x faster than
    the prune-disabled pipeline while producing a byte-identical
    ``SearchOutcome.best``.
+
+3. **Observability-off overhead** (this PR's claim): the
+   :mod:`repro.obs` instrumentation threaded through the search
+   pipeline must cost at most 2% when no recorder is installed — the
+   hot loops read one ``enabled`` flag per cell, nothing per candidate.
+   The baseline is the pre-instrumentation pipeline reproduced verbatim
+   below (``_pre_obs_simulate_stage`` / ``_pre_obs_best_configuration``).
+
+Every timed cell also appends a trajectory entry to
+``benchmarks/BENCH_search.json`` (see :mod:`repro.obs.trajectory`) so
+the perf history accumulates per commit; CI uploads the file as an
+artifact.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 from repro.analytical.memory import memory_model
 from repro.core.ops import ComputeOp, OpKind
@@ -31,15 +44,25 @@ from repro.core.schedules.base import Schedule, build_schedule
 from repro.core.schedules.base import dpfs_repetition_key as _rep_key
 from repro.hardware.cluster import DGX1_CLUSTER_64
 from repro.models.presets import MODEL_6_6B, MODEL_52B
+from repro.obs import get_recorder
+from repro.obs.trajectory import record_entry
 from repro.parallel.config import Method, Sharding
 from repro.search.cell import SearchSettings
-from repro.search.grid import MEMORY_HEADROOM, best_configuration, cached_schedule
+from repro.search.grid import (
+    MEMORY_HEADROOM,
+    SearchOutcome,
+    _memory_stage,
+    _order_best_bound_first,
+    best_configuration,
+    cached_schedule,
+)
 from repro.search.service.serialize import result_to_json
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION
 from repro.sim.cost import CostModel, stage_time_table
 from repro.sim.engine import Instruction
 from repro.sim.engine_sweep import run_streams_sweep
+from repro.sim.simulator import simulate
 
 COMPUTE, PP, DP = "compute", "pp", "dp"
 
@@ -59,6 +82,14 @@ MIN_BNB_SPEEDUP = 2.0
 #: Paper-grid search settings with the pruning stage switched.
 PRUNE_ON = SearchSettings(bound_pruning=True)
 PRUNE_OFF = SearchSettings(bound_pruning=False)
+
+#: Observability-off overhead gate: the instrumented pipeline with no
+#: recorder installed may be at most this factor over the verbatim
+#: pre-instrumentation pipeline (min-of-rounds on both sides).
+MAX_OBS_OVERHEAD = 1.02
+
+#: Perf-trajectory file (committed; CI uploads it as an artifact).
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_search.json"
 
 
 def _uid_of(op: ComputeOp) -> tuple:
@@ -395,6 +426,73 @@ def _seed_best_configuration(spec, cluster, method, batch_size):
     return best_tput, n_tried, n_excluded
 
 
+# --------------------------------------------------------------------------
+# Pre-instrumentation search pipeline, copied verbatim from the commit
+# before repro.obs landed (only names changed).  The shared stages
+# (_memory_stage, _order_best_bound_first) are imported — this PR did not
+# touch their bodies — so the copy is exactly the code the instrumented
+# pipeline replaced: the per-candidate simulate loop and the cell
+# orchestration, with no recorder reads, spans or counters.
+# --------------------------------------------------------------------------
+
+
+def _pre_obs_simulate_stage(
+    spec, cluster, calibration, ordered, objective, *, bound_pruning
+):
+    state = objective.new_state()
+    n_tried = 0
+    n_pruned = 0
+    for position, candidate in enumerate(ordered):
+        if bound_pruning and state.prunable(candidate.bound):
+            if state.monotone:
+                n_pruned += len(ordered) - position
+                break
+            n_pruned += 1
+            continue
+        result = simulate(
+            spec,
+            candidate.config,
+            cluster,
+            implementation=candidate.implementation,
+            calibration=calibration,
+            schedule=candidate.schedule,
+            memory=candidate.memory,
+            cost=candidate.cost,
+        )
+        n_tried += 1
+        state.observe(result)
+    return state.best(), n_tried, n_pruned, state.frontier()
+
+
+def _pre_obs_best_configuration(spec, cluster, method, batch_size, settings):
+    calibration = DEFAULT_CALIBRATION
+    candidates, n_excluded = _memory_stage(
+        spec,
+        cluster,
+        calibration,
+        configuration_space(method, spec, cluster, batch_size, settings=settings),
+        settings.objective,
+    )
+    ordered = _order_best_bound_first(candidates)
+    best, n_tried, n_pruned, frontier = _pre_obs_simulate_stage(
+        spec,
+        cluster,
+        calibration,
+        ordered,
+        settings.objective,
+        bound_pruning=settings.bound_pruning,
+    )
+    return SearchOutcome(
+        method=method,
+        batch_size=batch_size,
+        best=best,
+        n_tried=n_tried,
+        n_excluded=n_excluded,
+        n_pruned=n_pruned,
+        frontier=frontier,
+    )
+
+
 def _best_of(fn, rounds=2):
     best = float("inf")
     value = None
@@ -439,6 +537,19 @@ def test_search_speedup_vs_seed(benchmark):
         f"\nsearch cell {METHOD.value} B={BATCH}: seed {seed_time:.2f}s, "
         f"event-driven {new_time:.2f}s, speedup {speedup:.1f}x"
     )
+    record_entry(
+        TRAJECTORY_PATH,
+        bench="search_vs_seed",
+        seconds=new_time,
+        cell={"model": "52B", "method": METHOD.name, "batch": BATCH},
+        counters={
+            "n_tried": new_outcome.n_tried,
+            "n_excluded": new_outcome.n_excluded,
+            "n_pruned": new_outcome.n_pruned,
+            "seed_seconds": seed_time,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"search speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
         f"(seed {seed_time:.2f}s vs new {new_time:.2f}s)"
@@ -478,8 +589,81 @@ def test_bound_pruning_speedup(benchmark):
         f"{pruned.n_pruned} pruned), full {full_time:.2f}s "
         f"({full.n_tried} simulated), speedup {speedup:.1f}x"
     )
+    record_entry(
+        TRAJECTORY_PATH,
+        bench="bound_pruning",
+        seconds=pruned_time,
+        cell={"model": "6.6B", "method": BNB_METHOD.name, "batch": BNB_BATCH},
+        counters={
+            "n_tried": pruned.n_tried,
+            "n_excluded": pruned.n_excluded,
+            "n_pruned": pruned.n_pruned,
+            "full_seconds": full_time,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= MIN_BNB_SPEEDUP, (
         f"bound pruning speedup regressed: {speedup:.2f}x < "
         f"{MIN_BNB_SPEEDUP}x (full {full_time:.2f}s vs pruned "
         f"{pruned_time:.2f}s)"
+    )
+
+
+def test_obs_disabled_overhead(benchmark):
+    """Observability guard: disabled instrumentation costs <= 2%.
+
+    Both sides run the guarded 52B cell with pruning off (the largest
+    simulate volume, so per-candidate overhead would show) and identical
+    cache state: one cold warm-up call each, then min-of-rounds over
+    warm-cache repeats — the stable regime where a constant instruction
+    overhead is most visible relative to the total.
+    """
+    assert not get_recorder().enabled  # the contract under test
+
+    def instrumented():
+        return best_configuration(
+            SPEC, CLUSTER, METHOD, BATCH, settings=PRUNE_OFF
+        )
+
+    def pre_obs():
+        return _pre_obs_best_configuration(
+            SPEC, CLUSTER, METHOD, BATCH, PRUNE_OFF
+        )
+
+    cached_schedule.cache_clear()
+    stage_time_table.cache_clear()
+    pre_obs()  # shared warm-up: both sides time against warm caches
+    baseline_outcome, baseline_time = _best_of(pre_obs, rounds=3)
+    instr_outcome, instr_time = _best_of(instrumented, rounds=3)
+    benchmark.pedantic(instrumented, rounds=1)
+
+    # Same pipeline, same answer: the baseline copy is still faithful.
+    assert instr_outcome.best is not None
+    assert result_to_json(instr_outcome.best) == result_to_json(
+        baseline_outcome.best
+    )
+    assert instr_outcome.n_tried == baseline_outcome.n_tried
+    assert instr_outcome.n_excluded == baseline_outcome.n_excluded
+
+    overhead = instr_time / baseline_time
+    print(
+        f"\nobs-disabled cell {METHOD.value} B={BATCH}: pre-obs "
+        f"{baseline_time:.3f}s, instrumented {instr_time:.3f}s, "
+        f"overhead {100.0 * (overhead - 1.0):+.1f}%"
+    )
+    record_entry(
+        TRAJECTORY_PATH,
+        bench="obs_disabled_overhead",
+        seconds=instr_time,
+        cell={"model": "52B", "method": METHOD.name, "batch": BATCH},
+        counters={
+            "baseline_seconds": baseline_time,
+            "overhead_ratio": overhead,
+        },
+    )
+    assert overhead <= MAX_OBS_OVERHEAD, (
+        f"obs-disabled overhead regressed: {overhead:.3f}x > "
+        f"{MAX_OBS_OVERHEAD}x (pre-obs {baseline_time:.3f}s vs "
+        f"instrumented {instr_time:.3f}s) — keep the disabled hot path "
+        "to one enabled-flag read per cell"
     )

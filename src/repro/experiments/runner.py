@@ -37,6 +37,7 @@ import json
 import sys
 import time
 from collections.abc import Callable, Sequence
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.experiments.fig1 import run_fig1
@@ -57,6 +58,13 @@ from repro.experiments.table41 import run_table41
 from repro.experiments.table51 import format_table51
 from repro.experiments.tableE import format_table_e, run_table_e
 from repro.fit import fit_calibration, format_fit_result, load_calibration, save_calibration
+from repro.obs import (
+    MetricsRegistry,
+    read_snapshots,
+    recording,
+    write_snapshot_line,
+)
+from repro.obs.report import build_report, report_to_json_text
 from repro.search.objective import OBJECTIVE_KINDS, parse_objective
 from repro.search.service import BACKENDS, SweepOptions
 from repro.sim.calibration import DEFAULT_CALIBRATION
@@ -233,6 +241,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         objective=objective,
         calibration=calibration,
         verify_winners=getattr(args, "verify_winners", False),
+        metrics_out=getattr(args, "metrics_out", None),
     )
 
 
@@ -378,6 +387,11 @@ def sweep_trace_main(argv: Sequence[str] | None = None) -> int:
         help="file-queue directory with events/ claim logs "
         "(default: DIR/queue if present)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="DIR",
+        help="merge obs spans from this --metrics-out directory (or "
+        "snapshot file) as nested slices",
+    )
     parser.add_argument("--out", required=True, metavar="PATH")
     args = parser.parse_args(argv)
 
@@ -385,7 +399,9 @@ def sweep_trace_main(argv: Sequence[str] | None = None) -> int:
     if queue_dir is None:
         candidate = Path(args.checkpoint_dir) / "queue"
         queue_dir = candidate if candidate.is_dir() else None
-    written = write_sweep_trace(args.out, args.checkpoint_dir, queue_dir)
+    written = write_sweep_trace(
+        args.out, args.checkpoint_dir, queue_dir, args.metrics
+    )
     n_events = len(json.loads(written.read_text())["traceEvents"])
     print(
         f"wrote {n_events} events to {written} — load at chrome://tracing "
@@ -401,6 +417,103 @@ def sweep_trace_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def _search_cell_snapshot(cell_arg: str, parser: argparse.ArgumentParser) -> dict:
+    """Search one Figure-7 cell under a fresh registry; return its snapshot."""
+    from repro.parallel.config import Method
+    from repro.search.grid import best_configuration
+
+    from repro.experiments.fig7 import panel_setup
+
+    parts = cell_arg.split(":")
+    if len(parts) != 3:
+        parser.error(
+            f"--cell must be PANEL:METHOD:BATCH (e.g. 52B:DEPTH_FIRST:64), "
+            f"got {cell_arg!r}"
+        )
+    panel, method_name, batch_text = parts
+    try:
+        method = Method[method_name.upper().replace("-", "_")]
+        batch = int(batch_text)
+        spec, cluster = panel_setup(panel)
+    except (KeyError, ValueError) as exc:
+        parser.error(f"bad --cell {cell_arg!r}: {exc}")
+    registry = MetricsRegistry(actor="report-cell")
+    with recording(registry):
+        best_configuration(spec, cluster, method, batch)
+    return registry.snapshot()
+
+
+def report_main(argv: Sequence[str] | None = None) -> int:
+    """``repro-experiments report``: aggregate obs metrics into attribution.
+
+    Consumes the snapshots a run wrote with ``--metrics-out`` (or
+    searches one Figure-7 cell live with ``--cell``) and prints the
+    stage-time / bound-tightness / warm-start / engine / service report
+    (see :mod:`repro.obs.report`).  Exit status 0 requires the required
+    sections (stage-time attribution and bound tightness) to carry data
+    — the property the CI metrics smoke step asserts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments report",
+        description="Aggregate observability metrics into a stage-time "
+        "and bound-tightness attribution report.",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="a --metrics-out directory (or one snapshot .jsonl file) "
+        "to aggregate",
+    )
+    parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="PANEL:METHOD:BATCH",
+        help="instead of --metrics: search one Figure-7 cell now "
+        "(e.g. 52B:DEPTH_FIRST:64) and report its metrics",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+    args = parser.parse_args(argv)
+    if (args.metrics is None) == (args.cell is None):
+        parser.error("exactly one of --metrics or --cell is required")
+
+    if args.cell is not None:
+        snapshots = [_search_cell_snapshot(args.cell, parser)]
+    else:
+        snapshots = read_snapshots(args.metrics)
+        if not snapshots:
+            print(
+                f"no metric snapshots found under {args.metrics}",
+                file=sys.stderr,
+            )
+            return 1
+    report = build_report(snapshots)
+    print(report_to_json_text(report) if args.json else report.format())
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report_to_json_text(report) + "\n")
+    if not report.ok:
+        print(
+            "FAIL: required report sections are empty (stage-time "
+            "attribution / bound tightness) — did the recorded run "
+            "actually search any cells?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
     if argv is None:
@@ -413,6 +526,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return frontier_main(list(argv[1:]))
     if argv and argv[0] == "sweep-trace":
         return sweep_trace_main(list(argv[1:]))
+    if argv and argv[0] == "report":
+        return report_main(list(argv[1:]))
     if argv and argv[0] == "verify":
         # Lazy: the verifier pulls in the full search/sim stack only
         # when actually invoked.
@@ -424,6 +539,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "Subcommands: `calibrate` fits the cost model to the paper's "
         "anchors, `frontier` searches the throughput/memory Pareto "
         "frontier, `sweep-trace` exports a sweep's worker timeline, "
+        "`report` aggregates --metrics-out observability metrics, "
         "`verify` runs the static schedule verifier and repo linter."
     )
     parser.add_argument(
@@ -517,6 +633,15 @@ def main(argv: Sequence[str] | None = None) -> int:
              "chrome://tracing JSON file at PATH",
     )
     parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="record observability metrics (stage times, prune counters, "
+             "bound tightness, ...) and write JSONL snapshots under DIR — "
+             "one file per actor; aggregate with `repro-experiments "
+             "report --metrics DIR`",
+    )
+    parser.add_argument(
         "--calibration",
         default=None,
         metavar="PATH",
@@ -541,11 +666,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not args.names or "all" in args.names
         else args.names
     )
-    for name in names:
-        start = time.time()
-        print(f"=== {name} ===")
-        EXPERIMENTS[name](args.full, options)
-        print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    # With --metrics-out, everything run in-process (serial cells, the
+    # multiprocessing coordinator, resume bookkeeping) records into one
+    # coordinator registry; file-queue workers write their own files.
+    registry = (
+        MetricsRegistry(actor="coordinator")
+        if args.metrics_out is not None
+        else None
+    )
+    try:
+        with recording(registry) if registry is not None else nullcontext():
+            for name in names:
+                start = time.time()
+                print(f"=== {name} ===")
+                EXPERIMENTS[name](args.full, options)
+                print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    finally:
+        if registry is not None:
+            written = write_snapshot_line(
+                Path(args.metrics_out) / "coordinator.jsonl",
+                registry.snapshot(),
+            )
+            print(f"wrote metrics snapshot to {written}", file=sys.stderr)
     if args.trace_out:
         _export_trace(args.trace_out)
     return 0

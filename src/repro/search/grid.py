@@ -43,12 +43,13 @@ from repro.analytical.memory import MemoryBreakdown, memory_model
 from repro.core.schedules.base import Schedule, build_schedule
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
+from repro.obs import get_recorder
 from repro.parallel.config import Method, ParallelConfig, ScheduleKind
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings
 from repro.search.objective import Objective
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.sim.cost import CostModel
+from repro.sim.cost import CostModel, stage_time_table
 from repro.sim.implementation import ImplementationProfile
 from repro.sim.simulator import SimulationResult, simulate
 
@@ -226,6 +227,7 @@ def _simulate_stage(
     objective: Objective,
     *,
     bound_pruning: bool,
+    method_label: str = "",
 ) -> tuple[SimulationResult | None, int, int, tuple[SimulationResult, ...] | None]:
     """Stage 3: simulate under per-objective branch-and-bound.
 
@@ -237,6 +239,11 @@ def _simulate_stage(
     prune is prunable too and the stage stops there; non-monotone
     objectives (Pareto) test every candidate individually.
     """
+    rec = get_recorder()
+    # One flag read per cell keeps the per-candidate loop free of
+    # instrumentation when observability is off (the ≤2% contract).
+    track = rec.enabled
+    tightness_metric = f"search.bound.tightness.{method_label}" if track else ""
     state = objective.new_state()
     n_tried = 0
     n_pruned = 0
@@ -258,6 +265,11 @@ def _simulate_stage(
             cost=candidate.cost,
         )
         n_tried += 1
+        if track and result.step_time > 0.0:
+            rec.observe(
+                tightness_metric,
+                candidate.bound.step_time_bound.step_time / result.step_time,
+            )
         state.observe(result)
     return state.best(), n_tried, n_pruned, state.frontier()
 
@@ -282,21 +294,50 @@ def best_configuration(
     axis (off by default to match the paper's grids), and the objective
     (throughput argmax by default; see :mod:`repro.search.objective`).
     """
-    candidates, n_excluded = _memory_stage(
-        spec,
-        cluster,
-        calibration,
-        configuration_space(method, spec, cluster, batch_size, settings=settings),
-        settings.objective,
-    )
-    best, n_tried, n_pruned, frontier = _simulate_stage(
-        spec,
-        cluster,
-        calibration,
-        _order_best_bound_first(candidates),
-        settings.objective,
-        bound_pruning=settings.bound_pruning,
-    )
+    rec = get_recorder()
+    if rec.enabled:
+        warm_before = stage_time_table.cache_info()
+    with rec.span("search.cell", method=method.name, batch_size=batch_size):
+        with (
+            rec.span("search.stage.memory_filter"),
+            rec.timer("search.stage.memory_filter.seconds"),
+        ):
+            candidates, n_excluded = _memory_stage(
+                spec,
+                cluster,
+                calibration,
+                configuration_space(
+                    method, spec, cluster, batch_size, settings=settings
+                ),
+                settings.objective,
+            )
+        with (
+            rec.span("search.stage.bound_order"),
+            rec.timer("search.stage.bound_order.seconds"),
+        ):
+            ordered = _order_best_bound_first(candidates)
+        with (
+            rec.span("search.stage.simulate"),
+            rec.timer("search.stage.simulate.seconds"),
+        ):
+            best, n_tried, n_pruned, frontier = _simulate_stage(
+                spec,
+                cluster,
+                calibration,
+                ordered,
+                settings.objective,
+                bound_pruning=settings.bound_pruning,
+                method_label=method.name,
+            )
+    if rec.enabled:
+        warm_after = stage_time_table.cache_info()
+        rec.count("search.cells")
+        rec.count("search.candidates.enumerated", len(candidates) + n_excluded)
+        rec.count("search.candidates.excluded", n_excluded)
+        rec.count("search.candidates.simulated", n_tried)
+        rec.count("search.candidates.pruned", n_pruned)
+        rec.count("search.warm_start.hits", warm_after.hits - warm_before.hits)
+        rec.count("search.warm_start.misses", warm_after.misses - warm_before.misses)
     outcome = SearchOutcome(
         method=method,
         batch_size=batch_size,

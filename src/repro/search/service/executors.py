@@ -35,11 +35,12 @@ from pathlib import Path
 import repro
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
+from repro.obs import clock as obs_clock
 from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome, best_configuration
-from repro.sim.calibration import Calibration
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.queue import FileWorkQueue, heartbeat_interval_for_lease
+from repro.sim.calibration import Calibration
 
 __all__ = [
     "Executor",
@@ -89,11 +90,11 @@ def _timed_search(
 ) -> tuple[SearchOutcome, float]:
     """Search one cell, returning (outcome, wall-clock seconds)."""
     spec, cluster, calibration, settings = context
-    start = time.perf_counter()
+    start = obs_clock.perf()
     outcome = best_configuration(
         spec, cluster, cell.method, cell.batch_size, calibration, settings
     )
-    return outcome, time.perf_counter() - start
+    return outcome, obs_clock.perf() - start
 
 
 # ------------------------------------------------------------------- serial
@@ -240,6 +241,7 @@ def worker_command(
     wait: bool = False,
     heartbeat_interval: float | None = None,
     crash_after_claims: int | None = None,
+    metrics_out: str | os.PathLike | None = None,
 ) -> list[str]:
     """The subprocess argv for one file-queue worker.
 
@@ -264,6 +266,8 @@ def worker_command(
         cmd += ["--heartbeat-interval", repr(heartbeat_interval)]
     if crash_after_claims is not None:
         cmd += ["--crash-after-claims", str(crash_after_claims)]
+    if metrics_out is not None:
+        cmd += ["--metrics-out", str(metrics_out)]
     return cmd
 
 
@@ -294,6 +298,7 @@ class FileQueueExecutor(Executor):
         stale_lease: float | None = None,
         orphan_lease: float = 300.0,
         crash_first_worker_after: int | None = None,
+        metrics_out: str | os.PathLike | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -326,6 +331,9 @@ class FileQueueExecutor(Executor):
         #: Failure injection (tests / CI smoke run): the first worker
         #: launched dies mid-cell after this many claims.
         self.crash_first_worker_after = crash_first_worker_after
+        #: Directory each worker appends its metrics snapshot to
+        #: (``<dir>/<worker-id>.jsonl``); None leaves observability off.
+        self.metrics_out = metrics_out
 
     def _recover_stale_claims(self, queue: FileWorkQueue, *, idle: bool) -> None:
         """Expire claims held too long (see ``stale_lease``/``orphan_lease``)."""
@@ -345,6 +353,7 @@ class FileQueueExecutor(Executor):
             crash_after_claims=(
                 self.crash_first_worker_after if inject_crash else None
             ),
+            metrics_out=self.metrics_out,
         )
         return subprocess.Popen(
             cmd, env=worker_env(), stdout=subprocess.DEVNULL

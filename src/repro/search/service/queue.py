@@ -45,12 +45,13 @@ from __future__ import annotations
 import json
 import os
 import threading
-import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
+from repro.obs import clock as obs_clock
+from repro.obs import get_recorder
 from repro.parallel.config import Method
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings, SweepCell
 from repro.search.service.serialize import (
@@ -220,7 +221,8 @@ class FileWorkQueue:
         filesystem.  Best-effort by design: a full disk or a flaky
         shared FS must never take down a worker over trace data.
         """
-        payload = {"t": time.time(), "event": event, "key": key, **extra}
+        get_recorder().count(f"queue.events.{event}")
+        payload = {"t": obs_clock.wall(), "event": event, "key": key, **extra}
         path = self._dir(_EVENTS_DIR) / f"{actor}.jsonl"
         try:
             path.parent.mkdir(exist_ok=True)
@@ -242,7 +244,10 @@ class FileWorkQueue:
             return out
         for path in sorted(events_dir.glob("*.jsonl")):
             try:
-                lines = path.read_text().splitlines()
+                # errors="replace": a worker killed mid-append can leave a
+                # torn multi-byte sequence on its final line; the log is
+                # advisory, so salvage the readable lines.
+                lines = path.read_text(errors="replace").splitlines()
             except OSError:
                 continue
             for line in lines:
@@ -253,7 +258,12 @@ class FileWorkQueue:
                 if isinstance(payload, dict):
                     payload.setdefault("actor", path.stem)
                     out.append(payload)
-        out.sort(key=lambda e: e.get("t", 0.0))
+
+        def sort_time(event: dict) -> float:
+            t = event.get("t", 0.0)
+            return t if isinstance(t, (int, float)) else 0.0
+
+        out.sort(key=sort_time)
         return out
 
     # -------------------------------------------------------------- enqueue
@@ -435,7 +445,7 @@ class FileWorkQueue:
         probed, so a claim doubles as a lease keyed on its file mtime.
         """
         if now is None:
-            now = time.time()
+            now = obs_clock.wall()
         requeued: list[str] = []
         exhausted: list[str] = []
         janitor = f"janitor-{os.getpid()}"

@@ -19,11 +19,18 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
+from repro.obs import (
+    MetricsRegistry,
+    get_recorder,
+    recording,
+    write_snapshot_line,
+)
 from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome
 from repro.search.objective import DEFAULT_OBJECTIVE, Objective
@@ -37,8 +44,8 @@ from repro.search.service.executors import (
     SweepError,
 )
 from repro.search.service.progress import ProgressReporter
-from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.search.service.serialize import cell_key
+from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 
 __all__ = ["BACKENDS", "SweepOptions", "run_sweep"]
 
@@ -94,6 +101,12 @@ class SweepOptions:
             the outcome (``--verify-winners`` on the experiments CLI;
             see :class:`repro.search.cell.SearchSettings`).  A pure
             post-check — not part of checkpoint content hashes.
+        metrics_out: Directory for observability snapshots
+            (``--metrics-out`` on the experiments CLI): the coordinator
+            appends to ``coordinator.jsonl`` and file-queue workers each
+            append to ``<worker-id>.jsonl``.  Pure observation — never
+            part of checkpoint content hashes (not a
+            :class:`~repro.search.cell.SearchSettings` field).
     """
 
     backend: str = "multiprocessing"
@@ -111,6 +124,7 @@ class SweepOptions:
     objective: Objective = DEFAULT_OBJECTIVE
     calibration: Calibration = DEFAULT_CALIBRATION
     verify_winners: bool = False
+    metrics_out: str | os.PathLike | None = None
 
     @property
     def search_settings(self) -> SearchSettings:
@@ -149,6 +163,7 @@ def _make_executor(options: SweepOptions) -> Executor:
             workers=options.workers,
             max_retries=options.max_retries,
             stale_lease=options.stale_lease,
+            metrics_out=options.metrics_out,
         )
     raise ValueError(
         f"unknown backend {options.backend!r}; choose from "
@@ -156,8 +171,10 @@ def _make_executor(options: SweepOptions) -> Executor:
     )
 
 
-def _order_longest_first(store: CheckpointStore | None, tasks: list) -> list:
-    """Schedule the longest cells first.
+def _order_longest_first(
+    store: CheckpointStore | None, tasks: list
+) -> tuple[list, dict[str, float]]:
+    """Schedule the longest cells first; also return the cost estimates.
 
     Recorded wall-clock from the checkpoint store's timing sidecars (a
     previous run over the same directory) ranks known cells exactly;
@@ -173,6 +190,10 @@ def _order_longest_first(store: CheckpointStore | None, tasks: list) -> list:
     that only improves, instead of an early underestimate.  Input order
     is restored when results are assembled, so scheduling order never
     changes what the sweep returns.
+
+    Returns ``(ordered_tasks, estimated_seconds_by_key)``; the estimates
+    feed the progress reporter's cost-weighted ETA, so one giant cell
+    finishing first doesn't read as "every cell takes this long".
     """
     recorded: dict[str, float] = {}
     if store is not None:
@@ -189,13 +210,14 @@ def _order_longest_first(store: CheckpointStore | None, tasks: list) -> list:
         default=1.0,
     )
 
-    def estimated_seconds(key: str, cell) -> float:
-        return recorded.get(key, rate * cell.batch_size)
-
-    return sorted(
-        tasks,
-        key=lambda task: (-estimated_seconds(task[1], task[2]), task[1]),
+    estimates = {
+        key: recorded.get(key, rate * cell.batch_size)
+        for _index, key, cell in tasks
+    }
+    ordered = sorted(
+        tasks, key=lambda task: (-estimates[task[1]], task[1])
     )
+    return ordered, estimates
 
 
 def run_sweep(
@@ -261,7 +283,7 @@ def run_sweep(
         for key, (index, cell) in first_of.items()
         if key not in outcomes
     ]
-    tasks = _order_longest_first(store, tasks)
+    tasks, estimates = _order_longest_first(store, tasks)
     key_of_index = {index: key for index, key, _cell in tasks}
 
     reporter = (
@@ -269,21 +291,43 @@ def run_sweep(
         if options.progress
         else None
     )
-    if reporter is not None and outcomes:
-        reporter.skip(len(outcomes))
+    if reporter is not None:
+        reporter.expect(estimates[key] for _index, key, _cell in tasks)
+        if outcomes:
+            reporter.skip(len(outcomes))
+
+    # Coordinator-side metrics: record into whatever recorder is active
+    # (the CLI installs one for --metrics-out); when none is and the
+    # options ask for metrics, install our own for the sweep's duration.
+    own_registry: MetricsRegistry | None = None
+    if options.metrics_out is not None and not get_recorder().enabled:
+        own_registry = MetricsRegistry(actor="coordinator")
 
     if tasks:
         backend = executor if executor is not None else _make_executor(options)
         context = (spec, cluster, calibration, settings)
-        for index, outcome, elapsed in backend.run(context, tasks):
-            key = key_of_index[index]
-            if store is not None and not backend.writes_checkpoints:
-                store.store(key, outcome)
-                if elapsed is not None:
-                    store.store_timing(key, elapsed)
-            outcomes[key] = outcome
-            if reporter is not None:
-                reporter.update()
+        with ExitStack() as stack:
+            if own_registry is not None:
+                stack.enter_context(recording(own_registry))
+            rec = get_recorder()
+            rec.count("sweep.cells_total", len(first_of))
+            rec.count("sweep.cells_from_checkpoints", len(outcomes))
+            with rec.span("sweep.run", backend=options.backend):
+                for index, outcome, elapsed in backend.run(context, tasks):
+                    key = key_of_index[index]
+                    if store is not None and not backend.writes_checkpoints:
+                        store.store(key, outcome)
+                        if elapsed is not None:
+                            store.store_timing(key, elapsed)
+                    outcomes[key] = outcome
+                    rec.count("sweep.cells_computed")
+                    if reporter is not None:
+                        reporter.update(cost=estimates.get(key))
+        if own_registry is not None:
+            write_snapshot_line(
+                Path(options.metrics_out) / "coordinator.jsonl",
+                own_registry.snapshot(),
+            )
 
     missing = [key for key in first_of if key not in outcomes]
     if missing:

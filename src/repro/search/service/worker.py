@@ -20,7 +20,15 @@ import socket
 import sys
 import time
 import uuid
+from pathlib import Path
 
+from repro.obs import (
+    MetricsRegistry,
+    get_recorder,
+    recording,
+    write_snapshot_line,
+)
+from repro.obs import clock as obs_clock
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import _timed_search
 from repro.search.service.queue import (
@@ -48,6 +56,7 @@ def run_worker(
     max_cells: int | None = None,
     heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
     crash_after_claims: int | None = None,
+    metrics_out: str | os.PathLike | None = None,
 ) -> int:
     """Drain the queue; returns the number of cells this worker completed.
 
@@ -62,6 +71,13 @@ def run_worker(
     with a claim in flight — indistinguishable, to the rest of the
     system, from a SIGKILL mid-cell.  A crashed worker's heartbeat dies
     with it, which is exactly what lets the lease expire.
+
+    ``metrics_out`` enables observability for this worker's lifetime
+    (claim/completion/checkpoint-hit counters, busy fraction, plus all
+    the search- and engine-level metrics the recorder picks up) and
+    appends one snapshot to ``<metrics_out>/<worker_id>.jsonl`` on exit
+    — one file per actor, the same single-writer convention as the
+    queue's event logs.
     """
     queue = FileWorkQueue.open(queue_dir)
     context = queue.load_context()
@@ -69,6 +85,48 @@ def run_worker(
     if worker_id is None:
         worker_id = default_worker_id()
 
+    if metrics_out is None:
+        return _drain(
+            queue, context, store, worker_id,
+            wait=wait,
+            poll_interval=poll_interval,
+            max_cells=max_cells,
+            heartbeat_interval=heartbeat_interval,
+            crash_after_claims=crash_after_claims,
+        )
+    registry = MetricsRegistry(actor=worker_id)
+    try:
+        with recording(registry):
+            return _drain(
+                queue, context, store, worker_id,
+                wait=wait,
+                poll_interval=poll_interval,
+                max_cells=max_cells,
+                heartbeat_interval=heartbeat_interval,
+                crash_after_claims=crash_after_claims,
+            )
+    finally:
+        write_snapshot_line(
+            Path(metrics_out) / f"{worker_id}.jsonl", registry.snapshot()
+        )
+
+
+def _drain(
+    queue: FileWorkQueue,
+    context,
+    store: CheckpointStore,
+    worker_id: str,
+    *,
+    wait: bool,
+    poll_interval: float,
+    max_cells: int | None,
+    heartbeat_interval: float | None,
+    crash_after_claims: int | None,
+) -> int:
+    """The claim/search/checkpoint/complete loop behind :func:`run_worker`."""
+    rec = get_recorder()
+    run_started = obs_clock.perf()
+    busy_seconds = 0.0
     completed = 0
     claims = 0
     while max_cells is None or completed < max_cells:
@@ -79,24 +137,34 @@ def run_worker(
             time.sleep(poll_interval)
             continue
         claims += 1
+        rec.count("worker.claims")
         if crash_after_claims is not None and claims > crash_after_claims:
             os._exit(13)  # simulate SIGKILL holding the claim
         outcome = store.load(claim.key)
         if outcome is None:
-            started_at = time.time()
+            started_at = obs_clock.wall()
             try:
-                if heartbeat_interval is not None:
-                    with LeaseHeartbeat(
-                        queue, claim, interval=heartbeat_interval
-                    ):
+                with rec.span(
+                    "worker.cell", key=claim.key, worker=worker_id
+                ):
+                    if heartbeat_interval is not None:
+                        with LeaseHeartbeat(
+                            queue, claim, interval=heartbeat_interval
+                        ) as heartbeat:
+                            outcome, elapsed = _timed_search(
+                                context, claim.cell
+                            )
+                        rec.count(
+                            "worker.heartbeat_renewals", heartbeat.renewals
+                        )
+                    else:
                         outcome, elapsed = _timed_search(context, claim.cell)
-                else:
-                    outcome, elapsed = _timed_search(context, claim.cell)
             except Exception:
                 # Don't swallow the cell with the traceback: requeue (or
                 # fail past the cap) before dying.
                 queue.release(claim)
                 raise
+            busy_seconds += elapsed
             store.store(claim.key, outcome)
             # Timing sidecar after the result: a crash in between loses
             # only scheduling advice, never the outcome.  Worker and
@@ -104,8 +172,14 @@ def run_worker(
             store.store_timing(
                 claim.key, elapsed, worker=worker_id, started_at=started_at
             )
+        else:
+            rec.count("worker.checkpoint_hits")
         queue.complete(claim)
         completed += 1
+        rec.count("worker.cells_completed")
+    if rec.enabled:
+        wall = obs_clock.perf() - run_started
+        rec.gauge("worker.busy_fraction", busy_seconds / wall if wall > 0 else 0.0)
     return completed
 
 
@@ -142,6 +216,13 @@ def main(argv=None) -> int:
         default=None,
         help="exit after completing this many cells",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="record observability metrics and append a snapshot to "
+        "DIR/<worker-id>.jsonl on exit",
+    )
     # Failure injection for tests/CI; deliberately undocumented in --help.
     parser.add_argument(
         "--crash-after-claims", type=int, default=None, help=argparse.SUPPRESS
@@ -158,6 +239,7 @@ def main(argv=None) -> int:
             args.heartbeat_interval if args.heartbeat_interval > 0 else None
         ),
         crash_after_claims=args.crash_after_claims,
+        metrics_out=args.metrics_out,
     )
     print(f"worker finished: {completed} cell(s) completed", file=sys.stderr)
     return 0

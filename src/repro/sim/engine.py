@@ -27,6 +27,7 @@ import heapq
 from collections import namedtuple
 from dataclasses import dataclass, field
 
+from repro.obs import get_recorder
 from repro.sim.timeline import TimelineEvent
 
 
@@ -159,8 +160,16 @@ def run_streams(
         if ids and not pending[ids[0]]:
             push(heap, (ready_at[ids[0]], orders[s], ids[0]))
 
+    # Observability: one flag read per run; when disabled the hot loop
+    # pays a single boolean test per blocking point and nothing else.
+    rec = get_recorder()
+    track = rec.enabled
+    heap_high_water = len(heap)
+
     executed = 0
     while heap:
+        if track and len(heap) > heap_high_water:
+            heap_high_water = len(heap)
         start, _, i = pop(heap)
         s = stream_id[i]
         q = queues[s]
@@ -197,6 +206,11 @@ def run_streams(
                     i = j
                     continue
             break
+
+    if track:
+        rec.count("engine.runs")
+        rec.count("engine.events_popped", executed)
+        rec.gauge_max("engine.heap_high_water", heap_high_water)
 
     if executed < total:
         blocked_heads = []

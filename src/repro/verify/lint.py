@@ -28,6 +28,14 @@ time*, from source structure alone:
 - **L401 bare except**: worker/queue code may not swallow arbitrary
   exceptions with a bare ``except:`` — crash recovery depends on
   failures propagating to the retry accounting.
+- **L501 direct clock reads**: modules instrumented with
+  :mod:`repro.obs` may not call ``time.time()`` /
+  ``time.perf_counter()`` (or their ``_ns``/``monotonic`` siblings)
+  directly — every timestamp must flow through :mod:`repro.obs.clock`
+  so fake-clock tests can intercept the single timing seam and span
+  anchors stay mutually consistent.  Deliberate exceptions (e.g. an
+  injectable clock's default argument) carry a
+  ``# lint: direct-clock-ok`` marker on the call line.
 - **L001 missing module**: a file a rule is configured to scan has
   moved or vanished; the lint configuration must move with it instead
   of silently dropping coverage.
@@ -46,6 +54,7 @@ from pathlib import Path
 from repro.verify.report import Finding
 
 __all__ = [
+    "INSTRUMENTED_SOURCES",
     "KEY_DERIVATION_SOURCES",
     "PAYLOAD_CLASSES",
     "SERIALIZER_SOURCES",
@@ -102,6 +111,33 @@ EXCEPT_SCAN_DIRS: tuple[str, ...] = (
     "src/repro/search/service",
     "src/repro/verify",
 )
+
+#: Suppression marker for deliberate direct clock reads in instrumented
+#: modules (must appear on the call's line).
+DIRECT_CLOCK_MARKER = "lint: direct-clock-ok"
+
+#: Modules instrumented with :mod:`repro.obs`; the direct-clock rule
+#: (L501) applies here.  :mod:`repro.obs.clock` itself is the sanctioned
+#: home of the underlying ``time`` calls and is deliberately absent.
+INSTRUMENTED_SOURCES: tuple[str, ...] = (
+    "src/repro/search/grid.py",
+    "src/repro/sim/engine.py",
+    "src/repro/search/service/queue.py",
+    "src/repro/search/service/worker.py",
+    "src/repro/search/service/executors.py",
+    "src/repro/search/service/service.py",
+    "src/repro/search/service/progress.py",
+)
+
+#: Clock primitives that bypass the ``repro.obs.clock`` seam.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
 
 #: Wall-clock / randomness call roots banned in key-derivation modules.
 _BANNED_CALLS = {
@@ -408,6 +444,33 @@ def _check_nondeterminism(
                 )
 
 
+def _check_direct_clock(
+    path: str, source: str, tree: ast.Module, findings: list[Finding]
+) -> None:
+    lines = source.splitlines()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name not in _CLOCK_CALLS:
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if DIRECT_CLOCK_MARKER in line:
+            continue
+        findings.append(
+            Finding(
+                rule="L501",
+                location=f"{path}:{node.lineno}",
+                message=(
+                    f"direct {name}() in an obs-instrumented module — "
+                    "read clocks through repro.obs.clock so tests can "
+                    "fake the timing seam (or mark the line "
+                    f"'# {DIRECT_CLOCK_MARKER}')"
+                ),
+            )
+        )
+
+
 def _check_bare_except(
     path: str, tree: ast.Module, findings: list[Finding]
 ) -> None:
@@ -442,6 +505,7 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     required |= set(SERIALIZER_SOURCES)
     required |= set(KEY_DERIVATION_SOURCES)
     required |= {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
+    required |= set(INSTRUMENTED_SOURCES)
     for path in sorted(required):
         if path not in sources:
             findings.append(
@@ -467,6 +531,9 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     for path in KEY_DERIVATION_SOURCES:
         if path in trees:
             _check_nondeterminism(path, trees[path], findings)
+    for path in INSTRUMENTED_SOURCES:
+        if path in trees:
+            _check_direct_clock(path, sources[path], trees[path], findings)
     for path, tree in sorted(trees.items()):
         _check_bare_except(path, tree, findings)
     return findings
@@ -477,6 +544,7 @@ def _scan_paths(root: Path) -> Iterable[Path]:
         set(PAYLOAD_CLASSES)
         | set(SERIALIZER_SOURCES)
         | set(KEY_DERIVATION_SOURCES)
+        | set(INSTRUMENTED_SOURCES)
         | {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     ):
         yield root / rel

@@ -223,6 +223,12 @@ def _unregistered_objective(source: str) -> str:
     )
 
 
+def _direct_wall_clock(source: str) -> str:
+    """Reintroduce a raw wall-clock read where obs_clock is mandated."""
+    assert "obs_clock.wall()" in source
+    return source.replace("obs_clock.wall()", "time.time()", 1)
+
+
 @dataclass(frozen=True)
 class LintMutation:
     name: str
@@ -246,6 +252,13 @@ LINT_MUTATIONS: tuple[LintMutation, ...] = (
         ("L201",),
         "src/repro/search/objective.py",
         _unregistered_objective,
+    ),
+    LintMutation(
+        "direct-wall-clock",
+        "time.time() bypassing repro.obs.clock in the worker loop",
+        ("L501",),
+        "src/repro/search/service/worker.py",
+        _direct_wall_clock,
     ),
 )
 

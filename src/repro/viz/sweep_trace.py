@@ -10,7 +10,7 @@ machine sharing the queue's filesystem) becomes a process row, every
 completed cell a slice on it, and janitor requeues become instant
 markers.
 
-Two data sources, merged:
+Three data sources, merged:
 
 - **Queue claim events** (``events/<actor>.jsonl``, written by
   :class:`repro.search.service.queue.FileWorkQueue`): a claim/complete
@@ -19,10 +19,18 @@ Two data sources, merged:
   attribution, written by the file-queue worker): cover cells whose
   events are missing — e.g. a sweep traced after the queue directory
   was reset — with the measured search wall-clock.
+- **Obs spans** (metric snapshots from ``--metrics-out``, see
+  :mod:`repro.obs`): nested slices *inside* a worker's cell slices —
+  per-stage search phases, individual cell searches — because span
+  times are epoch-anchored and the span's actor is the worker id, so
+  they land on the same lane and nest by time containment.
 
-Both sources are advisory and clock-stamped by whichever machine wrote
+All sources are advisory and clock-stamped by whichever machine wrote
 them; cross-machine clock skew shifts lanes relative to each other but
-never corrupts a lane's own story.
+never corrupts a lane's own story.  Every source tolerates the debris a
+killed worker leaves behind — truncated final lines, half-written JSON,
+nonsense field types — by skipping what it cannot read: a trace render
+must never fail because a sweep did not end cleanly.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs import read_snapshots
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.queue import FileWorkQueue
 
@@ -44,12 +53,27 @@ def _cell_label(info: dict, key: str) -> str:
     batch = info.get("batch_size")
     if method and batch is not None:
         return f"{method} B={batch}"
-    return key[:10]
+    return str(key)[:10]
+
+
+def _as_float(value, default: float | None = None) -> float | None:
+    """Coerce an advisory payload field; malformed values become ``default``."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return default
+
+
+def _as_int(value, default: int = 0) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
 
 
 def _collect_slices(
     checkpoint_dir: str | os.PathLike,
     queue_dir: str | os.PathLike | None,
+    metrics: str | os.PathLike | None = None,
 ) -> tuple[list[dict], list[dict]]:
     """Returns (slices, markers): per-cell spans and instant events.
 
@@ -75,7 +99,7 @@ def _collect_slices(
                 claim = open_claims.pop((worker, key), None)
                 if claim is None:
                     continue
-                attempt = int(claim.get("attempts", 0))
+                attempt = _as_int(claim.get("attempts", 0))
                 slices.append({
                     "worker": worker,
                     "key": key,
@@ -106,8 +130,9 @@ def _collect_slices(
         if record is None:
             continue
         worker = record.get("worker")
-        started = record.get("started_at")
-        if worker is None or not isinstance(started, (int, float)):
+        started = _as_float(record.get("started_at"))
+        seconds = _as_float(record.get("seconds"))
+        if worker is None or started is None or seconds is None:
             continue
         if any(w == worker and k == key for w, k, _a in seen):
             continue  # the queue events already cover this computation
@@ -120,21 +145,52 @@ def _collect_slices(
         slices.append({
             "worker": str(worker),
             "key": key,
-            "start": float(started),
-            "end": float(started) + float(record["seconds"]),
+            "start": started,
+            "end": started + seconds,
             "name": _cell_label(info, key),
             "source": "sidecar",
             "attempt": 0,
         })
+
+    if metrics is not None:
+        for snapshot in read_snapshots(metrics):
+            actor = str(snapshot.get("actor", "?"))
+            for span in snapshot.get("spans", []):
+                if not isinstance(span, dict):
+                    continue
+                start = _as_float(span.get("start"))
+                end = _as_float(span.get("end"))
+                name = span.get("name")
+                if start is None or end is None or not isinstance(name, str):
+                    continue
+                attrs = span.get("attrs")
+                slices.append({
+                    "worker": actor,
+                    "key": str(
+                        (attrs or {}).get("key", "")
+                        if isinstance(attrs, dict)
+                        else ""
+                    ),
+                    "start": start,
+                    "end": end,
+                    "name": name,
+                    "source": "obs",
+                    "attempt": 0,
+                })
     return slices, markers
 
 
 def sweep_trace_events(
     checkpoint_dir: str | os.PathLike,
     queue_dir: str | os.PathLike | None = None,
+    metrics: str | os.PathLike | None = None,
 ) -> list[dict]:
-    """Trace Event Format dicts for one sweep directory."""
-    slices, markers = _collect_slices(checkpoint_dir, queue_dir)
+    """Trace Event Format dicts for one sweep directory.
+
+    ``metrics`` (a ``--metrics-out`` directory or one snapshot file)
+    merges obs spans in as nested slices on their actor's lane.
+    """
+    slices, markers = _collect_slices(checkpoint_dir, queue_dir, metrics)
     if not slices and not markers:
         return []
     t0 = min(
@@ -163,7 +219,7 @@ def sweep_trace_events(
         out.append({
             "ph": "X",
             "name": s["name"],
-            "cat": "cell",
+            "cat": "obs" if s["source"] == "obs" else "cell",
             "pid": pid_of[s["worker"]],
             "tid": 0,
             "ts": (s["start"] - t0) * _SECONDS_TO_US,
@@ -191,10 +247,11 @@ def sweep_trace_events(
 def sweep_trace(
     checkpoint_dir: str | os.PathLike,
     queue_dir: str | os.PathLike | None = None,
+    metrics: str | os.PathLike | None = None,
 ) -> dict:
     """A complete JSON-serializable trace document for one sweep."""
     return {
-        "traceEvents": sweep_trace_events(checkpoint_dir, queue_dir),
+        "traceEvents": sweep_trace_events(checkpoint_dir, queue_dir, metrics),
         "displayTimeUnit": "ms",
     }
 
@@ -203,9 +260,10 @@ def write_sweep_trace(
     path: str | os.PathLike,
     checkpoint_dir: str | os.PathLike,
     queue_dir: str | os.PathLike | None = None,
+    metrics: str | os.PathLike | None = None,
 ) -> Path:
     """Write the sweep trace file; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(sweep_trace(checkpoint_dir, queue_dir)))
+    path.write_text(json.dumps(sweep_trace(checkpoint_dir, queue_dir, metrics)))
     return path

@@ -328,7 +328,7 @@ class TestCellTiming:
         ]
         store.store_timing("aaa", 0.5)
         store.store_timing("ccc", 9.0)
-        ordered = _order_longest_first(store, tasks)
+        ordered, _estimates = _order_longest_first(store, tasks)
         # Recorded cells rank by their measured seconds; the unrecorded
         # B=64 cell is estimated from the steepest recorded rate
         # (9.0s / 16 samples), putting its ~36s ahead of both — a big
@@ -343,7 +343,7 @@ class TestCellTiming:
             (0, "aaa", SweepCell(Method.NO_PIPELINE, 8)),
             (1, "bbb", SweepCell(Method.NO_PIPELINE, 64)),
         ]
-        ordered = _order_longest_first(store, tasks)
+        ordered, _estimates = _order_longest_first(store, tasks)
         assert [key for _i, key, _c in ordered] == ["bbb", "aaa"]
 
     def test_scheduling_order_never_changes_results(self, tmp_path, outcomes):
@@ -434,3 +434,31 @@ class TestProgressReporter:
         reporter = ProgressReporter(2, clock=lambda: 0.0)
         reporter.skip(2)
         assert "2 from checkpoints" in reporter.render(0.0)
+
+    def test_cost_weighted_eta_with_skewed_cells(self):
+        # One giant cell (estimated 100s) plus three tiny ones (1s each),
+        # scheduled longest-first.  After the giant finishes in 100s of
+        # wall time, the naive completed-cell rate prices the remaining
+        # three tiny cells at 300s; the cost-weighted ETA knows only the
+        # ~3 estimated seconds remain.
+        reporter = ProgressReporter(4, clock=lambda: 0.0)
+        reporter.expect([100.0, 1.0, 1.0, 1.0])
+        reporter.update(cost=100.0)
+        eta = reporter.eta_seconds(100.0)
+        assert eta == pytest.approx(3.0)
+        naive_eta = (4 - 1) / (1 / 100.0)
+        assert eta < naive_eta / 50
+
+    def test_eta_tracks_observed_slowdown(self):
+        # Actual time running 2x over the estimates scales the ETA 2x.
+        reporter = ProgressReporter(2, clock=lambda: 0.0)
+        reporter.expect([10.0, 10.0])
+        reporter.update(cost=10.0)
+        assert reporter.eta_seconds(20.0) == pytest.approx(20.0)
+
+    def test_eta_falls_back_to_rate_without_costs(self):
+        reporter = ProgressReporter(4, clock=lambda: 0.0)
+        reporter.update(2)
+        assert reporter.eta_seconds(10.0) == pytest.approx(10.0)
+        empty = ProgressReporter(4, clock=lambda: 0.0)
+        assert empty.eta_seconds(10.0) is None

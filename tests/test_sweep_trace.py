@@ -170,3 +170,54 @@ class TestSweepTrace:
     def test_empty_directories_yield_empty_trace(self, tmp_path):
         trace = sweep_trace(tmp_path / "ckpt")
         assert trace["traceEvents"] == []
+
+
+class TestTornEventLogs:
+    """A killed worker's half-written debris must never break a reader."""
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        queue = make_queue(tmp_path / "q")
+        queue.enqueue("k1", CELLS[0])
+        queue.complete(queue.claim("w-a"))
+        # A worker killed mid-append leaves a truncated final line, here
+        # torn inside a multi-byte UTF-8 sequence.
+        log = tmp_path / "q" / "events" / "w-a.jsonl"
+        with open(log, "ab") as fh:
+            fh.write(b'{"event": "claim", "t": 9.0, "wor\xe2')
+        events = queue.events()
+        assert [(e["event"], e["key"]) for e in events] == [
+            ("claim", "k1"),
+            ("complete", "k1"),
+        ]
+
+    def test_garbage_lines_and_bad_types_are_tolerated(self, tmp_path):
+        queue = make_queue(tmp_path / "q")
+        queue.enqueue("k1", CELLS[0])
+        queue.complete(queue.claim("w-a"))
+        (tmp_path / "q" / "events" / "other.jsonl").write_bytes(
+            b"not json at all\n"
+            b'"a bare string"\n'
+            b'{"event": "claim", "key": "k2", "worker": "w-b", "t": "soon"}\n'
+            b"\xff\xfe\n"
+        )
+        events = queue.events()  # non-numeric t must not break the sort
+        assert ("complete", "k1") in {
+            (e["event"], e.get("key")) for e in events
+        }
+        # The trace build skips what it cannot time but still renders
+        # the healthy worker's slices.
+        trace = sweep_trace(tmp_path / "ckpt", tmp_path / "q")
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["args"]["key"] == "k1"
+
+    def test_malformed_timing_sidecar_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.store_timing("good", 1.0, worker="w", started_at=10.0)
+        # Nonsense field types in another cell's sidecar.
+        (tmp_path / "ckpt" / "bad.time.json").write_text(
+            '{"seconds": "fast", "worker": "w", "started_at": null}'
+        )
+        trace = sweep_trace(tmp_path / "ckpt")
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [s["args"]["key"] for s in slices] == ["good"]
