@@ -23,8 +23,20 @@ any execution the event engine can produce:
   transfer per hop) — the Eq. (4)/(9) bubble written in real durations.
   Rank ``r`` therefore cannot finish before ``fill(r)`` plus its whole
   compute occupancy.
+- **Drain-side fill.**  The mirror certificate, and the one that closes
+  the ~0.16x tightness gap on deep non-looped pipelines (where the fill
+  and occupancy certificates see only one of the two pipeline bubbles).
+  In any valid schedule every forward of a micro-batch precedes its
+  backward, so the *last* stage-``r`` compute op on rank ``r`` is a
+  backward; its gradient still has to drain down stages ``r-1..0`` (one
+  backward plus one transfer per hop), after which rank 0's optimizer
+  tail (serial DP block, optimizer, post-step gather) runs FIFO-behind
+  everything on its streams.  Chaining fill, stage-``r`` occupancy,
+  drain and tail therefore bounds the makespan from both sides of the
+  pipeline at once: for GPipe-like schedules this recovers the classic
+  ``(n_mb + n_pp - 1)(f + b)`` shape and makes the bound near-tight.
 
-Neither certificate inspects the instruction order, so the bound is valid
+No certificate inspects the instruction order, so the bound is valid
 for every schedule kind, including the Section 4.2 hybrid.  It is proved
 ``<= simulate(...).step_time`` over the configuration space by the
 property test in ``tests/test_lower_bound.py``; a relative float margin
@@ -41,6 +53,7 @@ from repro.analytical.memory import MemoryBreakdown
 from repro.core.schedules.base import dpfs_group_count
 from repro.parallel.config import Sharding
 from repro.sim.cost import CostModel
+from repro.sim.cost_batch import bound_partials, comm_rank_sums
 
 __all__ = [
     "FLOAT_MARGIN",
@@ -65,6 +78,8 @@ class StepTimeBound:
         compute_seconds: Max over ranks of fill + compute-stream busy.
         dp_seconds: Max over ranks of data-parallel stream busy.
         pp_seconds: Max over ranks of pipeline-transfer stream busy.
+        drain_seconds: Max over ranks of fill + stage-``r`` occupancy +
+            backward drain + rank-0 tail (the drain-side certificate).
         makespan: Largest certificate, after the float margin.
         step_time: ``makespan`` plus the fixed step overhead — the value
             compared against ``SimulationResult.step_time``.
@@ -73,6 +88,7 @@ class StepTimeBound:
     compute_seconds: float
     dp_seconds: float
     pp_seconds: float
+    drain_seconds: float
     makespan: float
     step_time: float
 
@@ -116,67 +132,154 @@ def candidate_bound(cost: CostModel, memory: MemoryBreakdown) -> CandidateBound:
     )
 
 
-def _rank_dp_seconds(cost: CostModel, rank: int, n_groups: int) -> float:
-    """Busy seconds of ``rank``'s data-parallel stream (overlap mode).
-
-    Mirrors the program builder's emissions: DP_FS gathers twice per
-    (stage, repetition group) — once before the group's first forward,
-    once before its first backward (Eq. 26) — every mode reduces each
-    stage once per group (once per batch for DP0/DP_PS, whose gradients
-    accumulate locally), and DP_PS all-gathers the updated weights after
-    the optimizer.
-    """
-    config = cost.config
-    stages = cost.placement.stages_of_device(rank)
-    busy = 0.0
-    if config.sharding is Sharding.FULL:
-        busy += 2.0 * n_groups * sum(cost.gather_time(s) for s in stages)
-        busy += n_groups * sum(cost.reduce_time(s) for s in stages)
-    else:
-        busy += sum(cost.reduce_time(s) for s in stages)
-    return busy + cost.post_step_gather_time(rank)
-
-
 def step_time_lower_bound(cost: CostModel) -> StepTimeBound:
     """Provable lower bound on ``simulate(...).step_time`` for ``cost``.
 
-    Runs in O(n_stages) given the memoized stage-time table — no schedule
-    materialization, no program build, no engine — which is what lets the
-    search rank every memory-feasible candidate best-bound-first before
-    simulating any of them.
+    Runs in O(n_pp) multiply-adds per candidate given the family-cached
+    ingredients — the memoized stage-time and comm-time tables plus the
+    per-rank partials of :func:`repro.sim.cost_batch.bound_partials` —
+    with no schedule materialization, no program build and no engine,
+    which is what lets the search rank every memory-feasible candidate
+    best-bound-first before simulating any of them.
+
+    Three certificates per rank, assembled term-for-term in the float
+    order of the scalar ``CostModel`` methods the partials mirror
+    (``rank_compute_seconds``, ``rank_fill_seconds``,
+    ``rank_drain_seconds``; parity pinned in ``tests/test_lower_bound.py``):
+
+    - **Compute occupancy**: fill plus the rank's whole compute-stream
+      busy (all forwards/backwards, send overheads, the serial DP block
+      of non-overlapping implementations, the optimizer).
+    - **Drain-side fill**: fill, plus the serial occupancy of stage
+      ``rank``'s own ops — all ``n_mb`` forwards and backwards plus
+      their send overheads (the launch charged into op durations when
+      transfers overlap; the inline transfers themselves when they do
+      not, minus the last gradient send, which belongs to the drain
+      chain) — plus the backward drain down to stage 0.  Every
+      stage-``rank`` op precedes the last stage-``rank`` backward in
+      its FIFO queue, so the segments compose additively for any
+      schedule.
+    - **DP-stream occupancy** (overlap mode): mirrors the program
+      builder's emissions — DP_FS gathers twice per (stage, repetition
+      group), once before the group's first forward and once before its
+      first backward (Eq. 26); every mode reduces each stage once per
+      group (once per batch for DP0/DP_PS, whose gradients accumulate
+      locally); DP_PS all-gathers the updated weights after the
+      optimizer.
     """
     config = cost.config
     impl = cost.implementation
     times = cost.stage_times()
+    comm = cost.comm_times() if config.n_dp > 1 else None
+    partials = bound_partials(
+        cost.spec,
+        cost.cluster,
+        cost.calibration,
+        impl,
+        config.n_pp,
+        config.n_loop,
+        config.microbatch_size,
+        config.n_tp,
+    )
+
+    n_mb = config.n_microbatches
+    n_dp = config.n_dp
+    last_stage = config.n_stages - 1
+    pp_overlap = impl.pp_overlap
+    send_cost = times.pp_launch if pp_overlap else times.pp_transfer
+    dp_serial_inline = n_dp > 1 and not impl.dp_overlap
+    sharded = config.sharding is not Sharding.NONE
+    optimizer_bytes = cost.calibration.optimizer_bytes_per_param
+    memory_bandwidth = cost.cluster.gpu.memory_bandwidth
 
     compute_bound = 0.0
     dp_bound = 0.0
     pp_bound = 0.0
-    dp_overlap_active = config.n_dp > 1 and impl.dp_overlap
+    drain_bound = 0.0
+    rank0_optimizer = 0.0
+    dp_overlap_active = n_dp > 1 and impl.dp_overlap
     if dp_overlap_active:
         n_groups = dpfs_group_count(
             config.schedule,
-            config.n_microbatches,
+            n_mb,
             config.n_pp,
             config.sequence_size,
         )
-    for rank in range(config.n_pp):
-        rank_compute = cost.rank_fill_seconds(rank) + cost.rank_compute_seconds(
-            rank
+        full_sharding = config.sharding is Sharding.FULL
+        sums = comm_rank_sums(
+            cost.spec,
+            cost.cluster,
+            impl,
+            config.n_pp,
+            config.n_loop,
+            config.n_tp,
+            n_dp,
+            config.sharding,
         )
+    for rank in range(config.n_pp):
+        # rank_compute_seconds(rank), term for term.
+        busy = n_mb * partials.sum_fb[rank]
+        sends = n_mb * partials.per_mb_sends[rank]
+        busy += sends * send_cost
+        if dp_serial_inline:
+            busy += comm.dp_serial[rank]
+        # optimizer_time(rank), same division structure.
+        params = partials.rank_params[rank]
+        if sharded:
+            params /= n_dp
+        optimizer = params * optimizer_bytes / memory_bandwidth
+        if rank == 0:
+            rank0_optimizer = optimizer
+        rank_compute = partials.fill[rank] + (busy + optimizer)
         compute_bound = max(compute_bound, rank_compute)
-        if dp_overlap_active:
-            dp_bound = max(dp_bound, _rank_dp_seconds(cost, rank, n_groups))
-        if impl.pp_overlap:
-            pp_bound = max(
-                pp_bound, cost.rank_send_count(rank) * times.pp_transfer
-            )
 
-    makespan = max(compute_bound, dp_bound, pp_bound) * (1.0 - FLOAT_MARGIN)
+        # Drain-side certificate (without the rank-0 tail).
+        middle = n_mb * (times.forward[rank] + times.backward[rank])
+        if pp_overlap:
+            if rank < last_stage:
+                middle += n_mb * times.pp_launch
+            if rank > 0:
+                middle += n_mb * times.pp_launch
+        else:
+            if rank < last_stage:
+                middle += n_mb * times.pp_transfer
+            if rank > 0:
+                middle += (n_mb - 1) * times.pp_transfer
+        drain_bound = max(
+            drain_bound, partials.fill[rank] + middle + partials.drain[rank]
+        )
+
+        if dp_overlap_active:
+            dp_busy = 0.0
+            if full_sharding:
+                dp_busy += 2.0 * n_groups * sums.gather[rank]
+                dp_busy += n_groups * sums.reduce[rank]
+            else:
+                dp_busy += sums.reduce[rank]
+            dp_bound = max(dp_bound, dp_busy + comm.post_gather[rank])
+
+        if pp_overlap:
+            pp_bound = max(pp_bound, sends * times.pp_transfer)
+
+    # Rank 0's optimizer tail runs FIFO-behind its whole backward pass
+    # (serial DP block and optimizer on the compute queue; the DP_PS
+    # post-step gather depends on the optimizer), so it extends every
+    # rank's drain chain by the same constant.
+    tail = rank0_optimizer
+    if dp_serial_inline:
+        tail += comm.dp_serial[0]
+    if dp_overlap_active and config.sharding is Sharding.PARTIAL:
+        tail += comm.post_gather[0]
+    drain_bound += tail
+
+    makespan = max(compute_bound, dp_bound, pp_bound, drain_bound) * (
+        1.0 - FLOAT_MARGIN
+    )
     return StepTimeBound(
         compute_seconds=compute_bound,
         dp_seconds=dp_bound,
         pp_seconds=pp_bound,
+        drain_seconds=drain_bound,
         makespan=makespan,
         step_time=makespan + cost.calibration.fixed_step_overhead,
     )

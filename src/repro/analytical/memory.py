@@ -5,19 +5,25 @@ split of Appendix E: the paper's library pre-allocates fp32 gradients
 (20 B/param peak, 16 of which sharded data parallelism can amortize) while
 Megatron-LM allocates them on the fly (18 B/param peak, 12 shardable).
 
-Checkpoint memory is derived from the *actual schedule*: the peak number
-of (micro-batch, stage) forwards whose backward has not yet run, times the
-per-stage checkpoint size (Eq. 17 factor).  This reproduces the Table 4.1
-caps — ``N_mb N_layers / N_PP`` for GPipe/breadth-first, ``~2 N_layers``
-for 1F1B, ``~N_layers + N_PP`` for depth-first — without hard-coding them.
+Checkpoint memory is derived from the *schedule's in-flight structure*:
+the peak number of (micro-batch, stage) forwards whose backward has not
+yet run, times the per-stage checkpoint size (Eq. 17 factor).  This
+reproduces the Table 4.1 caps — ``N_mb N_layers / N_PP`` for
+GPipe/breadth-first, ``~2 N_layers`` for 1F1B, ``~N_layers + N_PP`` for
+depth-first — without hard-coding them.  Callers holding a materialized
+schedule pass it; without one the model uses
+:func:`repro.core.schedules.base.max_in_flight_closed` (property-proven
+equal to the materialized count), so the search's memory filter never
+builds a schedule just to price a candidate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.placement import Placement
-from repro.core.schedules.base import Schedule, build_schedule
+from repro.core.schedules.base import Schedule, max_in_flight_closed
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
 from repro.implementations import ImplementationProfile
@@ -56,6 +62,55 @@ def _rank_params(
         if stage == 0:
             params += spec.embedding_params
     return params / n_tp
+
+
+@lru_cache(maxsize=16384)
+def _rank_param_table(
+    spec: TransformerSpec, n_pp: int, n_loop: int, n_tp: int
+) -> tuple[tuple[float, int], ...]:
+    """Per-rank ``(params_local, max_stage_layers)`` for one family.
+
+    These depend only on the layer placement and the TP width — shared by
+    every candidate of a ``(n_pp, n_loop, *, n_tp)`` family across
+    micro-batch shapes, DP widths, sharding modes and schedules — so the
+    table is memoized family-wide instead of being rebuilt O(n_stages)
+    per candidate.  Entries are the *same floats* the uncached
+    :func:`_rank_params` walk produces (identical summation order).
+    """
+    placement = Placement(spec.n_layers, n_pp, n_loop)
+    return tuple(
+        (
+            _rank_params(spec, placement, rank, n_tp),
+            max(
+                placement.n_layers_of_stage(stage)
+                for stage in placement.stages_of_device(rank)
+            ),
+        )
+        for rank in range(n_pp)
+    )
+
+
+@lru_cache(maxsize=16384)
+def _rank_param_groups(
+    spec: TransformerSpec, n_pp: int, n_loop: int, n_tp: int
+) -> tuple[tuple[int, float, int], ...]:
+    """Distinct ``(first_rank, params_local, max_stage_layers)`` groups.
+
+    The near-identical layer split leaves only a handful of distinct
+    per-rank parameter profiles (rank 0 with the embedding, ranks with
+    ``base + 1`` layers, ranks with ``base``).  Because the closed-form
+    in-flight peak is non-increasing in rank for every schedule kind
+    (earlier ranks hold more outstanding micro-batches; asserted by the
+    property test in ``tests/test_schedules.py``), the memory peak over
+    a group is attained at its first rank — so the closed-form
+    :func:`memory_model` path only evaluates one rank per group.
+    """
+    groups: dict[tuple[float, int], int] = {}
+    for rank, key in enumerate(_rank_param_table(spec, n_pp, n_loop, n_tp)):
+        groups.setdefault(key, rank)
+    return tuple(
+        (rank, params, layers) for (params, layers), rank in groups.items()
+    )
 
 
 def _state_bytes(
@@ -105,16 +160,13 @@ def memory_model(
     impl: ImplementationProfile,
     schedule: Schedule | None = None,
 ) -> MemoryBreakdown:
-    """Peak per-GPU memory for ``config``; the max over pipeline ranks."""
-    placement = Placement(spec.n_layers, config.n_pp, config.n_loop)
-    if schedule is None:
-        schedule = build_schedule(
-            config.schedule,
-            config.n_pp,
-            config.n_microbatches,
-            config.n_loop,
-            config.sequence_size,
-        )
+    """Peak per-GPU memory for ``config``; the max over pipeline ranks.
+
+    With ``schedule=None`` the in-flight peak comes from the closed form
+    (bit-identical totals, no schedule build) — the fast path the search's
+    feasibility filter runs on every enumerated candidate.
+    """
+    param_table = _rank_param_table(spec, config.n_pp, config.n_loop, config.n_tp)
 
     ckpt_per_sample_per_layer = spec.checkpoint_bytes_per_sample_per_layer(
         config.n_tp
@@ -136,39 +188,53 @@ def memory_model(
         max(spec.params_per_layer, spec.embedding_params) / config.n_tp
     )
 
-    worst = None
-    worst_min = 0.0
-    for rank in range(config.n_pp):
-        params_local = _rank_params(spec, placement, rank, config.n_tp)
-        max_stage_layers = max(
-            placement.n_layers_of_stage(stage)
-            for stage in placement.stages_of_device(rank)
+    if schedule is not None:
+        # Schedule path: every rank, straight off the materialized counts.
+        candidates = (
+            (rank, params, layers)
+            for rank, (params, layers) in enumerate(param_table)
         )
+    else:
+        # Closed-form path: one rank per distinct parameter profile — the
+        # in-flight peak is non-increasing in rank, so each group's first
+        # rank dominates it (see :func:`_rank_param_groups`).
+        candidates = _rank_param_groups(
+            spec, config.n_pp, config.n_loop, config.n_tp
+        )
+    worst_total = -1.0
+    worst_state = worst_ckpts = worst_min = 0.0
+    for rank, params_local, max_stage_layers in candidates:
+        if schedule is not None:
+            in_flight = schedule.max_in_flight(rank)
+        else:
+            in_flight = max_in_flight_closed(
+                config.schedule,
+                rank,
+                config.n_pp,
+                config.n_microbatches,
+                config.n_loop,
+                config.sequence_size,
+            )
         ckpts = (
-            schedule.max_in_flight(rank)
+            in_flight
             * max_stage_layers
             * ckpt_per_sample_per_layer
             * config.microbatch_size
         )
         state = _state_bytes(params_local, max_layer_params, config, impl)
         total = state + ckpts + act_bytes + pp_buffers
-        total_min = total - _shardable_residual(params_local, config, impl)
-        if worst is None or total > worst.total:
-            worst = MemoryBreakdown(
-                state=state,
-                checkpoints=ckpts,
-                activations=act_bytes,
-                pp_buffers=pp_buffers,
-                total=total,
-                total_min=total_min,
+        if total > worst_total:
+            worst_total = total
+            worst_state = state
+            worst_ckpts = ckpts
+            worst_min = total - _shardable_residual(
+                params_local, config, impl
             )
-            worst_min = total_min
-    assert worst is not None
     return MemoryBreakdown(
-        state=worst.state,
-        checkpoints=worst.checkpoints,
-        activations=worst.activations,
-        pp_buffers=worst.pp_buffers,
-        total=worst.total,
+        state=worst_state,
+        checkpoints=worst_ckpts,
+        activations=act_bytes,
+        pp_buffers=pp_buffers,
+        total=worst_total,
         total_min=worst_min,
     )

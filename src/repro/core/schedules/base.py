@@ -153,6 +153,43 @@ def schedule_for(config: ParallelConfig) -> Schedule:
     )
 
 
+def max_in_flight_closed(
+    kind: ScheduleKind,
+    rank: int,
+    n_pp: int,
+    n_microbatches: int,
+    n_loop: int = 1,
+    sequence_size: int | None = None,
+) -> int:
+    """Closed form of :meth:`Schedule.max_in_flight` — no materialization.
+
+    Every generator in this package has a warmup/steady/cooldown shape,
+    so its peak live-forward count is a function of the warmup length
+    alone: the phase-structured schedules (GPipe, breadth-first, and the
+    degenerate single-sequence cases) hold every forward live at once,
+    while the 1F1B-style schedules peak one above their warmup (the
+    steady state's forward lands before the backward that frees its
+    slot).  Proved equal to the materialized
+    ``Schedule.max_in_flight(rank)`` over the full generator parameter
+    space by ``tests/test_schedules.py`` — which is what lets the search's
+    memory filter price a candidate without building its schedule.
+    """
+    if kind is ScheduleKind.GPIPE:
+        return n_microbatches
+    if kind is ScheduleKind.ONE_F_ONE_B:
+        return min(n_microbatches, n_pp - rank)
+    if kind is ScheduleKind.BREADTH_FIRST:
+        return n_loop * n_microbatches
+    seq = n_pp if kind is ScheduleKind.DEPTH_FIRST else sequence_size
+    if seq is None:
+        raise ValueError("the hybrid schedule's in-flight peak needs sequence_size")
+    total = n_microbatches * n_loop
+    if n_microbatches == seq:
+        return total
+    n_warmup = min(total, (n_pp - rank - 1) * 2 + (n_loop - 1) * seq)
+    return total if n_warmup == total else n_warmup + 1
+
+
 def dpfs_repetition_key(
     kind: ScheduleKind,
     microbatch: int,

@@ -238,6 +238,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         resume=args.resume,
         progress=args.progress,
         bound_pruning=not args.no_bound_pruning,
+        batch_eval=not getattr(args, "no_batch_eval", False),
         objective=objective,
         calibration=calibration,
         verify_winners=getattr(args, "verify_winners", False),
@@ -600,6 +601,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="disable the branch-and-bound stage of the search (simulate "
              "every memory-feasible candidate; the winners are identical, "
              "only slower — the escape hatch for validating the bound)",
+    )
+    parser.add_argument(
+        "--no-batch-eval",
+        action="store_true",
+        help="disable family-batched evaluation (vectorized cost pricing "
+             "and sibling delta replay); outcomes are byte-identical, "
+             "only slower — the escape hatch for validating batching",
     )
     parser.add_argument(
         "--verify-winners",

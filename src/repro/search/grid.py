@@ -31,6 +31,26 @@ frontier — is **byte-identical with pruning on or off**: the bound only
 removes candidates that provably cannot affect the outcome, ties are
 never pruned (strict inequality), and equal-throughput ties resolve via
 ``ParallelConfig.sort_key`` regardless of evaluation order.
+
+**Batched evaluation** (``SearchSettings.batch_eval``, on by default;
+``--no-batch-eval`` is the escape hatch): the pipeline additionally walks
+the cell's config *families* — a cell's candidates are overwhelmingly
+siblings along one axis — composing three accelerations that each
+preserve the outcome bit-for-bit:
+
+- the memory-feasible families are priced in one vectorized pass
+  (:func:`repro.sim.cost_batch.warm_family_tables`, bit-identical by the
+  hypothesis parity suite) before any bound is computed;
+- the simulate stage replays only event-graph deltas between sibling
+  candidates of a family (:func:`repro.sim.simulator.simulate_delta`,
+  bit-exact with automatic full-simulation fallback);
+- the visit order is untouched — delta bases are keyed by family, so
+  batching changes *how* a candidate is evaluated, never *which* or
+  *when*.
+
+Winners, frontiers, the ``n_tried``/``n_excluded``/``n_pruned`` split and
+checkpoint keys are therefore byte-identical with batching on or off
+(held by ``tests/test_batched_grid.py``).
 """
 
 from __future__ import annotations
@@ -44,14 +64,20 @@ from repro.core.schedules.base import Schedule, build_schedule
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.obs import get_recorder
-from repro.parallel.config import Method, ParallelConfig, ScheduleKind
+from repro.parallel.config import Method, ParallelConfig, ScheduleKind, Sharding
 from repro.search.cell import DEFAULT_SETTINGS, SearchSettings
 from repro.search.objective import Objective
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.sim.cost import CostModel, stage_time_table
+from repro.sim.cost import CostModel, comm_time_table, stage_time_table
+from repro.sim.cost_batch import warm_family_tables
 from repro.sim.implementation import ImplementationProfile
-from repro.sim.simulator import SimulationResult, simulate
+from repro.sim.simulator import (
+    SimulationBase,
+    SimulationResult,
+    simulate,
+    simulate_delta,
+)
 
 #: Fraction of device memory usable before fragmentation makes OOM likely
 #: (Appendix D.2 motivates the safety margin).  Always applied; an
@@ -83,19 +109,41 @@ def cached_schedule(
 class Candidate:
     """One feasible configuration flowing through the pipeline.
 
-    Carries everything the earlier stages already paid for — the built
-    schedule, the memory breakdown, the cost model (whose per-stage
-    duration table is shared process-wide, see
-    :func:`repro.sim.cost.stage_time_table`) and the dual-sided bound —
-    so the simulation stage re-derives nothing.
+    Carries everything the earlier stages already paid for — the memory
+    breakdown, the cost model (whose per-stage duration table is shared
+    process-wide, see :func:`repro.sim.cost.stage_time_table`) and the
+    dual-sided bound — so the simulation stage re-derives nothing.
+
+    ``schedule`` is **lazy**: the feasibility filter and the bound price
+    candidates from closed forms alone
+    (:func:`repro.core.schedules.base.max_in_flight_closed`,
+    :func:`repro.sim.cost_batch.bound_partials`), so no per-rank
+    instruction streams exist until the simulate stage materializes them
+    via :func:`cached_schedule` — and only for the few candidates the
+    branch-and-bound stage actually simulates.  Eagerly building
+    O(n_pp * n_mb) ``ComputeOp`` objects per enumerated configuration
+    used to dominate whole-cell latency.
     """
 
     config: ParallelConfig
     implementation: ImplementationProfile
-    schedule: Schedule
     memory: MemoryBreakdown
     cost: CostModel
     bound: CandidateBound
+    schedule: Schedule | None = None
+
+    def materialized_schedule(self) -> Schedule:
+        """This candidate's schedule, built (memoized) on first use."""
+        if self.schedule is not None:
+            return self.schedule
+        config = self.config
+        return cached_schedule(
+            config.schedule,
+            config.n_pp,
+            config.n_microbatches,
+            config.n_loop,
+            config.sequence_size,
+        )
 
     @property
     def bound_throughput(self) -> float:
@@ -153,12 +201,46 @@ class WinnerVerificationError(RuntimeError):
 # --------------------------------------------------------- pipeline stages
 
 
+def _price_survivor_families(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    survivors,
+) -> None:
+    """Vector-price every distinct family among the feasible survivors.
+
+    One :func:`repro.sim.cost_batch.warm_family_tables` call per
+    implementation profile seeds the shared stage-time cache, so the
+    bound computations and program builds that follow never price a
+    family scalar-wise.  Families of *excluded* candidates are never
+    priced — batching must not do work the lazy scalar path would skip.
+    """
+    families: dict[ImplementationProfile, dict[tuple, None]] = {}
+    for config, impl, _memory in survivors:
+        family = (config.n_pp, config.n_loop, config.microbatch_size, config.n_tp)
+        families.setdefault(impl, {})[family] = None
+    n_priced = 0
+    n_cached = 0
+    for impl, fams in families.items():
+        priced, cached = warm_family_tables(
+            spec, cluster, calibration, impl, fams
+        )
+        n_priced += priced
+        n_cached += cached
+    rec = get_recorder()
+    if rec.enabled:
+        rec.count("search.batch.families_priced", n_priced)
+        rec.count("search.batch.families_cached", n_cached)
+
+
 def _memory_stage(
     spec: TransformerSpec,
     cluster: ClusterSpec,
     calibration: Calibration,
     pairs,
     objective: Objective,
+    *,
+    batch_eval: bool = False,
 ) -> tuple[list[Candidate], int]:
     """Stage 1+2 producer: feasibility-filter the space, bound survivors.
 
@@ -166,25 +248,36 @@ def _memory_stage(
     the objective's budget (if any).  Returns the feasible candidates
     (dual-sided bound attached, enumeration order) and the count of
     excluded configurations.
+
+    With ``batch_eval`` the stage runs as a family walk: feasibility
+    first for the whole space, then one vectorized pricing pass over the
+    surviving families, then the bounds — which at that point only ever
+    *hit* the stage-time cache.  The candidate list (order included) and
+    the exclusion count are identical either way; only where the table
+    floats come from changes, and those are bit-identical by
+    construction.
     """
-    candidates: list[Candidate] = []
     n_excluded = 0
     memory_limit = cluster.gpu.memory_bytes * MEMORY_HEADROOM
     budget = objective.memory_budget(cluster)
     if budget is not None:
         memory_limit = min(memory_limit, budget)
+    survivors: list = []
     for config, impl in pairs:
-        schedule = cached_schedule(
-            config.schedule,
-            config.n_pp,
-            config.n_microbatches,
-            config.n_loop,
-            config.sequence_size,
-        )
-        memory = memory_model(spec, config, impl, schedule)
+        # Closed-form in-flight peak: no schedule is built here (or for
+        # the bound below) — only simulated candidates ever materialize
+        # their instruction streams.
+        memory = memory_model(spec, config, impl)
         if memory.total > memory_limit:
             n_excluded += 1
             continue
+        survivors.append((config, impl, memory))
+
+    if batch_eval and survivors:
+        _price_survivor_families(spec, cluster, calibration, survivors)
+
+    candidates: list[Candidate] = []
+    for config, impl, memory in survivors:
         cost = CostModel(
             spec=spec,
             config=config,
@@ -196,7 +289,6 @@ def _memory_stage(
             Candidate(
                 config=config,
                 implementation=impl,
-                schedule=schedule,
                 memory=memory,
                 cost=cost,
                 bound=candidate_bound(cost, memory),
@@ -219,6 +311,52 @@ def _order_best_bound_first(candidates: list[Candidate]) -> list[Candidate]:
     )
 
 
+#: Delta-replay bases kept alive per cell.  Families are visited in
+#: bound order, not grouped, so a small FIFO window catches the common
+#: sibling pairs without holding every family's streams in memory.
+_MAX_DELTA_BASES = 8
+
+
+def _delta_eligible(candidate: Candidate) -> bool:
+    """Whether ``candidate`` may be delta-replayed against a sibling.
+
+    Fully-sharded configurations re-gather weights *inside* the compute
+    stream, so their event graphs differ from a sibling's everywhere and
+    the replay would always fall back; same for non-overlapping DP,
+    where grad-reduce serializes after the pipeline.  Restricting to
+    overlapping NONE/PARTIAL siblings keeps the delta attempt rate
+    honest (the ``search.delta.fallback`` counter stays near zero).
+    """
+    config = candidate.config
+    return (
+        config.n_dp > 1
+        and candidate.implementation.dp_overlap
+        and config.sharding is not Sharding.FULL
+    )
+
+
+def _delta_key(candidate: Candidate) -> tuple:
+    """Sibling group of a candidate: everything but the sharding mode.
+
+    Two candidates with the same key build programs that differ only in
+    the gradient-reduce/gather instruction durations and tails — the
+    exact shape :func:`repro.sim.engine.run_streams_delta` replays
+    cheaply.
+    """
+    config = candidate.config
+    return (
+        candidate.implementation.name,
+        config.schedule,
+        config.sequence_size,
+        config.n_pp,
+        config.n_loop,
+        config.microbatch_size,
+        config.n_tp,
+        config.n_dp,
+        config.n_microbatches,
+    )
+
+
 def _simulate_stage(
     spec: TransformerSpec,
     cluster: ClusterSpec,
@@ -227,6 +365,7 @@ def _simulate_stage(
     objective: Objective,
     *,
     bound_pruning: bool,
+    batch_eval: bool = False,
     method_label: str = "",
 ) -> tuple[SimulationResult | None, int, int, tuple[SimulationResult, ...] | None]:
     """Stage 3: simulate under per-objective branch-and-bound.
@@ -238,6 +377,14 @@ def _simulate_stage(
     arrive in decreasing bound order, so everything after the first
     prune is prunable too and the stage stops there; non-monotone
     objectives (Pareto) test every candidate individually.
+
+    With ``batch_eval``, eligible candidates go through
+    :func:`repro.sim.simulator.simulate_delta` keyed by sibling group:
+    the first member of a group simulates fully and becomes the base,
+    later members replay only the differing event-graph suffix.  The
+    visit order, the prune decisions and every
+    :class:`~repro.sim.simulator.SimulationResult` are bit-identical to
+    the plain path (``tests/test_batched_grid.py``).
     """
     rec = get_recorder()
     # One flag read per cell keeps the per-candidate loop free of
@@ -247,6 +394,9 @@ def _simulate_stage(
     state = objective.new_state()
     n_tried = 0
     n_pruned = 0
+    bases: dict[tuple, SimulationBase] = {}
+    n_replayed = 0
+    n_fallback = 0
     for position, candidate in enumerate(ordered):
         if bound_pruning and state.prunable(candidate.bound):
             if state.monotone:
@@ -254,23 +404,55 @@ def _simulate_stage(
                 break
             n_pruned += 1
             continue
-        result = simulate(
-            spec,
-            candidate.config,
-            cluster,
-            implementation=candidate.implementation,
-            calibration=calibration,
-            schedule=candidate.schedule,
-            memory=candidate.memory,
-            cost=candidate.cost,
-        )
-        n_tried += 1
-        if track and result.step_time > 0.0:
-            rec.observe(
-                tightness_metric,
-                candidate.bound.step_time_bound.step_time / result.step_time,
+        if batch_eval and _delta_eligible(candidate):
+            key = _delta_key(candidate)
+            base = bases.get(key)
+            result, new_base, replayed = simulate_delta(
+                spec,
+                candidate.config,
+                cluster,
+                base=base,
+                calibration=calibration,
+                schedule=candidate.materialized_schedule(),
+                memory=candidate.memory,
+                cost=candidate.cost,
             )
+            if key not in bases and len(bases) >= _MAX_DELTA_BASES:
+                bases.pop(next(iter(bases)))
+            bases[key] = new_base
+            if base is not None:
+                if replayed:
+                    n_replayed += 1
+                else:
+                    n_fallback += 1
+        else:
+            result = simulate(
+                spec,
+                candidate.config,
+                cluster,
+                implementation=candidate.implementation,
+                calibration=calibration,
+                schedule=candidate.materialized_schedule(),
+                memory=candidate.memory,
+                cost=candidate.cost,
+            )
+        n_tried += 1
+        if track:
+            bound = candidate.bound.step_time_bound
+            if result.step_time > 0.0:
+                rec.observe(tightness_metric, bound.step_time / result.step_time)
+            binding = max(
+                ("compute", bound.compute_seconds),
+                ("dp", bound.dp_seconds),
+                ("pp", bound.pp_seconds),
+                ("drain", bound.drain_seconds),
+                key=lambda pair: pair[1],
+            )[0]
+            rec.count(f"search.bound.binding.{binding}")
         state.observe(result)
+    if track:
+        rec.count("search.delta.replayed", n_replayed)
+        rec.count("search.delta.fallback", n_fallback)
     return state.best(), n_tried, n_pruned, state.frontier()
 
 
@@ -297,6 +479,7 @@ def best_configuration(
     rec = get_recorder()
     if rec.enabled:
         warm_before = stage_time_table.cache_info()
+        comm_before = comm_time_table.cache_info()
     with rec.span("search.cell", method=method.name, batch_size=batch_size):
         with (
             rec.span("search.stage.memory_filter"),
@@ -310,6 +493,7 @@ def best_configuration(
                     method, spec, cluster, batch_size, settings=settings
                 ),
                 settings.objective,
+                batch_eval=settings.batch_eval,
             )
         with (
             rec.span("search.stage.bound_order"),
@@ -327,10 +511,12 @@ def best_configuration(
                 ordered,
                 settings.objective,
                 bound_pruning=settings.bound_pruning,
+                batch_eval=settings.batch_eval,
                 method_label=method.name,
             )
     if rec.enabled:
         warm_after = stage_time_table.cache_info()
+        comm_after = comm_time_table.cache_info()
         rec.count("search.cells")
         rec.count("search.candidates.enumerated", len(candidates) + n_excluded)
         rec.count("search.candidates.excluded", n_excluded)
@@ -338,6 +524,12 @@ def best_configuration(
         rec.count("search.candidates.pruned", n_pruned)
         rec.count("search.warm_start.hits", warm_after.hits - warm_before.hits)
         rec.count("search.warm_start.misses", warm_after.misses - warm_before.misses)
+        rec.count(
+            "search.warm_start.comm.hits", comm_after.hits - comm_before.hits
+        )
+        rec.count(
+            "search.warm_start.comm.misses", comm_after.misses - comm_before.misses
+        )
     outcome = SearchOutcome(
         method=method,
         batch_size=batch_size,

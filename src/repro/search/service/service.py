@@ -101,6 +101,11 @@ class SweepOptions:
             the outcome (``--verify-winners`` on the experiments CLI;
             see :class:`repro.search.cell.SearchSettings`).  A pure
             post-check — not part of checkpoint content hashes.
+        batch_eval: Family-batched evaluation in every cell — vectorized
+            pricing plus sibling delta replay (``--no-batch-eval`` on
+            the experiments CLI turns it off; see
+            :class:`repro.search.cell.SearchSettings`).  Outcome-neutral
+            by contract, so not part of checkpoint content hashes.
         metrics_out: Directory for observability snapshots
             (``--metrics-out`` on the experiments CLI): the coordinator
             appends to ``coordinator.jsonl`` and file-queue workers each
@@ -124,6 +129,7 @@ class SweepOptions:
     objective: Objective = DEFAULT_OBJECTIVE
     calibration: Calibration = DEFAULT_CALIBRATION
     verify_winners: bool = False
+    batch_eval: bool = True
     metrics_out: str | os.PathLike | None = None
 
     @property
@@ -134,6 +140,7 @@ class SweepOptions:
             include_hybrid=self.include_hybrid,
             objective=self.objective,
             verify_winners=self.verify_winners,
+            batch_eval=self.batch_eval,
         )
 
 
@@ -172,29 +179,37 @@ def _make_executor(options: SweepOptions) -> Executor:
 
 
 def _order_longest_first(
-    store: CheckpointStore | None, tasks: list
+    store: CheckpointStore | None, tasks: list, objective: Objective
 ) -> tuple[list, dict[str, float]]:
     """Schedule the longest cells first; also return the cost estimates.
 
     Recorded wall-clock from the checkpoint store's timing sidecars (a
     previous run over the same directory) ranks known cells exactly;
     cells without a record are put on the same seconds scale by
-    estimating from the steepest recorded seconds-per-batch-sample rate
-    (batch size is the dominant cost driver — more candidates, more
-    micro-batches per simulation), so a big *new* cell still schedules
-    ahead of small recorded ones instead of defaulting to the back of
-    the queue.  With no records at all the estimate degenerates to
-    batch-size order.  Front-loading long cells shortens a parallel
-    sweep's critical path — no worker is left finishing a giant cell
-    alone at the end — and makes the rate-based ETA an overestimate
-    that only improves, instead of an early underestimate.  Input order
-    is restored when results are assembled, so scheduling order never
-    changes what the sweep returns.
+    estimating from the steepest recorded seconds-per-weighted-sample
+    rate (batch size is the dominant cost driver — more candidates, more
+    micro-batches per simulation — scaled by the objective's
+    ``simulate_cost_factor``, since e.g. a Pareto cell simulates ~2x the
+    candidates of a throughput argmax on the same batch), so a big *new*
+    cell still schedules ahead of small recorded ones instead of
+    defaulting to the back of the queue.  With no records at all the
+    estimate degenerates to weighted-batch-size order.  The objective
+    factor is constant within one sweep, but it keeps the recorded
+    *rate* on an objective-independent scale — checkpoint keys include
+    the objective, so sidecars always come from same-objective runs, and
+    dividing the factor back out means a directory's rate reads the same
+    whichever objective recorded it.  Front-loading long cells shortens
+    a parallel sweep's critical path — no worker is left finishing a
+    giant cell alone at the end — and makes the rate-based ETA an
+    overestimate that only improves, instead of an early underestimate.
+    Input order is restored when results are assembled, so scheduling
+    order never changes what the sweep returns.
 
     Returns ``(ordered_tasks, estimated_seconds_by_key)``; the estimates
     feed the progress reporter's cost-weighted ETA, so one giant cell
     finishing first doesn't read as "every cell takes this long".
     """
+    factor = objective.simulate_cost_factor
     recorded: dict[str, float] = {}
     if store is not None:
         for _index, key, _cell in tasks:
@@ -203,7 +218,7 @@ def _order_longest_first(
                 recorded[key] = seconds
     rate = max(
         (
-            recorded[key] / max(1, cell.batch_size)
+            recorded[key] / max(1.0, cell.batch_size * factor)
             for _index, key, cell in tasks
             if key in recorded
         ),
@@ -211,7 +226,7 @@ def _order_longest_first(
     )
 
     estimates = {
-        key: recorded.get(key, rate * cell.batch_size)
+        key: recorded.get(key, rate * cell.batch_size * factor)
         for _index, key, cell in tasks
     }
     ordered = sorted(
@@ -283,7 +298,7 @@ def run_sweep(
         for key, (index, cell) in first_of.items()
         if key not in outcomes
     ]
-    tasks, estimates = _order_longest_first(store, tasks)
+    tasks, estimates = _order_longest_first(store, tasks, options.objective)
     key_of_index = {index: key for index, key, _cell in tasks}
 
     reporter = (

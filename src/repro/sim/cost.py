@@ -18,6 +18,7 @@ All formulas follow Appendix A:
 
 from __future__ import annotations
 
+from collections import namedtuple
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -56,8 +57,72 @@ class StageTimes:
     pp_launch: float
 
 
-@lru_cache(maxsize=16384)
-def stage_time_table(
+_CacheInfo = namedtuple("CacheInfo", ("hits", "misses", "maxsize", "currsize"))
+
+_MISSING = object()
+
+
+class _SeedableCache:
+    """An ``lru_cache``-shaped memo whose entries can be seeded externally.
+
+    :mod:`functools.lru_cache` cannot accept values computed elsewhere,
+    which is exactly what the batched evaluator needs:
+    :func:`repro.sim.cost_batch.warm_family_tables` prices whole config
+    families with one vectorized pass and installs the results here, so
+    every later scalar lookup — bounds, program builds, adjacent sweep
+    cells — hits without recomputing.  Keeps the ``cache_info()`` /
+    ``cache_clear()`` surface the search's warm-start counters and the
+    benchmarks already consume, with FIFO eviction at ``maxsize`` (the
+    table population of a full paper grid is far below it; eviction is a
+    memory backstop, not a tuning knob).
+    """
+
+    __slots__ = ("_fn", "_maxsize", "_data", "_hits", "_misses")
+
+    def __init__(self, fn, maxsize: int) -> None:
+        self._fn = fn
+        self._maxsize = maxsize
+        self._data: dict = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, *key):
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._hits += 1
+            return value
+        self._misses += 1
+        value = self._fn(*key)
+        self._insert(key, value)
+        return value
+
+    def _insert(self, key, value) -> None:
+        data = self._data
+        if len(data) >= self._maxsize:
+            data.pop(next(iter(data)))
+        data[key] = value
+
+    def seed(self, key: tuple, value) -> None:
+        """Install an externally computed entry (first writer wins)."""
+        if key not in self._data:
+            self._insert(key, value)
+
+    def seeded(self, key: tuple) -> bool:
+        """Whether ``key`` is already cached (no hit/miss accounting)."""
+        return key in self._data
+
+    def cache_info(self) -> _CacheInfo:
+        return _CacheInfo(
+            self._hits, self._misses, self._maxsize, len(self._data)
+        )
+
+    def cache_clear(self) -> None:
+        self._data.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+def _stage_time_table(
     spec: TransformerSpec,
     cluster: ClusterSpec,
     calibration: Calibration,
@@ -75,7 +140,8 @@ def stage_time_table(
     candidate would compute.  The cache is per-process and survives across
     search cells — a sweep worker revisiting the same ``(n_pp, n_loop,
     s_mb, n_tp)`` family at the next batch size skips the whole
-    recomputation.
+    recomputation.  Entries can also be seeded in bulk by the vectorized
+    family pricer (:mod:`repro.sim.cost_batch`).
     """
     probe = CostModel(
         spec=spec,
@@ -98,6 +164,82 @@ def stage_time_table(
         backward=tuple(probe.backward_time(s) for s in stages),
         pp_transfer=probe.pp_transfer_time(),
         pp_launch=probe.pp_launch_overhead(),
+    )
+
+
+stage_time_table = _SeedableCache(_stage_time_table, maxsize=16384)
+
+
+@dataclass(frozen=True)
+class CommTimes:
+    """Per-stage/per-rank data-parallel collective durations of a family.
+
+    These depend on ``(spec, cluster, implementation, n_pp, n_loop, n_tp,
+    n_dp, sharding)`` — parameter counts, the DP network and the ring
+    factor — but *not* on micro-batch size, micro-batch count, schedule
+    or calibration, so one table serves every candidate of a cell that
+    agrees on those axes and every batch-size cell of a sweep.  Produced
+    by :func:`comm_time_table` and consumed by the program builder
+    (gather/reduce instruction durations) and the analytical lower
+    bound's DP-stream certificate, replacing the per-candidate
+    O(n_stages) recomputation the ROADMAP carried as a follow-on.
+
+    Attributes:
+        gather: ``gather[s]`` = DP_FS weight reconstruction of stage s.
+        reduce: ``reduce[s]`` = gradient reduction of stage s.
+        post_gather: ``post_gather[r]`` = DP_PS post-optimizer all-gather
+            of rank r's weights (0.0 unless sharding is PARTIAL).
+        dp_serial: ``dp_serial[r]`` = rank r's whole DP traffic as one
+            non-overlapped block (Megatron-LM mode).
+    """
+
+    gather: tuple[float, ...]
+    reduce: tuple[float, ...]
+    post_gather: tuple[float, ...]
+    dp_serial: tuple[float, ...]
+
+
+@lru_cache(maxsize=16384)
+def comm_time_table(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    implementation: ImplementationProfile,
+    n_pp: int,
+    n_loop: int,
+    n_tp: int,
+    n_dp: int,
+    sharding: Sharding,
+) -> CommTimes:
+    """Memoized gather/reduce/post-gather durations for one comm family.
+
+    The probe pins the axes the durations do not depend on (``n_mb = 1``,
+    ``s_mb = 1``, breadth-first; calibration never enters ``_dp_time``),
+    so cached values are bit-identical to what any matching candidate's
+    :class:`CostModel` computes.
+    """
+    probe = CostModel(
+        spec=spec,
+        config=ParallelConfig(
+            n_dp=n_dp,
+            n_pp=n_pp,
+            n_tp=n_tp,
+            microbatch_size=1,
+            n_microbatches=1,
+            n_loop=n_loop,
+            sharding=sharding,
+            schedule=ScheduleKind.BREADTH_FIRST,
+        ),
+        cluster=cluster,
+        implementation=implementation,
+        calibration=DEFAULT_CALIBRATION,
+    )
+    stages = range(n_pp * n_loop)
+    ranks = range(n_pp)
+    return CommTimes(
+        gather=tuple(probe.gather_time(s) for s in stages),
+        reduce=tuple(probe.reduce_time(s) for s in stages),
+        post_gather=tuple(probe.post_step_gather_time(r) for r in ranks),
+        dp_serial=tuple(probe.dp_serial_time(r) for r in ranks),
     )
 
 
@@ -351,6 +493,20 @@ class CostModel:
             cfg.n_tp,
         )
 
+    def comm_times(self) -> CommTimes:
+        """This config's shared DP-collective duration table (memoized)."""
+        cfg = self.config
+        return comm_time_table(
+            self.spec,
+            self.cluster,
+            self.implementation,
+            cfg.n_pp,
+            cfg.n_loop,
+            cfg.n_tp,
+            cfg.n_dp,
+            cfg.sharding,
+        )
+
     def rank_send_count(self, rank: int) -> int:
         """Pipeline messages rank ``rank`` issues in one step.
 
@@ -411,6 +567,31 @@ class CostModel:
         )
         fill = sum(times.forward[s] + launch for s in range(rank))
         return fill + rank * times.pp_transfer
+
+    def rank_drain_seconds(self, rank: int) -> float:
+        """Unavoidable backward-drain delay after rank ``rank``'s last
+        stage-``rank`` backward.
+
+        The mirror image of :meth:`rank_fill_seconds`: the gradient of the
+        last micro-batch to leave stage ``rank`` still has to traverse
+        stages ``rank-1 .. 0`` (one backward plus one transfer per hop)
+        before rank 0 can finish its backward pass.  Like the fill, this
+        is a dependency-chain bound — every forward of a micro-batch
+        precedes its backward, so the last stage-``rank`` compute op in
+        any valid schedule is a backward, and its gradient send chains
+        down to stage 0 regardless of op order.  Launch overheads ride on
+        the intermediate backwards exactly as the program builder charges
+        them (zero when transfers run inline; the inline transfer itself
+        is the ``pp_transfer`` hop).
+        """
+        if rank == 0:
+            return 0.0
+        times = self.stage_times()
+        launch = (
+            times.pp_launch if self.implementation.pp_overlap else 0.0
+        )
+        drain = sum(times.backward[s] + launch for s in range(1, rank))
+        return drain + times.backward[0] + rank * times.pp_transfer
 
     # ------------------------------------------------------------- metrics
 

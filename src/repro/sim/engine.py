@@ -254,3 +254,253 @@ def run_streams(
         makespan=max(end_of, default=0.0),
         events=events,
     )
+
+
+def run_streams_delta(
+    streams: dict[tuple[int, str], list[Instruction]],
+    base_streams: dict[tuple[int, str], list[Instruction]],
+    base: EngineResult,
+    *,
+    max_dirty_fraction: float = 0.6,
+) -> EngineResult | None:
+    """Execute ``streams`` by replaying only the suffix differing from a base.
+
+    ``base_streams``/``base`` are the instruction queues and result of a
+    previous :func:`run_streams` call for a *sibling* program (same config
+    family, one axis changed).  An instruction is **clean** when it sits at
+    the same position of the same stream as in the base with identical
+    ``(uid, duration, deps)``, every earlier instruction of its stream is
+    clean, and every dependency is clean; everything else is **dirty**.
+    Clean instructions keep their base start/finish times bit-exactly —
+    within a stream instructions run FIFO, so a clean prefix's timing
+    depends only on itself and its (clean) dependencies — and only the
+    dirty closure is re-executed through the ready-heap.
+
+    Returns ``None`` — caller falls back to a full run — when the dirty
+    closure exceeds ``max_dirty_fraction`` of the program (the replay
+    would cost as much as a fresh run and the bookkeeping is pure
+    overhead).  Raises :class:`EngineDeadlock` exactly when a fresh run
+    would.  The result is bit-identical to ``run_streams(streams,
+    record_events=False)``: identical finish times, stream busy sums
+    (accumulated in the same FIFO order) and makespan.  Timelines are
+    never recorded — delta replay serves the search fast path, which
+    builds label-free programs.
+    """
+    stream_keys = list(streams)
+    key_order = {
+        key: order for order, key in enumerate(sorted(stream_keys))
+    }
+    instrs: list[Instruction] = []
+    id_of: dict = {}
+    stream_id: list[int] = []
+    position: list[int] = []
+    queues: list[list[int]] = []
+    orders: list[int] = []
+    duration: list[float] = []
+    next_id = 0
+    for s, (key, queue) in enumerate(streams.items()):
+        orders.append(key_order[key])
+        queues.append(list(range(next_id, next_id + len(queue))))
+        instrs += queue
+        stream_id += [s] * len(queue)
+        position += range(len(queue))
+        for instr in queue:
+            if instr.uid in id_of:
+                raise ValueError(f"duplicate instruction uid {instr.uid!r}")
+            id_of[instr.uid] = next_id
+            next_id += 1
+            duration.append(instr.duration)
+    total = next_id
+    if total == 0:
+        return EngineResult(events=[])
+
+    # Seed dirtiness: the first per-stream position whose (uid, duration,
+    # deps) deviates from the base queue dirties that whole stream suffix
+    # (FIFO — everything behind a changed instruction may shift).
+    dirty = [False] * total
+    stack: list[int] = []
+    for s, key in enumerate(stream_keys):
+        base_queue = base_streams.get(key, ())
+        ids = queues[s]
+        n_same = 0
+        for i, base_instr in zip(ids, base_queue):
+            instr = instrs[i]
+            if (
+                instr.uid != base_instr.uid
+                or instr.duration != base_instr.duration
+                or instr.deps != base_instr.deps
+            ):
+                break
+            n_same += 1
+        if n_same < len(ids):
+            first = ids[n_same]
+            dirty[first] = True
+            stack.append(first)
+
+    # Close over dependency and stream-succession edges: a dirty
+    # instruction dirties its stream successor (FIFO) and its dependents.
+    # Dependencies on uids absent from the new program can never resolve;
+    # their dependents join the dirty set with a pending count that is
+    # never released, so the replay deadlocks exactly as a fresh run
+    # would ("counted but never released" in run_streams).
+    dependents: list[list[int]] = [[] for _ in range(total)]
+    blocked = [0] * total  # deps on uids absent from this program
+    lookup = id_of.get
+    for i, instr in enumerate(instrs):
+        for dep in instr.deps:
+            d = lookup(dep)
+            if d is not None:
+                dependents[d].append(i)
+            else:
+                blocked[i] += 1
+                if not dirty[i]:
+                    dirty[i] = True
+                    stack.append(i)
+    while stack:
+        i = stack.pop()
+        s = stream_id[i]
+        q = queues[s]
+        p = position[i] + 1
+        if p < len(q):
+            j = q[p]
+            if not dirty[j]:
+                dirty[j] = True
+                stack.append(j)
+        for j in dependents[i]:
+            if not dirty[j]:
+                dirty[j] = True
+                stack.append(j)
+
+    n_dirty = sum(dirty)
+    if n_dirty > max_dirty_fraction * total:
+        return None
+
+    # Clean instructions keep their base finish times; the replay only
+    # needs per-dirty-instruction ready times (max over clean deps'
+    # base finishes) and pending counts (dirty deps + absent deps).
+    base_finish = base.finish_times
+    end_of = [0.0] * total
+    pending = [0] * total
+    ready_at = [0.0] * total
+    for i, instr in enumerate(instrs):
+        if not dirty[i]:
+            end_of[i] = base_finish[instr.uid]
+    for i, instr in enumerate(instrs):
+        if not dirty[i]:
+            continue
+        n_pending = blocked[i]
+        ready = 0.0
+        for dep in instr.deps:
+            d = lookup(dep)
+            if d is None:
+                continue
+            if dirty[d]:
+                n_pending += 1
+            elif end_of[d] > ready:
+                ready = end_of[d]
+        pending[i] = n_pending
+        ready_at[i] = ready
+
+    n_streams = len(queues)
+    heads = [0] * n_streams
+    free_at = [0.0] * n_streams
+    for s, ids in enumerate(queues):
+        head = 0
+        for i in ids:
+            if dirty[i]:
+                break
+            head += 1
+        heads[s] = head
+        if head:
+            free_at[s] = end_of[ids[head - 1]]
+
+    heap: list = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for s, ids in enumerate(queues):
+        if heads[s] < len(ids):
+            j = ids[heads[s]]
+            if not pending[j]:
+                f = free_at[s]
+                r = ready_at[j]
+                push(heap, (f if f > r else r, orders[s], j))
+
+    rec = get_recorder()
+    track = rec.enabled
+
+    executed = 0
+    while heap:
+        start, _, i = pop(heap)
+        s = stream_id[i]
+        q = queues[s]
+        # Same inline runnable-run loop as run_streams; every dependent
+        # of a dirty instruction is dirty (closure), so releases only
+        # ever touch replayed state.
+        while True:
+            end = start + duration[i]
+            end_of[i] = end
+            executed += 1
+            for j in dependents[i]:
+                if end > ready_at[j]:
+                    ready_at[j] = end
+                pending[j] -= 1
+                if not pending[j]:
+                    sj = stream_id[j]
+                    if heads[sj] == position[j]:
+                        f = free_at[sj]
+                        r = ready_at[j]
+                        push(heap, (f if f > r else r, orders[sj], j))
+            head = heads[s] = heads[s] + 1
+            free_at[s] = end
+            if head < len(q):
+                j = q[head]
+                if not pending[j]:
+                    r = ready_at[j]
+                    start = end if end > r else r
+                    i = j
+                    continue
+            break
+
+    if track:
+        rec.count("engine.delta.runs")
+        rec.count("engine.delta.replayed", executed)
+        rec.count("engine.delta.reused", total - n_dirty)
+
+    if executed < n_dirty:
+        blocked_heads = []
+        done_uids = {
+            instrs[i].uid
+            for s, ids in enumerate(queues)
+            for i in ids[: heads[s]]
+        }
+        for s, key in enumerate(stream_keys):
+            q = queues[s]
+            if heads[s] < len(q):
+                instr = instrs[q[heads[s]]]
+                missing = [d for d in instr.deps if d not in done_uids]
+                blocked_heads.append(
+                    f"{key}: {instr.label or instr.uid} waiting on {missing}"
+                )
+        raise EngineDeadlock(
+            "program deadlocked; blocked stream heads:\n  "
+            + "\n  ".join(blocked_heads)
+        )
+
+    # Stream busy is summed in queue order — the exact order a fresh
+    # run's FIFO execution accumulates it — so the floats are identical.
+    stream_busy: dict = {}
+    makespan = 0.0
+    for s, key in enumerate(stream_keys):
+        busy = 0.0
+        for i in queues[s]:
+            busy += duration[i]
+        stream_busy[key] = busy
+    for end in end_of:
+        if end > makespan:
+            makespan = end
+    return EngineResult(
+        finish_times={instr.uid: end_of[i] for i, instr in enumerate(instrs)},
+        stream_busy=stream_busy,
+        makespan=makespan,
+        events=[],
+    )

@@ -76,8 +76,17 @@ class _ProgramBuilder:
             1.0 / cost.placement.n_layers_of_stage(s) for s in stages
         ]
         if self.dp_active:
-            self.gather_times = [cost.gather_time(s) for s in stages]
-            self.reduce_times = [cost.reduce_time(s) for s in stages]
+            # DP-collective durations come from the memoized comm-family
+            # table (repro.sim.cost.comm_time_table): one gather/reduce
+            # pricing pass per (n_pp, n_loop, n_tp, n_dp, sharding)
+            # family serves every schedule, micro-batch shape and batch
+            # size that shares it — the warm-start counterpart of
+            # stage_time_table for the DP side (the ROADMAP follow-on).
+            comm = cost.comm_times()
+            self.gather_times = comm.gather
+            self.reduce_times = comm.reduce
+            self.post_gather_times = comm.post_gather
+            self.dp_serial_times = comm.dp_serial
         self.streams: dict[tuple[int, str], list[Instruction]] = {}
 
     # ----------------------------------------------------------- helpers
@@ -332,7 +341,7 @@ class _ProgramBuilder:
             compute_q.append(
                 Instruction(
                     uid=("DPALL", rank),
-                    duration=cost.dp_serial_time(rank),
+                    duration=self.dp_serial_times[rank],
                     deps=(),
                     label=f"dp-all(rank={rank})",
                     category="dp_comm",
@@ -354,7 +363,7 @@ class _ProgramBuilder:
             dp_q.append(
                 Instruction(
                     uid=("POST", rank),
-                    duration=cost.post_step_gather_time(rank),
+                    duration=self.post_gather_times[rank],
                     deps=(("OPT", rank),),
                     label=f"post-gather(rank={rank})",
                     category="gather",

@@ -17,7 +17,7 @@ from repro.models.spec import TransformerSpec
 from repro.parallel.config import ParallelConfig
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.sim.cost import CostModel
-from repro.sim.engine import run_streams
+from repro.sim.engine import EngineResult, run_streams, run_streams_delta
 from repro.sim.implementation import (
     ImplementationProfile,
     default_implementation_for,
@@ -58,6 +58,29 @@ class SimulationResult:
     bubble_fraction: float
     memory: MemoryBreakdown
     timeline: tuple[TimelineEvent, ...]
+
+
+@dataclass(frozen=True)
+class SimulationBase:
+    """Reusable artifacts of one simulation, for sibling delta replay.
+
+    Returned by :func:`simulate_delta` and fed back into it: the built
+    instruction streams and the engine result are exactly what
+    :func:`repro.sim.engine.run_streams_delta` diffs a sibling program
+    against.  Holding one of these per family key is the search's whole
+    delta-replay state (see ``repro.search.grid``).
+
+    Attributes:
+        config: The configuration the base program was built for.
+        implementation_name: The library profile that built it.
+        streams: The label-free instruction queues of the base program.
+        engine_result: The engine outcome those streams produced.
+    """
+
+    config: ParallelConfig
+    implementation_name: str
+    streams: dict
+    engine_result: EngineResult
 
 
 def simulate(
@@ -123,7 +146,23 @@ def simulate(
         )
     streams = build_program(cost, schedule, record_events=record_events)
     result = run_streams(streams, record_events=record_events)
+    if memory is None:
+        memory = memory_model(spec, config, implementation, schedule)
+    return _assemble_result(cost, memory, result)
 
+
+def _assemble_result(
+    cost: CostModel, memory: MemoryBreakdown, result: EngineResult
+) -> SimulationResult:
+    """Derive the reported metrics from an engine outcome.
+
+    Shared verbatim by :func:`simulate` and :func:`simulate_delta`, so a
+    delta-replayed engine result (itself bit-exact, see
+    :func:`repro.sim.engine.run_streams_delta`) yields a byte-identical
+    :class:`SimulationResult`.
+    """
+    config = cost.config
+    calibration = cost.calibration
     step_time = result.makespan + calibration.fixed_step_overhead
     n_pp = config.n_pp
     compute_busy = (
@@ -131,12 +170,10 @@ def simulate(
     )
     pp_busy = sum(result.stream_busy.get((r, "pp"), 0.0) for r in range(n_pp)) / n_pp
     dp_busy = sum(result.stream_busy.get((r, "dp"), 0.0) for r in range(n_pp)) / n_pp
-    if memory is None:
-        memory = memory_model(spec, config, implementation, schedule)
 
     return SimulationResult(
         config=config,
-        implementation_name=implementation.name,
+        implementation_name=cost.implementation.name,
         step_time=step_time,
         throughput_per_gpu=cost.throughput_per_gpu(step_time),
         utilization=cost.utilization(step_time),
@@ -149,3 +186,80 @@ def simulate(
         memory=memory,
         timeline=tuple(result.events),
     )
+
+
+def simulate_delta(
+    spec: TransformerSpec,
+    config: ParallelConfig,
+    cluster: ClusterSpec,
+    *,
+    base: SimulationBase | None,
+    implementation: ImplementationProfile | None = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    schedule: Schedule | None = None,
+    memory: MemoryBreakdown | None = None,
+    cost: CostModel | None = None,
+) -> tuple[SimulationResult, SimulationBase, bool]:
+    """Simulate one step, replaying only the event-graph delta from a sibling.
+
+    The incremental path of the batched grid walk: when ``base`` is the
+    :class:`SimulationBase` of a *sibling* configuration (same family,
+    one axis changed — e.g. DP0 vs DP_PS sharding of the same GPipe
+    cell), only the instruction suffix that actually differs is
+    re-executed; identical prefixes keep their timings.  Falls back to a
+    full :func:`repro.sim.engine.run_streams` — same streams, same
+    arithmetic — when ``base`` is ``None`` or the delta check finds the
+    programs too different, so the returned result is **bit-identical**
+    to ``simulate(...)`` either way (the parity suite in
+    ``tests/test_simulate_delta.py`` holds it there).
+
+    Returns ``(result, new_base, replayed)``: ``new_base`` carries this
+    program's streams and engine result for the next sibling, and
+    ``replayed`` reports whether the delta path was actually taken (the
+    search's ``search.delta.*`` obs counters read it).
+
+    Always builds label-free programs (``record_events=False``
+    semantics): delta replay serves the search fast path, which never
+    renders timelines.
+    """
+    if cost is not None:
+        if implementation is not None and implementation is not cost.implementation:
+            raise ValueError(
+                f"cost was built for {cost.implementation.name}, but "
+                f"implementation={implementation.name} was also passed"
+            )
+        implementation = cost.implementation
+    elif implementation is None:
+        implementation = default_implementation_for(config.schedule)
+    if cost is None:
+        cost = CostModel(
+            spec=spec,
+            config=config,
+            cluster=cluster,
+            implementation=implementation,
+            calibration=calibration,
+        )
+    if schedule is None:
+        schedule = build_schedule(
+            config.schedule,
+            config.n_pp,
+            config.n_microbatches,
+            config.n_loop,
+            config.sequence_size,
+        )
+    streams = build_program(cost, schedule, record_events=False)
+    result: EngineResult | None = None
+    if base is not None:
+        result = run_streams_delta(streams, base.streams, base.engine_result)
+    replayed = result is not None
+    if result is None:
+        result = run_streams(streams, record_events=False)
+    if memory is None:
+        memory = memory_model(spec, config, implementation, schedule)
+    new_base = SimulationBase(
+        config=config,
+        implementation_name=implementation.name,
+        streams=streams,
+        engine_result=result,
+    )
+    return _assemble_result(cost, memory, result), new_base, replayed

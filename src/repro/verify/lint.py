@@ -36,6 +36,15 @@ time*, from source structure alone:
   anchors stay mutually consistent.  Deliberate exceptions (e.g. an
   injectable clock's default argument) carry a
   ``# lint: direct-clock-ok`` marker on the call line.
+- **L502 scalar pricing in the batched hot path**: the family-batched
+  search modules (:mod:`repro.search.grid`,
+  :mod:`repro.sim.cost_batch`) may not *call* the scalar
+  ``stage_time_table`` — pricing there must flow through the
+  vectorized batch pass or plain cache-object access
+  (``.seed``/``.seeded``/``.cache_info``), or the ≥10x batching win
+  silently regresses one innocuous-looking call at a time.  The
+  deliberate fallback seam carries a ``# lint: scalar-cost-ok``
+  marker on the call line.
 - **L001 missing module**: a file a rule is configured to scan has
   moved or vanished; the lint configuration must move with it instead
   of silently dropping coverage.
@@ -54,6 +63,7 @@ from pathlib import Path
 from repro.verify.report import Finding
 
 __all__ = [
+    "BATCHED_HOT_PATH_SOURCES",
     "INSTRUMENTED_SOURCES",
     "KEY_DERIVATION_SOURCES",
     "PAYLOAD_CLASSES",
@@ -127,6 +137,18 @@ INSTRUMENTED_SOURCES: tuple[str, ...] = (
     "src/repro/search/service/executors.py",
     "src/repro/search/service/service.py",
     "src/repro/search/service/progress.py",
+)
+
+#: Suppression marker for the deliberate scalar-pricing fallback seam in
+#: batched hot-path modules (must appear on the call's line).
+SCALAR_COST_MARKER = "lint: scalar-cost-ok"
+
+#: Family-batched search modules; the scalar-pricing rule (L502)
+#: applies here.  ``CostModel.stage_times()`` in :mod:`repro.sim.cost`
+#: is the sanctioned scalar consumer and is deliberately absent.
+BATCHED_HOT_PATH_SOURCES: tuple[str, ...] = (
+    "src/repro/search/grid.py",
+    "src/repro/sim/cost_batch.py",
 )
 
 #: Clock primitives that bypass the ``repro.obs.clock`` seam.
@@ -471,6 +493,38 @@ def _check_direct_clock(
         )
 
 
+def _check_scalar_cost_calls(
+    path: str, source: str, tree: ast.Module, findings: list[Finding]
+) -> None:
+    lines = source.splitlines()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        # Only *calling* the table prices scalar-wise.  Attribute access
+        # on the cache object — ``stage_time_table.seed(...)``,
+        # ``.seeded(...)``, ``.cache_info()`` — is the batch seam itself
+        # and resolves to a different final component, so it never flags.
+        if name.split(".")[-1] not in ("stage_time_table", "_stage_time_table"):
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if SCALAR_COST_MARKER in line:
+            continue
+        findings.append(
+            Finding(
+                rule="L502",
+                location=f"{path}:{node.lineno}",
+                message=(
+                    f"scalar {name}() call in a batched hot-path module — "
+                    "price families through repro.sim.cost_batch (or mark "
+                    f"the deliberate fallback seam '# {SCALAR_COST_MARKER}')"
+                ),
+            )
+        )
+
+
 def _check_bare_except(
     path: str, tree: ast.Module, findings: list[Finding]
 ) -> None:
@@ -506,6 +560,7 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     required |= set(KEY_DERIVATION_SOURCES)
     required |= {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     required |= set(INSTRUMENTED_SOURCES)
+    required |= set(BATCHED_HOT_PATH_SOURCES)
     for path in sorted(required):
         if path not in sources:
             findings.append(
@@ -534,6 +589,9 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     for path in INSTRUMENTED_SOURCES:
         if path in trees:
             _check_direct_clock(path, sources[path], trees[path], findings)
+    for path in BATCHED_HOT_PATH_SOURCES:
+        if path in trees:
+            _check_scalar_cost_calls(path, sources[path], trees[path], findings)
     for path, tree in sorted(trees.items()):
         _check_bare_except(path, tree, findings)
     return findings
@@ -545,6 +603,7 @@ def _scan_paths(root: Path) -> Iterable[Path]:
         | set(SERIALIZER_SOURCES)
         | set(KEY_DERIVATION_SOURCES)
         | set(INSTRUMENTED_SOURCES)
+        | set(BATCHED_HOT_PATH_SOURCES)
         | {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     ):
         yield root / rel

@@ -12,6 +12,7 @@ from repro.core.schedules.base import (
     Schedule,
     build_schedule,
     dpfs_repetition_key,
+    max_in_flight_closed,
     schedule_for,
 )
 from repro.core.validation import validate_schedule
@@ -159,6 +160,46 @@ def test_every_schedule_validates(kind, n_pp, n_mb_factor, n_loop):
     analysis = validate_schedule(schedule)
     assert analysis.makespan > 0
     assert schedule.total_ops == 2 * n_mb * n_pp * n_loop
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    kind=st.sampled_from(list(ScheduleKind)),
+    n_pp=st.integers(1, 8),
+    n_mb_factor=st.integers(1, 6),
+    n_loop=st.integers(1, 4),
+    seq_factor=st.integers(1, 3),
+)
+def test_max_in_flight_closed_matches_materialized(
+    kind, n_pp, n_mb_factor, n_loop, seq_factor
+):
+    """Property: the closed form equals the materialized per-rank peak.
+
+    This is what licenses :func:`repro.analytical.memory.memory_model` to
+    price candidates without building a schedule (and transitively the
+    search's byte-identity with ``batch_eval`` on or off).
+    """
+    if not kind.is_looped:
+        n_loop = 1
+    sequence_size = None
+    if kind is ScheduleKind.HYBRID:
+        sequence_size = n_pp * seq_factor
+        n_mb = sequence_size * n_mb_factor
+    elif kind is ScheduleKind.DEPTH_FIRST:
+        n_mb = n_pp * n_mb_factor
+    else:
+        n_mb = n_mb_factor + n_pp - 1
+    schedule = build_schedule(kind, n_pp, n_mb, n_loop, sequence_size)
+    peaks = [
+        max_in_flight_closed(kind, rank, n_pp, n_mb, n_loop, sequence_size)
+        for rank in range(n_pp)
+    ]
+    for rank in range(n_pp):
+        assert schedule.max_in_flight(rank) == peaks[rank]
+    # Non-increasing in rank: earlier ranks hold more outstanding
+    # micro-batches.  memory_model's closed-form path relies on this to
+    # evaluate only the first rank of each parameter-profile group.
+    assert all(peaks[r] >= peaks[r + 1] for r in range(n_pp - 1))
 
 
 class TestScheduleContainer:

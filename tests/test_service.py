@@ -11,6 +11,7 @@ from repro.models.presets import MODEL_6_6B
 from repro.parallel.config import Method
 from repro.search import grid as grid_module
 from repro.search.grid import SearchOutcome, best_configuration
+from repro.search.objective import DEFAULT_OBJECTIVE, ParetoFrontObjective
 from repro.search.service import (
     CheckpointStore,
     MultiprocessingExecutor,
@@ -328,7 +329,7 @@ class TestCellTiming:
         ]
         store.store_timing("aaa", 0.5)
         store.store_timing("ccc", 9.0)
-        ordered, _estimates = _order_longest_first(store, tasks)
+        ordered, _estimates = _order_longest_first(store, tasks, DEFAULT_OBJECTIVE)
         # Recorded cells rank by their measured seconds; the unrecorded
         # B=64 cell is estimated from the steepest recorded rate
         # (9.0s / 16 samples), putting its ~36s ahead of both — a big
@@ -343,8 +344,35 @@ class TestCellTiming:
             (0, "aaa", SweepCell(Method.NO_PIPELINE, 8)),
             (1, "bbb", SweepCell(Method.NO_PIPELINE, 64)),
         ]
-        ordered, _estimates = _order_longest_first(store, tasks)
+        ordered, _estimates = _order_longest_first(store, tasks, DEFAULT_OBJECTIVE)
         assert [key for _i, key, _c in ordered] == ["bbb", "aaa"]
+
+    def test_estimates_scale_with_objective_cost_factor(self, tmp_path):
+        from repro.search.service.service import _order_longest_first
+
+        store = CheckpointStore(tmp_path)
+        tasks = [
+            (0, "aaa", SweepCell(Method.NO_PIPELINE, 16)),
+            (1, "bbb", SweepCell(Method.NO_PIPELINE, 64)),
+        ]
+        # Cold store: a Pareto cell simulates ~2x the candidates, so its
+        # seconds estimate (and the ETA built on it) doubles.
+        _o, flat = _order_longest_first(store, tasks, DEFAULT_OBJECTIVE)
+        _o, pareto = _order_longest_first(store, tasks, ParetoFrontObjective())
+        factor = ParetoFrontObjective.simulate_cost_factor
+        assert factor == 2.0
+        assert pareto["bbb"] == flat["bbb"] * factor
+
+        # With a recorded sidecar the measured seconds win verbatim, and
+        # the unrecorded cell's estimate is objective-independent: the
+        # factor divides out of the recorded rate and multiplies back
+        # into the estimate, keeping sidecar-derived scales comparable
+        # across objectives.
+        store.store_timing("aaa", 8.0)
+        _o, flat = _order_longest_first(store, tasks, DEFAULT_OBJECTIVE)
+        _o, pareto = _order_longest_first(store, tasks, ParetoFrontObjective())
+        assert flat["aaa"] == pareto["aaa"] == 8.0
+        assert flat["bbb"] == pareto["bbb"] == 8.0 / 16 * 64
 
     def test_scheduling_order_never_changes_results(self, tmp_path, outcomes):
         # Seed timings that force a non-input order, then sweep: results
@@ -401,7 +429,20 @@ class TestTieBreak:
                 timeline=(),
             )
 
+        def flat_simulate_delta(
+            spec, config, cluster, *, base=None, implementation=None,
+            calibration=None, schedule=None, memory=None, cost=None,
+        ):
+            impl = cost.implementation if cost is not None else implementation
+            result = flat_simulate(
+                spec, config, cluster, implementation=impl,
+                calibration=calibration, schedule=schedule,
+                memory=memory, cost=cost,
+            )
+            return result, None, False
+
         monkeypatch.setattr(grid_module, "simulate", flat_simulate)
+        monkeypatch.setattr(grid_module, "simulate_delta", flat_simulate_delta)
         outcome = grid_module.best_configuration(
             MODEL_6_6B, DGX1_CLUSTER_64, Method.NO_PIPELINE, 64
         )

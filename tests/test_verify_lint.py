@@ -114,6 +114,56 @@ def test_not_serialized_marker_suppresses_coverage(clean_sources):
     )
 
 
+class TestScalarCostRule:
+    GRID = "src/repro/search/grid.py"
+
+    def test_scalar_table_call_in_hot_path_is_a_finding(self, clean_sources):
+        snippet = (
+            "\ndef _sneaky(spec, cluster, calibration, impl):\n"
+            "    return stage_time_table(\n"
+            "        spec, cluster, calibration, impl, 2, 1, 1, 1\n"
+            "    )\n"
+        )
+        sources = _with_appended(clean_sources, self.GRID, snippet)
+        findings = lint_sources(sources)
+        assert any(
+            f.rule == "L502" and self.GRID in f.location for f in findings
+        )
+
+    def test_private_table_call_also_fires(self, clean_sources):
+        snippet = (
+            "\nfrom repro.sim import cost as _cost\n"
+            "def _sneakier(key):\n"
+            "    return _cost._stage_time_table(*key)\n"
+        )
+        sources = _with_appended(
+            clean_sources, "src/repro/sim/cost_batch.py", snippet
+        )
+        rules = {f.rule for f in lint_sources(sources)}
+        assert "L502" in rules
+
+    def test_marker_suppresses_the_seam(self, clean_sources):
+        snippet = (
+            "\ndef _seam(key):\n"
+            "    return stage_time_table(*key)  # lint: scalar-cost-ok\n"
+        )
+        sources = _with_appended(clean_sources, self.GRID, snippet)
+        assert not any(f.rule == "L502" for f in lint_sources(sources))
+
+    def test_cache_object_access_never_flags(self, clean_sources):
+        # The batch seam itself: .seed/.seeded/.cache_info are attribute
+        # calls on the cache object, not scalar pricing.  The committed
+        # tree already uses all of them and lints clean
+        # (test_committed_tree_lints_clean), but hold the distinction
+        # explicitly against a rewrite of the rule.
+        snippet = (
+            "\ndef _peek():\n"
+            "    return stage_time_table.cache_info()\n"
+        )
+        sources = _with_appended(clean_sources, self.GRID, snippet)
+        assert not any(f.rule == "L502" for f in lint_sources(sources))
+
+
 def test_cli_lint_and_zoo_exit_zero(capsys):
     from repro.verify.cli import main
 
