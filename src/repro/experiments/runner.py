@@ -535,13 +535,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        # Lazy: the planner service is only needed when serving.
+        from repro.planner.cli import serve_main
+
+        return serve_main(list(argv[1:]))
+    if argv and argv[0] == "plan":
+        from repro.planner.cli import plan_main
+
+        return plan_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's figures and tables.  "
         "Subcommands: `calibrate` fits the cost model to the paper's "
         "anchors, `frontier` searches the throughput/memory Pareto "
         "frontier, `sweep-trace` exports a sweep's worker timeline, "
         "`report` aggregates --metrics-out observability metrics, "
-        "`verify` runs the static schedule verifier and repo linter."
+        "`verify` runs the static schedule verifier and repo linter, "
+        "`serve` runs the HTTP best-configuration planner, `plan` "
+        "answers one planner query in-process."
     )
     parser.add_argument(
         "names",

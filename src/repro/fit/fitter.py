@@ -70,6 +70,11 @@ FIT_PARAMETERS: tuple[FitParameter, ...] = (
     FitParameter("optimizer_bytes_per_param", 16.0, 128.0),
     # Fixed per-step overhead: zero to 50 ms.
     FitParameter("fixed_step_overhead", 0.0, 0.05),
+    # Shared multiplier on the NetworkSpec overhead family (latency,
+    # sync penalty, launch cost) on the PP/TP paths: 0.25 (specs
+    # pessimistic) to 8x (NCCL protocol overheads the nominal constants
+    # understate, as the hot Ethernet anchors suggest).
+    FitParameter("network_overhead_scale", 0.25, 8.0),
 )
 
 

@@ -1,0 +1,160 @@
+"""Minimal stdlib HTTP/JSON front-end for the planner.
+
+``asyncio.start_server`` plus a hand-rolled HTTP/1.1 parser — enough
+protocol for a JSON service and nothing more (no keep-alive, no chunked
+bodies, no TLS), so the repo stays dependency-free.  Endpoints:
+
+- ``POST /plan`` — a :func:`~repro.planner.protocol.request_from_json`
+  body; answers with :func:`~repro.planner.protocol.answer_to_json`.
+- ``GET /presets`` — the startup frontier index
+  (:meth:`~repro.planner.core.Planner.preset_frontiers`): which cells
+  are already exact hits, per committed preset pair.
+- ``GET /healthz`` — liveness plus the memo-store size.
+
+Malformed requests get a 400 with ``{"error": ...}``; unknown paths a
+404.  Connections are one-shot (``Connection: close``).  All handler
+coroutines follow the same L503 rule as the core: nothing blocking runs
+on the loop — request handling only touches the planner's async API and
+in-memory indexes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.planner.core import Planner
+from repro.planner.protocol import (
+    answer_to_json,
+    request_from_json,
+)
+from repro.search.service.serialize import canonical_dumps
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "serve", "start_planner_server"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Request bodies above this are rejected outright (a plan request is a
+#: few hundred bytes; anything larger is a mistake or abuse).
+_MAX_BODY_BYTES = 1 << 20
+
+_MAX_HEADER_LINES = 100
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 response with the message as the error body."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: ``(method, path, body)``."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise _BadRequest("empty request")
+    try:
+        method, target, _version = request_line.decode("ascii").split()
+    except ValueError as exc:
+        raise _BadRequest(f"malformed request line: {request_line!r}") from exc
+    content_length = 0
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise _BadRequest(f"bad Content-Length: {value!r}") from exc
+    else:
+        raise _BadRequest("too many header lines")
+    if content_length < 0 or content_length > _MAX_BODY_BYTES:
+        raise _BadRequest(f"unacceptable Content-Length: {content_length}")
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method, target.split("?", 1)[0], body
+
+
+def _response(status: int, payload: dict) -> bytes:
+    body = canonical_dumps(payload).encode("utf-8")
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(status, "")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _handle(
+    planner: Planner,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, body = await _read_request(reader)
+            if (method, path) == ("GET", "/healthz"):
+                response = _response(
+                    200, {"status": "ok", "cells_indexed": len(planner.store)}
+                )
+            elif (method, path) == ("GET", "/presets"):
+                response = _response(200, planner.preset_frontiers())
+            elif (method, path) == ("POST", "/plan"):
+                try:
+                    data = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    raise _BadRequest(f"body is not JSON: {exc}") from exc
+                request = request_from_json(data)
+                answer = await planner.plan(request)
+                response = _response(200, answer_to_json(answer))
+            else:
+                response = _response(
+                    404, {"error": f"no such endpoint: {method} {path}"}
+                )
+        except (_BadRequest, ValueError) as exc:
+            # ValueError covers request validation/resolution failures
+            # (unknown model/cluster/objective, bad batch sizes).
+            response = _response(400, {"error": str(exc)})
+        except asyncio.IncompleteReadError:
+            return  # client hung up mid-body; nothing to answer
+        writer.write(response)
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def start_planner_server(
+    planner: Planner,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> asyncio.AbstractServer:
+    """Bind and return the server (caller owns its lifetime).
+
+    ``port=0`` binds an ephemeral port — the tests' mode; read the real
+    one back from ``server.sockets[0].getsockname()``.
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle(planner, r, w), host, port
+    )
+
+
+async def serve(
+    planner: Planner,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> None:
+    """Run the server until cancelled (the CLI's foreground mode)."""
+    server = await start_planner_server(planner, host, port)
+    addr = server.sockets[0].getsockname()
+    print(f"planner listening on http://{addr[0]}:{addr[1]}", flush=True)
+    async with server:
+        await server.serve_forever()

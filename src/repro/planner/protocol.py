@@ -1,0 +1,277 @@
+"""Planner wire protocol: requests, answers, and query keys.
+
+A :class:`PlanRequest` names everything a plan query depends on —
+model preset, cluster, objective, batch sizes, method subset — in plain
+JSON-able values, so the same object serves the in-process API, the CLI
+``repro-experiments plan`` subcommand, and the HTTP front-end.
+
+Query keys extend the checkpoint cell-key scheme one level up: a *cell
+key* (:func:`repro.search.service.serialize.cell_key`) hashes one
+(method, batch size) search; a *query key* hashes the whole request —
+the same context payload plus the method and batch-size lists, tagged
+``"scope": "plan"`` so the two hash families can never collide.  A
+query therefore decomposes into exactly the cell keys the sweep service
+would compute for its cells, which is what lets the planner serve
+exact hits straight out of a sweep's :class:`~repro.search.service.
+memo.MemoStore` without ever having run itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.hardware.cluster import (
+    DGX1_CLUSTER_64,
+    DGX1_CLUSTER_64_ETHERNET,
+    ClusterSpec,
+)
+from repro.models.presets import PRESETS
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Method
+from repro.search.cell import SearchSettings
+from repro.search.grid import SearchOutcome
+from repro.search.objective import parse_objective
+from repro.search.service.serialize import (
+    FORMAT_VERSION,
+    canonical_dumps,
+    context_to_json,
+    outcome_from_json,
+    outcome_to_json,
+    result_from_json,
+    result_to_json,
+    settings_to_json,
+)
+from repro.sim.calibration import Calibration
+from repro.sim.simulator import SimulationResult
+
+__all__ = [
+    "CLUSTER_ALIASES",
+    "PlanAnswer",
+    "PlanRequest",
+    "ResolvedPlan",
+    "answer_from_json",
+    "answer_to_json",
+    "query_key",
+    "request_from_json",
+    "request_to_json",
+]
+
+#: Cluster presets addressable by request, keyed by short stable alias
+#: (the display names carry spaces and parentheses).
+CLUSTER_ALIASES: dict[str, ClusterSpec] = {
+    "dgx1-64": DGX1_CLUSTER_64,
+    "dgx1-64-ethernet": DGX1_CLUSTER_64_ETHERNET,
+}
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planner query, in wire-friendly terms.
+
+    Attributes:
+        model: Model preset name (:data:`repro.models.presets.PRESETS`).
+        cluster: Cluster alias (:data:`CLUSTER_ALIASES`).
+        batch_sizes: Global batch sizes to plan for.
+        objective: Objective kind
+            (:data:`repro.search.objective.OBJECTIVE_KINDS`).
+        memory_headroom: Budget for the ``memory-constrained``
+            objective; must be omitted for every other kind.
+        include_hybrid: Enumerate the Section 4.2 hybrid-schedule axis.
+        methods: ``Method.value`` names to search; empty means all four
+            standard methods.
+    """
+
+    model: str
+    cluster: str
+    batch_sizes: tuple[int, ...]
+    objective: str = "throughput"
+    memory_headroom: float | None = None
+    include_hybrid: bool = False
+    methods: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.batch_sizes:
+            raise ValueError("batch_sizes must not be empty")
+        if any(b <= 0 for b in self.batch_sizes):
+            raise ValueError(f"batch sizes must be positive: {self.batch_sizes}")
+        if len(set(self.batch_sizes)) != len(self.batch_sizes):
+            raise ValueError(f"duplicate batch sizes: {self.batch_sizes}")
+
+    def resolve(self) -> ResolvedPlan:
+        """Bind names to objects; raises ``ValueError`` on unknown ones."""
+        spec = PRESETS.get(self.model)
+        if spec is None:
+            raise ValueError(
+                f"unknown model {self.model!r}; choose from "
+                f"{', '.join(sorted(PRESETS))}"
+            )
+        cluster = CLUSTER_ALIASES.get(self.cluster)
+        if cluster is None:
+            raise ValueError(
+                f"unknown cluster {self.cluster!r}; choose from "
+                f"{', '.join(sorted(CLUSTER_ALIASES))}"
+            )
+        settings = SearchSettings(
+            include_hybrid=self.include_hybrid,
+            objective=parse_objective(
+                self.objective, memory_headroom=self.memory_headroom
+            ),
+        )
+        if self.methods:
+            methods = tuple(Method(name) for name in self.methods)
+        else:
+            methods = tuple(Method)
+        return ResolvedPlan(
+            spec=spec,
+            cluster=cluster,
+            settings=settings,
+            methods=methods,
+            batch_sizes=tuple(self.batch_sizes),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedPlan:
+    """A request with every name resolved to its object."""
+
+    spec: TransformerSpec
+    cluster: ClusterSpec
+    settings: SearchSettings
+    methods: tuple[Method, ...]
+    batch_sizes: tuple[int, ...]
+
+
+def query_key(resolved: ResolvedPlan, calibration: Calibration) -> str:
+    """Content hash of one plan query.
+
+    Same canonical-JSON construction as
+    :func:`~repro.search.service.serialize.cell_key`, over the same
+    context payload, but carrying the *lists* of methods and batch
+    sizes instead of a single cell — plus a ``"scope"`` tag so plan
+    hashes and cell hashes stay disjoint families.  Two requests share
+    a key exactly when their answers must be identical.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "scope": "plan",
+        "methods": [m.value for m in resolved.methods],
+        "batch_sizes": list(resolved.batch_sizes),
+        "settings": settings_to_json(resolved.settings),
+        **context_to_json(resolved.spec, resolved.cluster, calibration),
+    }
+    digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class PlanAnswer:
+    """Everything a plan query returns.
+
+    Attributes:
+        query_key: :func:`query_key` of the request that produced this.
+        cell_keys: Checkpoint cell key of each searched cell, aligned
+            with ``outcomes`` — the decomposition the memo store caches.
+        outcomes: One :class:`~repro.search.grid.SearchOutcome` per
+            (method, batch size) cell, methods-major, batch-minor.
+        sources: Where each outcome came from, aligned with
+            ``outcomes``: ``"exact"`` (memo hit), ``"seeded"``
+            (searched with a neighbor warm start), ``"computed"``
+            (cold search), or ``"coalesced"`` (shared an identical
+            in-flight cell's result).
+        best: The single best simulation across all cells under the
+            request's objective ranking, or ``None`` if nothing was
+            feasible anywhere.
+    """
+
+    query_key: str
+    cell_keys: tuple[str, ...] = ()
+    outcomes: tuple[SearchOutcome, ...] = ()
+    sources: tuple[str, ...] = ()
+    best: SimulationResult | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.cell_keys) == len(self.outcomes) == len(self.sources)
+        ):
+            raise ValueError("cell_keys, outcomes and sources must align")
+
+
+# ------------------------------------------------------------ JSON wire
+
+
+def request_to_json(request: PlanRequest) -> dict:
+    data: dict = {
+        "model": request.model,
+        "cluster": request.cluster,
+        "batch_sizes": list(request.batch_sizes),
+        "objective": request.objective,
+        "include_hybrid": request.include_hybrid,
+        "methods": list(request.methods),
+    }
+    if request.memory_headroom is not None:
+        data["memory_headroom"] = request.memory_headroom
+    return data
+
+
+def request_from_json(data: dict) -> PlanRequest:
+    """Build a request from wire JSON; ``ValueError`` on malformed input."""
+    if not isinstance(data, dict):
+        raise ValueError("plan request must be a JSON object")
+    unknown = set(data) - {
+        "model",
+        "cluster",
+        "batch_sizes",
+        "objective",
+        "memory_headroom",
+        "include_hybrid",
+        "methods",
+    }
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    try:
+        headroom = data.get("memory_headroom")
+        return PlanRequest(
+            model=str(data["model"]),
+            cluster=str(data["cluster"]),
+            batch_sizes=tuple(int(b) for b in data["batch_sizes"]),
+            objective=str(data.get("objective", "throughput")),
+            memory_headroom=None if headroom is None else float(headroom),
+            include_hybrid=bool(data.get("include_hybrid", False)),
+            methods=tuple(str(m) for m in data.get("methods", ())),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed plan request: {exc}") from exc
+
+
+def answer_to_json(answer: PlanAnswer) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "query_key": answer.query_key,
+        "cells": [
+            {
+                "key": key,
+                "source": source,
+                "outcome": outcome_to_json(outcome),
+            }
+            for key, source, outcome in zip(
+                answer.cell_keys, answer.sources, answer.outcomes
+            )
+        ],
+        "best": None if answer.best is None else result_to_json(answer.best),
+    }
+
+
+def answer_from_json(data: dict) -> PlanAnswer:
+    """Inverse of :func:`answer_to_json` (used by the CLI client side)."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"format {data.get('format')!r} != {FORMAT_VERSION}")
+    cells = data["cells"]
+    best = data.get("best")
+    return PlanAnswer(
+        query_key=str(data["query_key"]),
+        cell_keys=tuple(str(c["key"]) for c in cells),
+        outcomes=tuple(outcome_from_json(c["outcome"]) for c in cells),
+        sources=tuple(str(c["source"]) for c in cells),
+        best=None if best is None else result_from_json(best),
+    )

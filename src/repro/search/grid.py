@@ -69,8 +69,8 @@ from repro.search.cell import DEFAULT_SETTINGS, SearchSettings
 from repro.search.objective import Objective
 from repro.search.space import configuration_space
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.sim.cost import CostModel, comm_time_table, stage_time_table
-from repro.sim.cost_batch import warm_family_tables
+from repro.sim.cost import CostModel, WarmStartSeed, comm_time_table, stage_time_table
+from repro.sim.cost_batch import warm_family_tables, warm_seed_caches
 from repro.sim.implementation import ImplementationProfile
 from repro.sim.simulator import (
     SimulationBase,
@@ -466,6 +466,8 @@ def best_configuration(
     batch_size: int,
     calibration: Calibration = DEFAULT_CALIBRATION,
     settings: SearchSettings = DEFAULT_SETTINGS,
+    *,
+    seed: WarmStartSeed | None = None,
 ) -> SearchOutcome:
     """Search one cell of the Figure 7 grid through the pruning pipeline.
 
@@ -475,8 +477,19 @@ def best_configuration(
     the outcome never depends on it), the Section 4.2 hybrid schedule
     axis (off by default to match the paper's grids), and the objective
     (throughput argmax by default; see :mod:`repro.search.objective`).
+
+    ``seed`` optionally carries a neighbor cell's configs
+    (:class:`~repro.sim.cost.WarmStartSeed`, produced by the planner's
+    memo store): their families are pre-priced into the shared tables
+    before the stages run.  Seeding is outcome-neutral by construction —
+    it only moves cache fills earlier, so the returned outcome is
+    byte-identical to an unseeded search.
     """
     rec = get_recorder()
+    if seed:
+        n_seeded = warm_seed_caches(spec, cluster, calibration, seed)
+        if rec.enabled:
+            rec.count("search.warm_start.seeded_families", n_seeded)
     if rec.enabled:
         warm_before = stage_time_table.cache_info()
         comm_before = comm_time_table.cache_info()

@@ -26,12 +26,14 @@ from repro.search.service.executors import (
     SerialExecutor,
     SweepError,
 )
+from repro.search.service.memo import MANIFEST_NAME, ManifestEntry, MemoStore
 from repro.search.service.progress import ProgressReporter
 from repro.search.service.queue import ClaimedCell, FileWorkQueue, LeaseHeartbeat
 from repro.search.service.serialize import (
     calibration_from_json,
     calibration_to_json,
     cell_key,
+    group_key,
     objective_from_json,
     objective_to_json,
     outcome_from_json,
@@ -41,6 +43,7 @@ from repro.search.service.service import BACKENDS, SweepOptions, run_sweep
 
 __all__ = [
     "BACKENDS",
+    "MANIFEST_NAME",
     "CheckpointStore",
     "ClaimedCell",
     "DEFAULT_SETTINGS",
@@ -48,6 +51,8 @@ __all__ = [
     "FileQueueExecutor",
     "FileWorkQueue",
     "LeaseHeartbeat",
+    "ManifestEntry",
+    "MemoStore",
     "MultiprocessingExecutor",
     "ProcessPoolBackend",
     "ProgressReporter",
@@ -59,6 +64,7 @@ __all__ = [
     "calibration_from_json",
     "calibration_to_json",
     "cell_key",
+    "group_key",
     "objective_from_json",
     "objective_to_json",
     "outcome_from_json",

@@ -44,6 +44,7 @@ __all__ = [
     "config_to_json",
     "context_from_json",
     "context_to_json",
+    "group_key",
     "objective_from_json",
     "objective_to_json",
     "outcome_from_json",
@@ -87,7 +88,18 @@ _NETWORK_FIELDS = (
 _CALIBRATION_FIELDS = (
     "kernel_efficiency_max", "tokens_half_point", "width_half_point",
     "optimizer_bytes_per_param", "fixed_step_overhead",
+    "network_overhead_scale",
 )
+
+#: Calibration fields added after format version 2 shipped, with the
+#: default each one must equal to stay *out* of serialized payloads.
+#: Emitting them only when non-default keeps every pre-existing
+#: checkpoint loading and every default-calibration cell key
+#: byte-identical (the golden hashes in ``tests/test_checkpoint_keys.py``),
+#: while any fitted value still changes every key it touches.
+_CALIBRATION_FIELD_DEFAULTS = {
+    "network_overhead_scale": 1.0,
+}
 
 
 def canonical_dumps(data: Any) -> str:
@@ -109,11 +121,22 @@ def calibration_to_json(calibration: Calibration) -> dict:
     :mod:`repro.fit.report`): a fitted calibration saved and reloaded
     through this pair flows into content hashes byte-identically.
     """
-    return {f: getattr(calibration, f) for f in _CALIBRATION_FIELDS}
+    data = {}
+    for f in _CALIBRATION_FIELDS:
+        value = getattr(calibration, f)
+        if f in _CALIBRATION_FIELD_DEFAULTS and value == _CALIBRATION_FIELD_DEFAULTS[f]:
+            continue
+        data[f] = value
+    return data
 
 
 def calibration_from_json(data: dict) -> Calibration:
-    return Calibration(**{f: float(data[f]) for f in _CALIBRATION_FIELDS})
+    values = {}
+    for f in _CALIBRATION_FIELDS:
+        if f in _CALIBRATION_FIELD_DEFAULTS and f not in data:
+            continue  # post-v2 field at its default: omitted on disk
+        values[f] = float(data[f])
+    return Calibration(**values)
 
 
 # ------------------------------------------------------------- ParallelConfig
@@ -358,6 +381,33 @@ def cell_key(
         "format": FORMAT_VERSION,
         "method": cell.method.value,
         "batch_size": cell.batch_size,
+        "settings": settings_to_json(settings),
+        **context_to_json(spec, cluster, calibration),
+    }
+    digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+def group_key(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    settings: SearchSettings = DEFAULT_SETTINGS,
+) -> str:
+    """Content hash naming one cell *family*: a cell key minus the cell.
+
+    Everything that determines a cell's result except the (method,
+    batch size) pair — two cells share a group exactly when they differ
+    only in what they search, which is what makes one a useful
+    nearest-neighbor warm start for the other.  The planner's memo
+    manifest (:class:`repro.search.service.memo.MemoStore`) stores the
+    group next to each key so neighbor lookups never parse payloads.
+    The ``"scope"`` tag keeps group hashes disjoint from cell hashes by
+    construction.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "scope": "group",
         "settings": settings_to_json(settings),
         **context_to_json(spec, cluster, calibration),
     }

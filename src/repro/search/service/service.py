@@ -43,8 +43,9 @@ from repro.search.service.executors import (
     SerialExecutor,
     SweepError,
 )
+from repro.search.service.memo import MemoStore
 from repro.search.service.progress import ProgressReporter
-from repro.search.service.serialize import cell_key
+from repro.search.service.serialize import cell_key, group_key
 from repro.sim.calibration import DEFAULT_CALIBRATION, Calibration
 
 __all__ = ["BACKENDS", "SweepOptions", "run_sweep"]
@@ -285,13 +286,22 @@ def run_sweep(
         first_of.setdefault(key, (index, cell))
 
     store = (
-        CheckpointStore(options.checkpoint_dir)
+        MemoStore(options.checkpoint_dir)
         if options.checkpoint_dir is not None
         else None
     )
+    group = (
+        group_key(spec, cluster, calibration, settings)
+        if store is not None
+        else None
+    )
     outcomes: dict[str, SearchOutcome] = {}
-    if options.resume and store is not None:
+    if options.resume and store is not None and group is not None:
         outcomes = store.load_many(first_of)
+        # Back-filled manifest entries (pre-MemoStore directories) have
+        # no group; we know the context here, so upgrade them.
+        for key in outcomes:
+            store.annotate_group(key, group)
 
     tasks = [
         (index, key, cell)
@@ -331,7 +341,7 @@ def run_sweep(
                 for index, outcome, elapsed in backend.run(context, tasks):
                     key = key_of_index[index]
                     if store is not None and not backend.writes_checkpoints:
-                        store.store(key, outcome)
+                        store.store(key, outcome, group=group)
                         if elapsed is not None:
                             store.store_timing(key, elapsed)
                     outcomes[key] = outcome

@@ -29,13 +29,14 @@ from repro.obs import (
     write_snapshot_line,
 )
 from repro.obs import clock as obs_clock
-from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.executors import _timed_search
+from repro.search.service.memo import MemoStore
 from repro.search.service.queue import (
     DEFAULT_HEARTBEAT_INTERVAL,
     FileWorkQueue,
     LeaseHeartbeat,
 )
+from repro.search.service.serialize import group_key
 
 __all__ = ["DEFAULT_HEARTBEAT_INTERVAL", "default_worker_id", "main", "run_worker"]
 
@@ -81,7 +82,7 @@ def run_worker(
     """
     queue = FileWorkQueue.open(queue_dir)
     context = queue.load_context()
-    store = CheckpointStore(checkpoint_dir)
+    store = MemoStore(checkpoint_dir)
     if worker_id is None:
         worker_id = default_worker_id()
 
@@ -114,7 +115,7 @@ def run_worker(
 def _drain(
     queue: FileWorkQueue,
     context,
-    store: CheckpointStore,
+    store: MemoStore,
     worker_id: str,
     *,
     wait: bool,
@@ -125,6 +126,8 @@ def _drain(
 ) -> int:
     """The claim/search/checkpoint/complete loop behind :func:`run_worker`."""
     rec = get_recorder()
+    # Every cell of one queue shares a context, hence one memo group.
+    group = group_key(*context)
     run_started = obs_clock.perf()
     busy_seconds = 0.0
     completed = 0
@@ -165,7 +168,7 @@ def _drain(
                 queue.release(claim)
                 raise
             busy_seconds += elapsed
-            store.store(claim.key, outcome)
+            store.store(claim.key, outcome, group=group)
             # Timing sidecar after the result: a crash in between loses
             # only scheduling advice, never the outcome.  Worker and
             # start-time attribution feed the sweep-level Chrome trace.

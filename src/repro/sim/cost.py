@@ -244,6 +244,34 @@ def comm_time_table(
 
 
 @dataclass(frozen=True)
+class WarmStartSeed:
+    """Configs from a neighboring cell's result, offered as cache warmers.
+
+    The planner's memo store finds a solved cell in the same group
+    (identical spec/cluster/calibration/settings, adjacent batch size)
+    and packages its winning and frontier configs here.  Consuming the
+    seed — :func:`repro.sim.cost_batch.warm_seed_caches`, applied by
+    ``best_configuration`` before its stages run — only *pre-populates*
+    the shared family tables (:func:`stage_time_table`,
+    :func:`comm_time_table`, the batched bound partials) with values the
+    search would compute anyway, bit for bit.  It never seeds an
+    incumbent or prunes a candidate, so a seeded search returns a
+    byte-identical outcome to a cold one — the planner's
+    cache-equivalence guarantee rides on exactly that.
+
+    Attributes:
+        configs: Neighbor-cell configurations whose families are worth
+            pricing up front (typically the neighbor's best config plus
+            its objective frontier).
+    """
+
+    configs: tuple[ParallelConfig, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.configs)
+
+
+@dataclass(frozen=True)
 class CostModel:
     """Durations for one (model, config, cluster, implementation) tuple.
 
@@ -323,6 +351,8 @@ class CostModel:
 
         Each exposed all-reduce moves ~8 bytes per hidden unit per token
         (footnote 11); forward and backward each expose two per layer.
+        The per-message latency carries the calibrated network-overhead
+        scale; the bandwidth term never does.
         """
         if self.config.n_tp == 1:
             return 0.0
@@ -330,7 +360,8 @@ class CostModel:
             8.0 * n_allreduces * self.spec.hidden_size * self.tokens_per_microbatch
         )
         net = self.tp_network
-        return n_layers * (bytes_per_layer / net.bandwidth + n_allreduces * net.latency)
+        latency = net.latency * self.calibration.network_overhead_scale
+        return n_layers * (bytes_per_layer / net.bandwidth + n_allreduces * latency)
 
     def forward_time(self, stage: int) -> float:
         """Duration of one micro-batch forward through ``stage``."""
@@ -391,10 +422,25 @@ class CostModel:
         )
 
     def pp_transfer_time(self) -> float:
-        """One stage-to-stage transfer, on whichever stream it runs."""
-        return self.pp_network.transfer_time(
+        """One stage-to-stage transfer, on whichever stream it runs.
+
+        The fixed per-message overheads (latency; plus ``sync_overhead``
+        when not overlapped) carry the calibrated network-overhead
+        scale.  The ``scale == 1.0`` branch returns the unscaled
+        duration verbatim, so default-calibration results stay
+        bit-identical to the pre-calibration model.
+        """
+        time = self.pp_network.transfer_time(
             self.pp_message_bytes, overlapped=self.implementation.pp_overlap
         )
+        scale = self.calibration.network_overhead_scale
+        if scale != 1.0:
+            net = self.pp_network
+            overhead = net.latency
+            if not self.implementation.pp_overlap:
+                overhead += net.sync_overhead
+            time += (scale - 1.0) * overhead
+        return time
 
     def pp_launch_overhead(self) -> float:
         """Compute-stream cost of issuing one overlapped transfer.
@@ -402,11 +448,15 @@ class CostModel:
         Zero when the implementation does not overlap (the whole transfer
         is already charged inline), otherwise the network's per-message
         launch cost — the residual overhead that makes N_loop = 4 rather
-        than 8 optimal for the breadth-first schedule (Section 5.2).
+        than 8 optimal for the breadth-first schedule (Section 5.2) —
+        under the calibrated network-overhead scale (x1.0 is exact).
         """
         if not self.implementation.pp_overlap:
             return 0.0
-        return self.pp_network.overlap_compute_cost
+        return (
+            self.pp_network.overlap_compute_cost
+            * self.calibration.network_overhead_scale
+        )
 
     # ------------------------------------------------------- data parallel
 

@@ -38,8 +38,14 @@ from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
 from repro.parallel.config import ParallelConfig, ScheduleKind, Sharding
 from repro.sim.calibration import Calibration
-from repro.sim.cost import CostModel, StageTimes, comm_time_table, stage_time_table
-from repro.sim.implementation import ImplementationProfile
+from repro.sim.cost import (
+    CostModel,
+    StageTimes,
+    WarmStartSeed,
+    comm_time_table,
+    stage_time_table,
+)
+from repro.sim.implementation import ImplementationProfile, default_implementation_for
 
 __all__ = [
     "BoundPartials",
@@ -48,6 +54,7 @@ __all__ = [
     "comm_rank_sums",
     "price_family",
     "warm_family_tables",
+    "warm_seed_caches",
 ]
 
 #: A batch-independent config family: the axes per-stage durations depend
@@ -101,7 +108,8 @@ def price_family(
         bytes_per_layer = (
             8.0 * 2 * spec.hidden_size * probe.tokens_per_microbatch
         )
-        tp_per_layer = bytes_per_layer / net.bandwidth + 2 * net.latency
+        latency = net.latency * calibration.network_overhead_scale
+        tp_per_layer = bytes_per_layer / net.bandwidth + 2 * latency
         tp_exposed = n_layers * tp_per_layer
     else:
         tp_exposed = 0.0
@@ -298,3 +306,63 @@ def warm_family_tables(
         )
         n_priced += 1
     return n_priced, n_already
+
+
+def warm_seed_caches(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    seed: WarmStartSeed,
+) -> int:
+    """Pre-price the config families named by a neighbor-cell seed.
+
+    For every config in ``seed`` this warms exactly the caches the
+    search's own stages would fill for that family — the shared
+    stage-time table (via the vectorized pricer), the per-rank bound
+    partials, and the DP collective table with its rank sums.  All of
+    them are keyed memos of deterministic functions, so seeding changes
+    *when* values are computed, never *what* the search returns: a
+    seeded ``best_configuration`` is byte-identical to a cold one
+    (pinned by the planner's cache-equivalence tests).
+
+    Returns the number of distinct stage-time families warmed, for the
+    ``search.warm_start.seeded_families`` obs counter.
+    """
+    families: dict[tuple, None] = {}
+    for config in seed.configs:
+        implementation = default_implementation_for(config.schedule)
+        family = (
+            config.n_pp,
+            config.n_loop,
+            config.microbatch_size,
+            config.n_tp,
+        )
+        families.setdefault((implementation, family), None)
+        bound_partials(spec, cluster, calibration, implementation, *family)
+        comm_time_table(
+            spec,
+            cluster,
+            implementation,
+            config.n_pp,
+            config.n_loop,
+            config.n_tp,
+            config.n_dp,
+            config.sharding,
+        )
+        comm_rank_sums(
+            spec,
+            cluster,
+            implementation,
+            config.n_pp,
+            config.n_loop,
+            config.n_tp,
+            config.n_dp,
+            config.sharding,
+        )
+    n_warmed = 0
+    for implementation, family in families:
+        n_priced, _ = warm_family_tables(
+            spec, cluster, calibration, implementation, (family,)
+        )
+        n_warmed += n_priced
+    return n_warmed

@@ -45,6 +45,16 @@ time*, from source structure alone:
   silently regresses one innocuous-looking call at a time.  The
   deliberate fallback seam carries a ``# lint: scalar-cost-ok``
   marker on the call line.
+- **L503 blocking calls on the planner event loop**: coroutine bodies
+  in the planner service (:mod:`repro.planner.core`,
+  :mod:`repro.planner.http`) may not directly call filesystem or
+  search primitives (``open``/``Path`` I/O, store ``load``/``store``,
+  ``best_configuration``, ``time.sleep``, ...) — those must cross the
+  executor-offload seam (``run_in_executor``), or one innocent call
+  stalls every concurrent request and the p50 latency budget quietly
+  rots.  Passing such a function *reference* to an executor is fine
+  (it is not a call); a deliberate on-loop call carries a
+  ``# lint: blocking-ok`` marker on the call line.
 - **L001 missing module**: a file a rule is configured to scan has
   moved or vanished; the lint configuration must move with it instead
   of silently dropping coverage.
@@ -67,6 +77,7 @@ __all__ = [
     "INSTRUMENTED_SOURCES",
     "KEY_DERIVATION_SOURCES",
     "PAYLOAD_CLASSES",
+    "PLANNER_SOURCES",
     "SERIALIZER_SOURCES",
     "lint_repo",
     "lint_sources",
@@ -150,6 +161,48 @@ BATCHED_HOT_PATH_SOURCES: tuple[str, ...] = (
     "src/repro/search/grid.py",
     "src/repro/sim/cost_batch.py",
 )
+
+#: Suppression marker for a deliberate blocking call inside a planner
+#: coroutine (must appear on the call's line).
+BLOCKING_OK_MARKER = "lint: blocking-ok"
+
+#: Planner event-loop modules; the blocking-call rule (L503) applies to
+#: every ``async def`` here.  ``repro.planner.cli`` is deliberately
+#: absent — it owns no coroutines, it *runs* the loop.
+PLANNER_SOURCES: tuple[str, ...] = (
+    "src/repro/planner/core.py",
+    "src/repro/planner/http.py",
+)
+
+#: Call names (final dotted component) that block the event loop when
+#: invoked directly from a coroutine: filesystem primitives plus the
+#: store/search entry points the planner must offload to its executors.
+#: Matching the final component keeps the rule honest across receivers
+#: (``self._store.load``, ``store.load``, ``path.read_text``, ...).
+_BLOCKING_CALL_NAMES = {
+    "best_configuration",
+    "glob",
+    "load",
+    "load_many",
+    "mkdir",
+    "open",
+    "read_bytes",
+    "read_text",
+    "rename",
+    "replace",
+    "run_search",
+    "run_sweep",
+    "store",
+    "store_timing",
+    "unlink",
+    "write_bytes",
+    "write_text",
+}
+
+#: Exact dotted names additionally banned in coroutines.  ``time.sleep``
+#: is matched in full — a bare ``sleep`` component would false-positive
+#: on ``asyncio.sleep``, the sanctioned async form.
+_BLOCKING_EXACT_CALLS = {"time.sleep"}
 
 #: Clock primitives that bypass the ``repro.obs.clock`` seam.
 _CLOCK_CALLS = {
@@ -525,6 +578,61 @@ def _check_scalar_cost_calls(
         )
 
 
+def _coroutine_calls(func: ast.AsyncFunctionDef) -> Iterable[ast.Call]:
+    """Call nodes executed in ``func``'s own coroutine frame.
+
+    Nested ``def``/``async def`` bodies are separate frames: a sync
+    helper defined inside a coroutine is typically *handed to* an
+    executor rather than called on the loop, and nested coroutines get
+    their own visit from the outer ``ast.walk``.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_blocking_on_loop(
+    path: str, source: str, tree: ast.Module, findings: list[Finding]
+) -> None:
+    lines = source.splitlines()
+    for func in ast.walk(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _coroutine_calls(func):
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            # A function *reference* passed to ``run_in_executor`` (or
+            # wrapped in ``functools.partial``) is not a Call node and
+            # never reaches this point — only direct on-loop invocation
+            # flags.
+            if (
+                name not in _BLOCKING_EXACT_CALLS
+                and name.split(".")[-1] not in _BLOCKING_CALL_NAMES
+            ):
+                continue
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if BLOCKING_OK_MARKER in line:
+                continue
+            findings.append(
+                Finding(
+                    rule="L503",
+                    location=f"{path}:{node.lineno}",
+                    message=(
+                        f"blocking {name}() call inside coroutine "
+                        f"'{func.name}' — offload it through the planner's "
+                        "executor seam (run_in_executor), or mark the line "
+                        f"'# {BLOCKING_OK_MARKER}'"
+                    ),
+                )
+            )
+
+
 def _check_bare_except(
     path: str, tree: ast.Module, findings: list[Finding]
 ) -> None:
@@ -561,6 +669,7 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     required |= {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     required |= set(INSTRUMENTED_SOURCES)
     required |= set(BATCHED_HOT_PATH_SOURCES)
+    required |= set(PLANNER_SOURCES)
     for path in sorted(required):
         if path not in sources:
             findings.append(
@@ -592,6 +701,9 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     for path in BATCHED_HOT_PATH_SOURCES:
         if path in trees:
             _check_scalar_cost_calls(path, sources[path], trees[path], findings)
+    for path in PLANNER_SOURCES:
+        if path in trees:
+            _check_blocking_on_loop(path, sources[path], trees[path], findings)
     for path, tree in sorted(trees.items()):
         _check_bare_except(path, tree, findings)
     return findings
@@ -604,6 +716,7 @@ def _scan_paths(root: Path) -> Iterable[Path]:
         | set(KEY_DERIVATION_SOURCES)
         | set(INSTRUMENTED_SOURCES)
         | set(BATCHED_HOT_PATH_SOURCES)
+        | set(PLANNER_SOURCES)
         | {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     ):
         yield root / rel

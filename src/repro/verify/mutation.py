@@ -229,6 +229,17 @@ def _direct_wall_clock(source: str) -> str:
     return source.replace("obs_clock.wall()", "time.time()", 1)
 
 
+def _blocking_store_load(source: str) -> str:
+    """Un-offload the memo-store read onto the planner event loop."""
+    offloaded = (
+        "await loop.run_in_executor(\n"
+        "            self._io_pool, self._store.load, key\n"
+        "        )"
+    )
+    assert offloaded in source
+    return source.replace(offloaded, "self._store.load(key)", 1)
+
+
 @dataclass(frozen=True)
 class LintMutation:
     name: str
@@ -259,6 +270,13 @@ LINT_MUTATIONS: tuple[LintMutation, ...] = (
         ("L501",),
         "src/repro/search/service/worker.py",
         _direct_wall_clock,
+    ),
+    LintMutation(
+        "blocking-store-load",
+        "memo-store load called directly on the planner event loop",
+        ("L503",),
+        "src/repro/planner/core.py",
+        _blocking_store_load,
     ),
 )
 

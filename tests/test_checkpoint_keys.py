@@ -106,3 +106,78 @@ def test_non_default_objectives_never_collide_with_goldens(objective):
     settings = SearchSettings(objective=objective)
     key = _key("52B", Method.BREADTH_FIRST, 8, settings)
     assert key not in GOLDEN_KEYS.values()
+
+
+# --------------------------------------------------------- planner queries
+
+#: Planner query-key goldens, captured when the planner landed.  Query
+#: keys share the cell-key context payload (so they inherit its
+#: stability guarantees) but hash the whole request under a "plan"
+#: scope tag; clients may cache answers by these, so they are pinned
+#: exactly like cell keys.
+GOLDEN_QUERY_KEYS = {
+    "6.6B-bf-8": "7bff700fe3fe3fd4af2d",
+    "6.6B-all-8-16": "93d23f24cf1c3e6200cb",
+    "52B-eth-pareto-64": "b63f6bbd8b7fddd73b1e",
+    "52B-memory-8": "cb2d755436094e276303",
+    "6.6B-hybrid-64": "8cb4e7ff302b7341f273",
+}
+
+
+def _query_requests():
+    from repro.planner.protocol import PlanRequest
+
+    return {
+        "6.6B-bf-8": PlanRequest(
+            model="6.6B",
+            cluster="dgx1-64",
+            batch_sizes=(8,),
+            methods=("Breadth-first",),
+        ),
+        "6.6B-all-8-16": PlanRequest(
+            model="6.6B", cluster="dgx1-64", batch_sizes=(8, 16)
+        ),
+        "52B-eth-pareto-64": PlanRequest(
+            model="52B",
+            cluster="dgx1-64-ethernet",
+            batch_sizes=(64,),
+            objective="pareto",
+        ),
+        "52B-memory-8": PlanRequest(
+            model="52B",
+            cluster="dgx1-64",
+            batch_sizes=(8,),
+            objective="memory-constrained",
+            memory_headroom=0.8,
+        ),
+        "6.6B-hybrid-64": PlanRequest(
+            model="6.6B",
+            cluster="dgx1-64",
+            batch_sizes=(64,),
+            include_hybrid=True,
+            methods=("Breadth-first", "Depth-first"),
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_QUERY_KEYS))
+def test_planner_query_keys_match_goldens(name):
+    from repro.planner.protocol import query_key
+
+    request = _query_requests()[name]
+    key = query_key(request.resolve(), DEFAULT_CALIBRATION)
+    assert key == GOLDEN_QUERY_KEYS[name]
+
+
+def test_query_keys_and_cell_keys_are_disjoint_families():
+    # The "scope": "plan" tag guarantees a plan hash can never alias a
+    # cell hash, even for a one-cell request over the same context.
+    from repro.planner.protocol import query_key
+
+    request = _query_requests()["6.6B-bf-8"]
+    plan_hash = query_key(request.resolve(), DEFAULT_CALIBRATION)
+    one_cell = _key(
+        "6.6B", Method.BREADTH_FIRST, 8, request.resolve().settings
+    )
+    assert plan_hash != one_cell
+    assert plan_hash not in GOLDEN_KEYS.values()

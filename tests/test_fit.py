@@ -243,7 +243,7 @@ class TestFitter:
 class TestCalibrationValidation:
     @pytest.mark.parametrize("field", [
         "kernel_efficiency_max", "tokens_half_point", "width_half_point",
-        "optimizer_bytes_per_param",
+        "optimizer_bytes_per_param", "network_overhead_scale",
     ])
     @pytest.mark.parametrize("bad", [0.0, -1.0])
     def test_non_positive_constants_rejected_at_construction(self, field, bad):
@@ -271,6 +271,7 @@ NON_DEFAULT = Calibration(
     width_half_point=310.25,
     optimizer_bytes_per_param=48.125,
     fixed_step_overhead=7.8125e-3,
+    network_overhead_scale=1.5,
 )
 
 
@@ -388,3 +389,47 @@ class TestCommittedFit:
                 f"{name}: {anchor.label} memory ratio "
                 f"{residual.memory_ratio:.3f} outside [{low}, {high}]"
             )
+
+
+class TestNetworkOverheadFit:
+    """The fitted NetworkSpec overhead scale and its Ethernet payoff."""
+
+    def test_network_overhead_scale_is_fitted(self):
+        assert "network_overhead_scale" in {p.name for p in FIT_PARAMETERS}
+        fitted = load_calibration(FITTED_PATH)
+        assert fitted.network_overhead_scale != 1.0
+
+    def test_both_ethernet_anchors_tighten_under_fitted_scale(self):
+        """The carried ROADMAP item: the overhead fit must make both
+        Appendix E Ethernet rows strictly more accurate than the same
+        fitted calibration with the scale stripped back to 1.0."""
+        from dataclasses import replace
+
+        fitted = load_calibration(FITTED_PATH)
+        stripped = replace(fitted, network_overhead_scale=1.0)
+        evaluator = AnchorEvaluator()
+        with_scale = evaluator.evaluate(fitted)
+        without = evaluator.evaluate(stripped)
+        ethernet = [
+            i for i, anchor in enumerate(PAPER_ANCHORS) if anchor.ethernet
+        ]
+        assert len(ethernet) == 2
+        for i in ethernet:
+            assert abs(with_scale[i].throughput_rel_err) < abs(
+                without[i].throughput_rel_err
+            ), (
+                f"{PAPER_ANCHORS[i].label}: fitted overhead scale does not "
+                "tighten this anchor"
+            )
+
+    def test_default_scale_is_omitted_from_json(self):
+        """``network_overhead_scale`` is a post-format-2 field: at its
+        default it must not be emitted, or every pre-existing checkpoint
+        content hash (and the golden cell keys) would shift."""
+        assert "network_overhead_scale" not in calibration_to_json(
+            DEFAULT_CALIBRATION
+        )
+        from dataclasses import replace
+
+        scaled = replace(DEFAULT_CALIBRATION, network_overhead_scale=1.25)
+        assert calibration_to_json(scaled)["network_overhead_scale"] == 1.25

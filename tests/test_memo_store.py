@@ -1,0 +1,176 @@
+"""MemoStore: manifest index over the checkpoint directory.
+
+The manifest is a cache of the directory, never the other way around —
+every test here stresses one leg of that contract: appends index new
+checkpoints, drift (torn lines, missing manifests, deleted payloads)
+heals at construction, back-filled directories written by a plain
+``CheckpointStore`` become queryable, and checkpoint payload bytes are
+exactly what the base class writes (the resume/golden-key guarantee).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import PRESETS
+from repro.parallel.config import Method
+from repro.search.cell import DEFAULT_SETTINGS
+from repro.search.grid import best_configuration
+from repro.search.service.checkpoint import CheckpointStore
+from repro.search.service.memo import MANIFEST_NAME, ManifestEntry, MemoStore
+from repro.sim.calibration import DEFAULT_CALIBRATION
+
+GROUP = "a" * 20
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    """Fast real outcomes (No-pipeline prices in ~1ms per cell)."""
+    spec = PRESETS["6.6B"]
+    return {
+        batch: best_configuration(
+            spec,
+            DGX1_CLUSTER_64,
+            Method.NO_PIPELINE,
+            batch,
+            DEFAULT_CALIBRATION,
+            DEFAULT_SETTINGS,
+        )
+        for batch in (8, 16, 32, 64)
+    }
+
+
+def _fill(store, outcomes, batches, *, group=GROUP):
+    keys = {}
+    for batch in batches:
+        key = f"key-{batch:04d}"
+        store.store(key, outcomes[batch], group=group)
+        keys[batch] = key
+    return keys
+
+
+class TestManifestAppend:
+    def test_store_indexes_and_appends_one_line(self, tmp_path, outcomes):
+        store = MemoStore(tmp_path)
+        store.store("k1", outcomes[8], group=GROUP)
+        assert store.entry_for("k1") == ManifestEntry(
+            "k1", Method.NO_PIPELINE.value, 8, GROUP
+        )
+        assert store.keys() == ["k1"]
+        assert len(store) == 1
+        lines = (tmp_path / MANIFEST_NAME).read_text().splitlines()
+        assert [json.loads(line)["key"] for line in lines] == ["k1"]
+
+    def test_restoring_the_same_outcome_appends_nothing(
+        self, tmp_path, outcomes
+    ):
+        store = MemoStore(tmp_path)
+        store.store("k1", outcomes[8], group=GROUP)
+        before = (tmp_path / MANIFEST_NAME).read_text()
+        store.store("k1", outcomes[8], group=GROUP)
+        assert (tmp_path / MANIFEST_NAME).read_text() == before
+
+    def test_fresh_instance_reads_the_index_back(self, tmp_path, outcomes):
+        _fill(MemoStore(tmp_path), outcomes, (8, 16))
+        reloaded = MemoStore(tmp_path)
+        assert reloaded.keys() == ["key-0008", "key-0016"]
+        entry = reloaded.entry_for("key-0016")
+        assert entry is not None and entry.group == GROUP
+
+    def test_payload_bytes_identical_to_plain_checkpoint_store(
+        self, tmp_path, outcomes
+    ):
+        # The manifest must never leak into checkpoint payloads: golden
+        # cell keys and the byte-compare resume guarantee depend on it.
+        memo = MemoStore(tmp_path / "memo")
+        plain = CheckpointStore(tmp_path / "plain")
+        memo.store("k1", outcomes[8], group=GROUP)
+        plain.store("k1", outcomes[8])
+        assert (
+            memo.path_for("k1").read_bytes() == plain.path_for("k1").read_bytes()
+        )
+
+
+class TestDriftRepair:
+    def test_torn_trailing_line_is_repaired(self, tmp_path, outcomes):
+        _fill(MemoStore(tmp_path), outcomes, (8, 16))
+        manifest = tmp_path / MANIFEST_NAME
+        with open(manifest, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "key-0032", "met')  # crashed mid-append
+        store = MemoStore(tmp_path)
+        assert store.keys() == ["key-0008", "key-0016"]
+        for line in manifest.read_text().splitlines():
+            json.loads(line)  # rewritten manifest is fully parseable
+
+    def test_missing_manifest_backfills_from_plain_directory(
+        self, tmp_path, outcomes
+    ):
+        plain = CheckpointStore(tmp_path)
+        plain.store("k1", outcomes[8])
+        plain.store("k2", outcomes[16])
+        store = MemoStore(tmp_path)
+        assert store.keys() == ["k1", "k2"]
+        entry = store.entry_for("k1")
+        assert entry == ManifestEntry("k1", Method.NO_PIPELINE.value, 8, None)
+        assert (tmp_path / MANIFEST_NAME).is_file()
+
+    def test_deleted_payload_drops_its_manifest_entry(self, tmp_path, outcomes):
+        keys = _fill(MemoStore(tmp_path), outcomes, (8, 16))
+        MemoStore(tmp_path).path_for(keys[8]).unlink()
+        store = MemoStore(tmp_path)
+        assert store.keys() == [keys[16]]
+        raw = (tmp_path / MANIFEST_NAME).read_text()
+        assert keys[8] not in raw
+
+    def test_annotate_group_upgrades_backfilled_entries(
+        self, tmp_path, outcomes
+    ):
+        CheckpointStore(tmp_path).store("k1", outcomes[8])
+        store = MemoStore(tmp_path)
+        assert store.entry_for("k1").group is None
+        store.annotate_group("k1", GROUP)
+        assert store.entry_for("k1").group == GROUP
+        # Last writer wins across restarts, no rewrite needed.
+        assert MemoStore(tmp_path).entry_for("k1").group == GROUP
+        store.annotate_group("k1", GROUP)  # no-op: no duplicate line
+        lines = (tmp_path / MANIFEST_NAME).read_text().splitlines()
+        assert len([ln for ln in lines if '"k1"' in ln]) == 2
+
+
+class TestQueries:
+    def test_neighbors_order_by_log2_distance_then_batch(
+        self, tmp_path, outcomes
+    ):
+        store = MemoStore(tmp_path)
+        keys = _fill(store, outcomes, (8, 16, 64))
+        store.store("other-group", outcomes[32], group="b" * 20)
+        got = store.neighbors(GROUP, Method.NO_PIPELINE.value, 32, limit=2)
+        # 16 and 64 tie at one octave; the smaller batch wins the tie.
+        assert [e.key for e in got] == [keys[16], keys[64]]
+        assert store.neighbors(GROUP, Method.NO_PIPELINE.value, 32, limit=9) == [
+            store.entry_for(keys[16]),
+            store.entry_for(keys[64]),
+            store.entry_for(keys[8]),
+        ]
+        assert store.neighbors(GROUP, Method.BREADTH_FIRST.value, 32) == []
+        assert store.neighbors(GROUP, Method.NO_PIPELINE.value, 32, limit=0) == []
+
+    def test_neighbors_exclude_the_queried_batch_itself(
+        self, tmp_path, outcomes
+    ):
+        store = MemoStore(tmp_path)
+        keys = _fill(store, outcomes, (8, 16))
+        got = store.neighbors(GROUP, Method.NO_PIPELINE.value, 8)
+        assert [e.key for e in got] == [keys[16]]
+
+    def test_load_many_skips_unindexed_keys(self, tmp_path, outcomes):
+        store = MemoStore(tmp_path)
+        keys = _fill(store, outcomes, (8,))
+        # Written behind the index's back: present on disk, not indexed.
+        CheckpointStore(tmp_path).store("stranger", outcomes[16])
+        found = store.load_many([keys[8], "stranger", "absent"])
+        assert sorted(found) == [keys[8]]
+        assert found[keys[8]].batch_size == 8

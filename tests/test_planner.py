@@ -1,0 +1,334 @@
+"""Planner service: memo hits, coalescing, seeding, protocol, HTTP.
+
+The acceptance contract of the planner refactor, end to end:
+
+- **Byte identity** — an exact-hit answer (and a neighbor-seeded one)
+  must equal a cold ``best_configuration`` checkpoint byte for byte,
+  for every objective kind.  Memoization and warm starts are allowed to
+  change *latency*, never *answers*.
+- **Coalescing** — N identical concurrent queries run exactly one
+  ``search.grid`` span.
+- **Wire protocol** — requests validate loudly, answers round-trip
+  through JSON, and the stdlib HTTP front-end serves /plan, /presets
+  and /healthz.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, recording
+from repro.planner import (
+    PlanRequest,
+    Planner,
+    query_key,
+    request_from_json,
+    request_to_json,
+    start_planner_server,
+)
+from repro.search.cell import SweepCell
+from repro.search.grid import best_configuration
+from repro.search.objective import OBJECTIVE_KINDS
+from repro.search.service.serialize import cell_key
+
+MODEL = "6.6B"
+CLUSTER = "dgx1-64"
+BF = "Breadth-first"
+
+
+def _request(batch_sizes=(8,), **overrides):
+    fields = dict(
+        model=MODEL,
+        cluster=CLUSTER,
+        batch_sizes=tuple(batch_sizes),
+        methods=(BF,),
+    )
+    fields.update(overrides)
+    return PlanRequest(**fields)
+
+
+def _plan(planner, request):
+    return asyncio.run(planner.plan(request))
+
+
+def _span_count(registry, name):
+    return sum(1 for s in registry.snapshot()["spans"] if s["name"] == name)
+
+
+class TestAnswers:
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVE_KINDS))
+    def test_exact_hit_is_byte_identical_to_cold_search(
+        self, tmp_path, objective
+    ):
+        request = _request(objective=objective)
+        with Planner(tmp_path) as planner:
+            first = _plan(planner, request)
+        assert first.sources == ("computed",)
+
+        # A fresh planner over the same directory answers from the memo.
+        with Planner(tmp_path) as planner:
+            again = _plan(planner, request)
+            resolved = request.resolve()
+            key = again.cell_keys[0]
+            assert again.sources == ("exact",)
+            assert again.query_key == query_key(resolved, planner.calibration)
+            assert again.outcomes == first.outcomes
+            assert again.best == first.best
+
+            # The memoized checkpoint is the cold search's, byte for byte.
+            cell = resolved
+            cold = best_configuration(
+                cell.spec,
+                cell.cluster,
+                cell.methods[0],
+                cell.batch_sizes[0],
+                planner.calibration,
+                cell.settings,
+            )
+            assert (
+                planner.store.path_for(key).read_bytes()
+                == planner.store.payload_bytes(key, cold)
+            )
+
+    def test_cell_keys_match_the_sweep_service_scheme(self, tmp_path):
+        # A plan decomposes into exactly the cell keys a sweep over the
+        # same context would compute — that is what lets the planner
+        # serve exact hits out of an existing sweep checkpoint dir.
+        request = _request(batch_sizes=(8, 16), methods=(BF, "Depth-first"))
+        with Planner(tmp_path) as planner:
+            answer = _plan(planner, request)
+            resolved = request.resolve()
+            expected = tuple(
+                cell_key(
+                    resolved.spec,
+                    resolved.cluster,
+                    planner.calibration,
+                    SweepCell(method, batch),
+                    resolved.settings,
+                )
+                for method in resolved.methods
+                for batch in resolved.batch_sizes
+            )
+        assert answer.cell_keys == expected
+
+    def test_seeded_miss_is_byte_identical_to_cold_search(self, tmp_path):
+        with Planner(tmp_path) as planner:
+            _plan(planner, _request(batch_sizes=(8,)))
+            with recording(MetricsRegistry(actor="test")) as registry:
+                answer = _plan(planner, _request(batch_sizes=(16,)))
+            assert answer.sources == ("seeded",)
+            counters = registry.snapshot()["counters"]
+            assert counters["planner.hit.seeded"] == 1
+            # The warm-start pass ran (its counter was emitted); the
+            # number of *newly* priced families can legitimately be 0
+            # here because the in-process B=8 search already warmed them.
+            assert "search.warm_start.seeded_families" in counters
+
+            resolved = _request(batch_sizes=(16,)).resolve()
+            cold = best_configuration(
+                resolved.spec,
+                resolved.cluster,
+                resolved.methods[0],
+                16,
+                planner.calibration,
+                resolved.settings,
+            )
+            key = answer.cell_keys[0]
+            assert (
+                planner.store.path_for(key).read_bytes()
+                == planner.store.payload_bytes(key, cold)
+            )
+
+    def test_best_ranks_across_cells(self, tmp_path):
+        request = _request(batch_sizes=(8, 16))
+        with Planner(tmp_path) as planner:
+            answer = _plan(planner, request)
+        feasible = [o.best for o in answer.outcomes if o.best is not None]
+        assert answer.best is not None
+        assert answer.best.throughput_per_gpu == max(
+            r.throughput_per_gpu for r in feasible
+        )
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_run_one_search(self, tmp_path):
+        request = _request()
+
+        async def fan_out(planner, n):
+            return await asyncio.gather(
+                *(planner.plan(request) for _ in range(n))
+            )
+
+        with Planner(tmp_path) as planner:
+            with recording(MetricsRegistry(actor="test")) as registry:
+                answers = asyncio.run(fan_out(planner, 4))
+
+        assert _span_count(registry, "search.grid") == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["planner.coalesced"] == 3
+        assert counters["planner.requests"] == 4
+        sources = sorted(a.sources[0] for a in answers)
+        assert sources == ["coalesced", "coalesced", "coalesced", "computed"]
+        # Every follower shares the leader's object, not a re-parse.
+        outcomes = {id(a.outcomes[0]) for a in answers}
+        assert len(outcomes) == 1
+
+    def test_sequential_queries_do_not_coalesce(self, tmp_path):
+        request = _request()
+        with Planner(tmp_path) as planner:
+            with recording(MetricsRegistry(actor="test")) as registry:
+                first = _plan(planner, request)
+                second = _plan(planner, request)
+        assert first.sources == ("computed",)
+        assert second.sources == ("exact",)
+        counters = registry.snapshot()["counters"]
+        assert "planner.coalesced" not in counters
+        assert counters["planner.hit.exact"] == 1
+        assert _span_count(registry, "search.grid") == 1
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(batch_sizes=()),
+            dict(batch_sizes=(0,)),
+            dict(batch_sizes=(8, 8)),
+        ],
+    )
+    def test_request_validation_rejects_bad_batches(self, bad):
+        with pytest.raises(ValueError):
+            _request(**bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(model="no-such-model"),
+            dict(cluster="no-such-cluster"),
+            dict(objective="no-such-objective"),
+            dict(memory_headroom=0.5),  # headroom without memory objective
+            dict(methods=("No-such-method",)),
+        ],
+    )
+    def test_resolution_rejects_unknown_names(self, bad):
+        with pytest.raises(ValueError):
+            _request(**bad).resolve()
+
+    def test_request_round_trips_through_json(self):
+        request = _request(
+            batch_sizes=(8, 16),
+            objective="memory-constrained",
+            memory_headroom=0.8,
+            include_hybrid=True,
+        )
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_unknown_request_fields_are_rejected(self):
+        data = request_to_json(_request())
+        data["batchsize"] = 8
+        with pytest.raises(ValueError, match="batchsize"):
+            request_from_json(data)
+
+    def test_empty_methods_mean_all_four(self):
+        resolved = _request(methods=()).resolve()
+        assert len(resolved.methods) == 4
+
+    def test_query_keys_separate_requests_that_differ(self, tmp_path):
+        with Planner(tmp_path) as planner:
+            calibration = planner.calibration
+        keys = {
+            query_key(req.resolve(), calibration)
+            for req in (
+                _request(),
+                _request(batch_sizes=(16,)),
+                _request(methods=()),
+                _request(objective="pareto"),
+            )
+        }
+        assert len(keys) == 4
+
+
+class TestHttp:
+    def _roundtrip(self, planner, requests):
+        """Serve on an ephemeral port; fire raw HTTP/1.1 requests."""
+
+        async def run():
+            server = await start_planner_server(planner, port=0)
+            port = server.sockets[0].getsockname()[1]
+            responses = []
+            async with server:
+                for raw in requests:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    writer.write(raw)
+                    await writer.drain()
+                    payload = await reader.read()
+                    writer.close()
+                    await writer.wait_closed()
+                    head, _, body = payload.partition(b"\r\n\r\n")
+                    status = int(head.split()[1])
+                    responses.append((status, json.loads(body)))
+            return responses
+
+        return asyncio.run(run())
+
+    @staticmethod
+    def _post_plan(request):
+        body = json.dumps(request_to_json(request)).encode()
+        return (
+            b"POST /plan HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+
+    def test_plan_presets_healthz_and_errors(self, tmp_path):
+        request = _request()
+        with Planner(tmp_path) as planner:
+            _plan(planner, request)  # populate one cell
+
+        # Fresh planner: the preset index sees the solved cell.
+        with Planner(tmp_path) as planner:
+            assert planner.preset_frontiers() == {
+                f"{MODEL}/{CLUSTER}": {BF: [8]}
+            }
+            responses = self._roundtrip(
+                planner,
+                [
+                    self._post_plan(request),
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+                    b"GET /presets HTTP/1.1\r\nHost: t\r\n\r\n",
+                    b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n",
+                    b"POST /plan HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\n\r\nnot json!",
+                ],
+            )
+        (plan_s, plan_b), (hz_s, hz_b), (pre_s, pre_b), (nf_s, _), (bad_s, bad_b) = (
+            responses
+        )
+        assert plan_s == 200
+        assert plan_b["cells"][0]["source"] == "exact"
+        assert plan_b["query_key"] == query_key(
+            request.resolve(), planner.calibration
+        )
+        assert (hz_s, hz_b) == (200, {"status": "ok", "cells_indexed": 1})
+        assert pre_s == 200 and pre_b == {f"{MODEL}/{CLUSTER}": {BF: [8]}}
+        assert nf_s == 404
+        assert bad_s == 400 and "error" in bad_b
+
+    def test_unknown_model_maps_to_400(self, tmp_path):
+        with Planner(tmp_path) as planner:
+            body = json.dumps(
+                {"model": "nope", "cluster": CLUSTER, "batch_sizes": [8]}
+            ).encode()
+            raw = (
+                b"POST /plan HTTP/1.1\r\nHost: t\r\nContent-Length: "
+                + str(len(body)).encode()
+                + b"\r\n\r\n"
+                + body
+            )
+            ((status, payload),) = self._roundtrip(planner, [raw])
+        assert status == 400
+        assert "unknown model" in payload["error"]

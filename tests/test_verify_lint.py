@@ -164,6 +164,74 @@ class TestScalarCostRule:
         assert not any(f.rule == "L502" for f in lint_sources(sources))
 
 
+class TestBlockingOnLoopRule:
+    CORE = "src/repro/planner/core.py"
+    HTTP = "src/repro/planner/http.py"
+
+    def test_blocking_call_in_coroutine_is_a_finding(self, clean_sources):
+        snippet = (
+            "\nasync def _sneaky(self, key):\n"
+            "    return self._store.load(key)\n"
+        )
+        sources = _with_appended(clean_sources, self.CORE, snippet)
+        findings = lint_sources(sources)
+        assert any(
+            f.rule == "L503" and self.CORE in f.location for f in findings
+        )
+
+    def test_filesystem_and_sleep_calls_fire(self, clean_sources):
+        snippet = (
+            "\nimport time\n"
+            "async def _stall(path):\n"
+            "    time.sleep(0.1)\n"
+            "    return open(path).read()\n"
+        )
+        sources = _with_appended(clean_sources, self.HTTP, snippet)
+        flagged = [f for f in lint_sources(sources) if f.rule == "L503"]
+        assert len(flagged) == 2
+
+    def test_marker_suppresses_a_deliberate_call(self, clean_sources):
+        snippet = (
+            "\nasync def _tiny(self, key):\n"
+            "    return self._store.load(key)  # lint: blocking-ok\n"
+        )
+        sources = _with_appended(clean_sources, self.CORE, snippet)
+        assert not any(f.rule == "L503" for f in lint_sources(sources))
+
+    def test_sync_functions_and_references_never_flag(self, clean_sources):
+        # Blocking work is fine off the loop (sync helpers) and as a
+        # *reference* handed to run_in_executor — only direct on-loop
+        # invocation is the defect.  asyncio.sleep is the sanctioned
+        # async form and must not trip the time.sleep ban.
+        snippet = (
+            "\nimport asyncio\n"
+            "def _helper(self, key):\n"
+            "    return self._store.load(key)\n"
+            "async def _offloaded(self, loop, key):\n"
+            "    await asyncio.sleep(0)\n"
+            "    return await loop.run_in_executor(\n"
+            "        None, self._store.load, key\n"
+            "    )\n"
+        )
+        sources = _with_appended(clean_sources, self.CORE, snippet)
+        assert not any(f.rule == "L503" for f in lint_sources(sources))
+
+    def test_nested_sync_helper_inside_coroutine_never_flags(
+        self, clean_sources
+    ):
+        # The CLI-test idiom: define a sync closure inside the coroutine
+        # and hand it to an executor.  The closure body is a separate
+        # frame, not loop-time code.
+        snippet = (
+            "\nasync def _with_closure(self, loop, key):\n"
+            "    def _read():\n"
+            "        return self._store.load(key)\n"
+            "    return await loop.run_in_executor(None, _read)\n"
+        )
+        sources = _with_appended(clean_sources, self.HTTP, snippet)
+        assert not any(f.rule == "L503" for f in lint_sources(sources))
+
+
 def test_cli_lint_and_zoo_exit_zero(capsys):
     from repro.verify.cli import main
 

@@ -22,6 +22,7 @@ from repro.models.presets import MODEL_6_6B
 from repro.verify.cli import zoo_configs
 from repro.verify.memory_static import static_in_flight
 from repro.verify.mutation import (
+    LINT_MUTATIONS,
     PROGRAM_MUTATIONS,
     run_mutation_tests,
 )
@@ -78,9 +79,8 @@ def mutation_results():
 
 
 @pytest.mark.parametrize(
-    "name", [m.name for m in PROGRAM_MUTATIONS] + [
-        "drop-serializer-field", "unregistered-objective",
-    ],
+    "name",
+    [m.name for m in PROGRAM_MUTATIONS] + [m.name for m in LINT_MUTATIONS],
 )
 def test_every_seeded_corruption_is_detected(mutation_results, name):
     result = mutation_results[name]
