@@ -43,6 +43,21 @@
    ~1.6-5.5x; they are exercised for winner identity by
    ``tests/test_batched_grid.py``.
 
+5. **Shared pricing plane vs per-worker pricing** (this PR's claim):
+   on a 4-worker Figure 7 full-grid sweep (the 6.6B panel: all four
+   methods x five batch sizes), the *aggregate pricing work* of the
+   shared plane — one grid-level vectorized precompute pass plus one
+   store load per worker (:mod:`repro.sim.cost_store`) — must be at
+   least 3x below the PR 9 pipeline's, where each of the four workers
+   cold-prices its own cell subset's family union in its own process.
+   The gate measures pricing work (the quantity the plane changes)
+   rather than sweep wall-clock: pricing is only ~15% of a cold 6.6B
+   full-grid sweep (and ~0% of 52B, where simulation dominates), so no
+   pricing change can move total wall-clock 3x — the real 4-worker
+   store-on/store-off sweeps still run, must produce byte-identical
+   checkpoints, and their wall times are recorded (unguarded) in the
+   trajectory.
+
 Every timed cell also appends a trajectory entry to
 ``benchmarks/BENCH_search.json`` (see :mod:`repro.obs.trajectory`) so
 the perf history accumulates per commit; CI uploads the file as an
@@ -80,9 +95,12 @@ from repro.search.grid import (
     _order_best_bound_first,
     best_configuration,
     cached_schedule,
+    plane_families,
 )
+from repro.search.service import SweepCell, SweepOptions, run_sweep
 from repro.search.service.serialize import result_to_json
 from repro.search.space import configuration_space
+from repro.sim.cost_store import CostStore, collect_tables, seed_from_store
 from repro.sim.calibration import DEFAULT_CALIBRATION
 from repro.sim.cost import CostModel, comm_time_table, stage_time_table
 from repro.sim.engine import Instruction
@@ -913,6 +931,216 @@ def test_batched_grid_speedup(benchmark):
         f"batched grid speedup regressed: {speedup:.2f}x < "
         f"{MIN_BATCHED_SPEEDUP}x (PR5 {pr5_time:.2f}s vs batched "
         f"{new_time:.2f}s)"
+    )
+
+
+#: Shared-pricing-plane guard: the Figure 7 6.6B panel as a 4-worker
+#: sweep — all four methods across the panel's five batch sizes, the
+#: grid with the heaviest family *overlap* across cells (52B is where
+#: simulation dwarfs pricing; see the module docstring).
+PLANE_SPEC = MODEL_6_6B
+PLANE_BATCHES = (32, 64, 128, 256, 512)
+PLANE_METHODS = (
+    Method.BREADTH_FIRST,
+    Method.DEPTH_FIRST,
+    Method.NON_LOOPED,
+    Method.NO_PIPELINE,
+)
+PLANE_WORKERS = 4
+
+#: Required aggregate-pricing-work speedup (4 workers re-pricing their
+#: overlapping subsets collectively do ~4x the grid-union work; measured
+#: ~3.5-4x, 3x is the gate).
+MIN_PLANE_SPEEDUP = 3.0
+
+
+def test_shared_pricing_sweep_speedup(benchmark, tmp_path):
+    """Shared-plane guard: >= 3x less pricing work, byte-identical sweeps.
+
+    **What is gated.**  The aggregate pricing work of a 4-worker
+    full-grid sweep.  The PR 9 baseline is four fresh worker processes
+    each pricing the family union of the cell subset it executes, the
+    way that pipeline's searches did: family-at-a-time
+    (:func:`price_family` per stage family, the scalar ``bound_partials``
+    and ``comm_time_table``/``comm_rank_sums`` probes per family), from
+    cold per-process caches.  Subsets are the schedule order dealt
+    round-robin — the pool's steady state — and cells of one method
+    share families across batch sizes, so the four unions overlap
+    heavily and the workers collectively price ~3.7x the grid union.
+    The shared plane prices the grid union *once*: a coordinator pass
+    (:func:`plane_families` + :func:`collect_tables`, the cross-family
+    vectorized pricer, + the store write), which forked workers inherit
+    warm, plus one full hash-validated load-and-seed
+    (:func:`seed_from_store`) — the read-through cost any
+    non-inheriting consumer (spawn/file-queue worker, a resumed sweep,
+    the planner) pays instead of re-pricing.  Cold caches and a cold
+    store on both sides.  Family *enumeration* is deliberately outside
+    both timings: each pipeline's searches enumerate the same spaces
+    either way; pricing is the work this PR moves.
+
+    **What is not gated, and why.**  Sweep wall-clock: pricing is ~15%
+    of a cold 6.6B full-grid sweep, so even a perfect pricing cache
+    cannot move total wall-clock 3x — a wall-clock gate at 3x would be
+    physically unsatisfiable and a lower one would not bind.  The real
+    4-worker sweeps still run below, store-off then store-on (cold
+    store), must produce *byte-identical* checkpoint files, and their
+    wall times land in the trajectory entry for trend tracking.
+    """
+    from repro.sim.cost_batch import (
+        bound_partials,
+        comm_rank_sums,
+        price_family,
+    )
+
+    cells = [
+        SweepCell(method, batch)
+        for method in PLANE_METHODS
+        for batch in PLANE_BATCHES
+    ]
+    # Schedule order dealt round-robin to 4 workers.  The unions are
+    # enumerated up front, untimed (see the docstring).
+    subsets = [cells[i :: PLANE_WORKERS] for i in range(PLANE_WORKERS)]
+    subset_families = [
+        plane_families(PLANE_SPEC, CLUSTER, subset) for subset in subsets
+    ]
+    grid_families = plane_families(PLANE_SPEC, CLUSTER, cells)
+
+    def per_worker_pricing():
+        """PR 9: each worker prices its own union, family-at-a-time."""
+        total = 0.0
+        entries = 0
+        for by_impl in subset_families:
+            _cold_caches()  # each worker is a fresh process
+            t0 = time.perf_counter()
+            for impl, (stage_families, comm_families) in by_impl.items():
+                for family in stage_families:
+                    stage_time_table.seed(
+                        (PLANE_SPEC, CLUSTER, DEFAULT_CALIBRATION, impl, *family),
+                        price_family(
+                            PLANE_SPEC, CLUSTER, DEFAULT_CALIBRATION, impl, *family
+                        ),
+                    )
+                    bound_partials(
+                        PLANE_SPEC, CLUSTER, DEFAULT_CALIBRATION, impl, *family
+                    )
+                    entries += 2
+                for family in comm_families:
+                    comm_time_table(PLANE_SPEC, CLUSTER, impl, *family)
+                    comm_rank_sums(PLANE_SPEC, CLUSTER, impl, *family)
+                    entries += 1
+            total += time.perf_counter() - t0
+        return total, entries
+
+    def shared_plane_pricing(store_root):
+        """One vectorized coordinator pass + one read-through load."""
+        store = CostStore(store_root)
+        _cold_caches()
+        t0 = time.perf_counter()
+        entries = 0
+        for impl, (stage_families, comm_families) in grid_families.items():
+            tables = collect_tables(
+                PLANE_SPEC,
+                CLUSTER,
+                DEFAULT_CALIBRATION,
+                impl,
+                stage_families,
+                comm_families,
+            )
+            store.store(PLANE_SPEC, CLUSTER, DEFAULT_CALIBRATION, impl, tables)
+            entries += len(tables)
+        _cold_caches()
+        seed_from_store(store, PLANE_SPEC, CLUSTER, DEFAULT_CALIBRATION)
+        return time.perf_counter() - t0, entries
+
+    baseline_work = float("inf")
+    baseline_entries = 0
+    plane_work = float("inf")
+    plane_entries = 0
+    for round_index in range(2):  # min-of-rounds, cold store every round
+        work, baseline_entries = per_worker_pricing()
+        baseline_work = min(baseline_work, work)
+        work, plane_entries = shared_plane_pricing(
+            tmp_path / f"plane-{round_index}"
+        )
+        plane_work = min(plane_work, work)
+    benchmark.pedantic(
+        lambda: shared_plane_pricing(tmp_path / "plane-bench"), rounds=1
+    )
+
+    # The redundancy being eliminated must actually exist on this grid:
+    # four overlapping unions price far more entries than the grid union.
+    assert plane_entries > 0
+    assert baseline_entries >= 3 * plane_entries
+
+    # Real sweeps: 4 workers, cold caches and cold store both sides,
+    # byte-identical checkpoint files and identical outcomes.
+    def run_real_sweep(ckpt_dir, pricing_cache):
+        _cold_caches()
+        t0 = time.perf_counter()
+        outcomes = run_sweep(
+            PLANE_SPEC,
+            CLUSTER,
+            cells,
+            options=SweepOptions(
+                backend="multiprocessing",
+                processes=PLANE_WORKERS,
+                checkpoint_dir=ckpt_dir,
+                pricing_cache=pricing_cache,
+                progress=False,
+            ),
+        )
+        return outcomes, time.perf_counter() - t0
+
+    off_outcomes, off_seconds = run_real_sweep(tmp_path / "off", None)
+    on_outcomes, on_seconds = run_real_sweep(
+        tmp_path / "on", tmp_path / "sweep-plane"
+    )
+    assert on_outcomes == off_outcomes
+    checkpoints_off = {
+        p.name: p.read_bytes()
+        for p in (tmp_path / "off").glob("*.json")
+        if not p.name.endswith(".time.json")
+    }
+    checkpoints_on = {
+        p.name: p.read_bytes()
+        for p in (tmp_path / "on").glob("*.json")
+        if not p.name.endswith(".time.json")
+    }
+    assert len(checkpoints_off) == len(cells)
+    assert checkpoints_on == checkpoints_off
+
+    speedup = baseline_work / plane_work
+    print(
+        f"\nshared pricing plane ({len(cells)} cells, {PLANE_WORKERS} "
+        f"workers): per-worker pricing {baseline_work:.2f}s "
+        f"({baseline_entries} entries), shared plane {plane_work:.2f}s "
+        f"({plane_entries} entries), speedup {speedup:.1f}x; sweep "
+        f"wall-clock store-off {off_seconds:.2f}s / store-on "
+        f"{on_seconds:.2f}s (unguarded)"
+    )
+    record_entry(
+        TRAJECTORY_PATH,
+        bench="shared_pricing_sweep",
+        seconds=plane_work,
+        cell={
+            "model": "6.6B",
+            "methods": sorted(m.name for m in PLANE_METHODS),
+            "batches": list(PLANE_BATCHES),
+            "workers": PLANE_WORKERS,
+        },
+        counters={
+            "per_worker_pricing_seconds": baseline_work,
+            "per_worker_priced_entries": baseline_entries,
+            "plane_priced_entries": plane_entries,
+            "speedup": speedup,
+            "sweep_seconds_store_off": off_seconds,
+            "sweep_seconds_store_on": on_seconds,
+        },
+    )
+    assert speedup >= MIN_PLANE_SPEEDUP, (
+        f"shared pricing plane speedup regressed: {speedup:.2f}x < "
+        f"{MIN_PLANE_SPEEDUP}x (per-worker {baseline_work:.2f}s vs "
+        f"plane {plane_work:.2f}s)"
     )
 
 

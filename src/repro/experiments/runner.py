@@ -243,6 +243,7 @@ def build_sweep_options(args: argparse.Namespace) -> SweepOptions:
         calibration=calibration,
         verify_winners=getattr(args, "verify_winners", False),
         metrics_out=getattr(args, "metrics_out", None),
+        pricing_cache=getattr(args, "pricing_cache", None),
     )
 
 
@@ -659,6 +660,16 @@ def main(argv: Sequence[str] | None = None) -> int:
              "bound tightness, ...) and write JSONL snapshots under DIR — "
              "one file per actor; aggregate with `repro-experiments "
              "report --metrics DIR`",
+    )
+    parser.add_argument(
+        "--pricing-cache",
+        default=None,
+        metavar="DIR",
+        help="shared pricing plane directory (repro.sim.cost_store): "
+             "price each grid's family union once up front, persist the "
+             "tables, and start every sweep worker cache-hot; "
+             "outcome-neutral — results are byte-identical with or "
+             "without it",
     )
     parser.add_argument(
         "--calibration",

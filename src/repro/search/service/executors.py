@@ -31,18 +31,22 @@ import time
 from collections.abc import Iterator, Sequence
 from concurrent import futures
 from pathlib import Path
+from typing import NamedTuple
 
 import repro
 from repro.hardware.cluster import ClusterSpec
 from repro.models.spec import TransformerSpec
+from repro.obs import get_recorder, uninstall
 from repro.obs import clock as obs_clock
 from repro.search.cell import SearchSettings, SweepCell
 from repro.search.grid import SearchOutcome, best_configuration
 from repro.search.service.checkpoint import CheckpointStore
 from repro.search.service.queue import FileWorkQueue, heartbeat_interval_for_lease
 from repro.sim.calibration import Calibration
+from repro.sim.cost import comm_time_table, stage_time_table
 
 __all__ = [
+    "CellReport",
     "Executor",
     "FileQueueExecutor",
     "MultiprocessingExecutor",
@@ -63,14 +67,39 @@ class SweepError(RuntimeError):
     """The sweep could not finish every cell."""
 
 
+class CellReport(NamedTuple):
+    """Per-cell measurement shipped from the searching process.
+
+    Attributes:
+        seconds: Search wall-clock (None when the backend could not
+            measure the search itself, e.g. a cell satisfied by someone
+            else's checkpoint).
+        warm_hit_rate: Fraction of this cell's pricing-table lookups
+            (stage-time + comm) served from warm caches, in [0, 1]; None
+            when no lookups happened or the backend has no measurement.
+            Feeds the progress reporter's hot/cold ETA blend and the
+            timing sidecar.
+        warm_counters: ``search.warm_start.*`` suffix → delta counts for
+            this cell, measured *inside* the searching process.  Only
+            populated when that process has no recorder installed (pool
+            workers — their in-process counts would otherwise be lost
+            when the child exits); the coordinator attributes them into
+            its own snapshot.  None when the process records for itself.
+    """
+
+    seconds: float | None
+    warm_hit_rate: float | None = None
+    warm_counters: dict[str, int] | None = None
+
+
 class Executor:
     """Backend interface: schedule cells, stream back outcomes.
 
-    ``run`` yields ``(index, outcome, elapsed_seconds)`` triples; the
-    elapsed wall-clock feeds the checkpoint store's timing sidecars (and
-    through them the longest-cell-first scheduling of later runs).  It
-    may be ``None`` when the backend cannot measure the search itself
-    (e.g. a cell satisfied by someone else's checkpoint).
+    ``run`` yields ``(index, outcome, report)`` triples; the report's
+    wall-clock feeds the checkpoint store's timing sidecars (and
+    through them the family-clustered longest-first scheduling of later
+    runs), its warm-start measurements feed the cost-weighted ETA and
+    the coordinator's ``search.warm_start.*`` counters.
     """
 
     #: Backend name as selected by ``run_sweep(backend=...)``.
@@ -81,20 +110,46 @@ class Executor:
 
     def run(
         self, context: Context, tasks: Sequence[Task]
-    ) -> Iterator[tuple[int, SearchOutcome, float | None]]:
+    ) -> Iterator[tuple[int, SearchOutcome, CellReport]]:
         raise NotImplementedError
 
 
 def _timed_search(
     context: Context, cell: SweepCell
-) -> tuple[SearchOutcome, float]:
-    """Search one cell, returning (outcome, wall-clock seconds)."""
+) -> tuple[SearchOutcome, CellReport]:
+    """Search one cell, returning (outcome, measurement report).
+
+    The warm-start hit rate and counters come from
+    ``cache_info()`` deltas around the search — measured here, in the
+    process that ran the search, because pool workers reset to zero when
+    they exit: deltas taken anywhere else under-report.  The counters
+    are shipped only when this process has no recorder (otherwise
+    :func:`repro.search.grid.best_configuration` has already counted
+    them in-process and shipping would double-count).
+    """
     spec, cluster, calibration, settings = context
+    stage_before = stage_time_table.cache_info()
+    comm_before = comm_time_table.cache_info()
     start = obs_clock.perf()
     outcome = best_configuration(
         spec, cluster, cell.method, cell.batch_size, calibration, settings
     )
-    return outcome, obs_clock.perf() - start
+    elapsed = obs_clock.perf() - start
+    stage_after = stage_time_table.cache_info()
+    comm_after = comm_time_table.cache_info()
+    counters = {
+        "hits": stage_after.hits - stage_before.hits,
+        "misses": stage_after.misses - stage_before.misses,
+        "comm.hits": comm_after.hits - comm_before.hits,
+        "comm.misses": comm_after.misses - comm_before.misses,
+    }
+    lookups = sum(counters.values())
+    hits = counters["hits"] + counters["comm.hits"]
+    return outcome, CellReport(
+        seconds=elapsed,
+        warm_hit_rate=hits / lookups if lookups else None,
+        warm_counters=None if get_recorder().enabled else counters,
+    )
 
 
 # ------------------------------------------------------------------- serial
@@ -107,8 +162,8 @@ class SerialExecutor(Executor):
 
     def run(self, context, tasks):
         for index, _key, cell in tasks:
-            outcome, elapsed = _timed_search(context, cell)
-            yield index, outcome, elapsed
+            outcome, report = _timed_search(context, cell)
+            yield index, outcome, report
 
 
 # ----------------------------------------------------------- process pools
@@ -124,16 +179,27 @@ def _init_worker(
     cluster: ClusterSpec,
     calibration: Calibration,
     settings: SearchSettings,
+    pricing_cache: str | os.PathLike | None = None,
 ) -> None:
+    # Fork children inherit the coordinator's installed recorder, but
+    # their registry copy dies with them — nothing they count is ever
+    # snapshotted.  Reset to the null recorder so _timed_search ships
+    # the warm-start deltas back to the coordinator instead of counting
+    # them into the void.
+    uninstall()
     _WORKER_CONTEXT["args"] = (spec, cluster, calibration, settings)
+    if pricing_cache is not None:
+        from repro.sim.cost_store import CostStore, seed_from_store
+
+        seed_from_store(CostStore(pricing_cache), spec, cluster, calibration)
 
 
 def _search_indexed(
     task: tuple[int, SweepCell],
-) -> tuple[int, SearchOutcome, float]:
+) -> tuple[int, SearchOutcome, CellReport]:
     index, cell = task
-    outcome, elapsed = _timed_search(_WORKER_CONTEXT["args"], cell)
-    return index, outcome, elapsed
+    outcome, report = _timed_search(_WORKER_CONTEXT["args"], cell)
+    return index, outcome, report
 
 
 def _resolve_processes(processes: int | None, n_tasks: int) -> int:
@@ -155,7 +221,15 @@ def _resolve_start_method(start_method: str | None) -> str:
 
 
 class MultiprocessingExecutor(Executor):
-    """Coarse-grained ``multiprocessing.Pool`` fan-out, fork or spawn."""
+    """Coarse-grained ``multiprocessing.Pool`` fan-out, fork or spawn.
+
+    ``pricing_cache`` names a shared pricing plane directory
+    (:class:`repro.sim.cost_store.CostStore`): every pool worker seeds
+    its in-process family caches from it at initialization, so workers
+    start cache-hot instead of re-pricing the grid's families once per
+    process.  Outcome-neutral — seeded tables are bit-identical to cold
+    pricing.
+    """
 
     name = "multiprocessing"
 
@@ -164,9 +238,11 @@ class MultiprocessingExecutor(Executor):
         *,
         processes: int | None = None,
         start_method: str | None = None,
+        pricing_cache: str | os.PathLike | None = None,
     ) -> None:
         self.processes = processes
         self.start_method = _resolve_start_method(start_method)
+        self.pricing_cache = pricing_cache
 
     def run(self, context, tasks):
         n_proc = _resolve_processes(self.processes, len(tasks))
@@ -176,13 +252,18 @@ class MultiprocessingExecutor(Executor):
         ctx = multiprocessing.get_context(self.start_method)
         payload = [(index, cell) for index, _key, cell in tasks]
         with ctx.Pool(
-            processes=n_proc, initializer=_init_worker, initargs=context
+            processes=n_proc,
+            initializer=_init_worker,
+            initargs=(*context, self.pricing_cache),
         ) as pool:
             yield from pool.imap_unordered(_search_indexed, payload, chunksize=1)
 
 
 class ProcessPoolBackend(Executor):
-    """``concurrent.futures.ProcessPoolExecutor`` fan-out."""
+    """``concurrent.futures.ProcessPoolExecutor`` fan-out.
+
+    ``pricing_cache``: see :class:`MultiprocessingExecutor`.
+    """
 
     name = "process-pool"
 
@@ -191,9 +272,11 @@ class ProcessPoolBackend(Executor):
         *,
         processes: int | None = None,
         start_method: str | None = None,
+        pricing_cache: str | os.PathLike | None = None,
     ) -> None:
         self.processes = processes
         self.start_method = _resolve_start_method(start_method)
+        self.pricing_cache = pricing_cache
 
     def run(self, context, tasks):
         n_proc = _resolve_processes(self.processes, len(tasks))
@@ -205,7 +288,7 @@ class ProcessPoolBackend(Executor):
             max_workers=n_proc,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=context,
+            initargs=(*context, self.pricing_cache),
         ) as pool:
             pending = [
                 pool.submit(_search_indexed, (index, cell))
@@ -242,12 +325,16 @@ def worker_command(
     heartbeat_interval: float | None = None,
     crash_after_claims: int | None = None,
     metrics_out: str | os.PathLike | None = None,
+    pricing_cache: str | os.PathLike | None = None,
 ) -> list[str]:
     """The subprocess argv for one file-queue worker.
 
     ``heartbeat_interval=None`` leaves the worker's own default; pass
     :func:`repro.search.service.queue.heartbeat_interval_for_lease` of
     the coordinator's lease so the heartbeat always beats the janitor.
+    ``pricing_cache`` points the worker at the sweep's shared pricing
+    plane so it starts cache-hot (see
+    :mod:`repro.sim.cost_store`).
     """
     cmd = [
         sys.executable,
@@ -268,6 +355,8 @@ def worker_command(
         cmd += ["--crash-after-claims", str(crash_after_claims)]
     if metrics_out is not None:
         cmd += ["--metrics-out", str(metrics_out)]
+    if pricing_cache is not None:
+        cmd += ["--pricing-cache", str(pricing_cache)]
     return cmd
 
 
@@ -299,6 +388,7 @@ class FileQueueExecutor(Executor):
         orphan_lease: float = 300.0,
         crash_first_worker_after: int | None = None,
         metrics_out: str | os.PathLike | None = None,
+        pricing_cache: str | os.PathLike | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -334,6 +424,10 @@ class FileQueueExecutor(Executor):
         #: Directory each worker appends its metrics snapshot to
         #: (``<dir>/<worker-id>.jsonl``); None leaves observability off.
         self.metrics_out = metrics_out
+        #: Shared pricing plane (:class:`repro.sim.cost_store.CostStore`)
+        #: every spawned worker seeds its family caches from; None means
+        #: workers price their own families cold.
+        self.pricing_cache = pricing_cache
 
     def _recover_stale_claims(self, queue: FileWorkQueue, *, idle: bool) -> None:
         """Expire claims held too long (see ``stale_lease``/``orphan_lease``)."""
@@ -354,6 +448,7 @@ class FileQueueExecutor(Executor):
                 self.crash_first_worker_after if inject_crash else None
             ),
             metrics_out=self.metrics_out,
+            pricing_cache=self.pricing_cache,
         )
         return subprocess.Popen(
             cmd, env=worker_env(), stdout=subprocess.DEVNULL
@@ -387,8 +482,14 @@ class FileQueueExecutor(Executor):
                         )
                     # The worker that computed the cell wrote the timing
                     # sidecar itself; surface it so the service treats
-                    # every backend uniformly.
-                    yield remaining.pop(key), outcome, store.load_timing(key)
+                    # every backend uniformly.  Warm-start counters stay
+                    # None: workers with a recorder write their own
+                    # snapshots, so re-counting here would double-attribute.
+                    record = store.load_timing_record(key) or {}
+                    yield remaining.pop(key), outcome, CellReport(
+                        seconds=record.get("seconds"),
+                        warm_hit_rate=record.get("warm_hit_rate"),
+                    )
                 if not remaining:
                     break
 

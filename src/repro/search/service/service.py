@@ -113,6 +113,19 @@ class SweepOptions:
             append to ``<worker-id>.jsonl``.  Pure observation — never
             part of checkpoint content hashes (not a
             :class:`~repro.search.cell.SearchSettings` field).
+        pricing_cache: Directory of the sweep-wide **shared pricing
+            plane** (:class:`repro.sim.cost_store.CostStore`;
+            ``--pricing-cache`` on the experiments CLI).  When set, the
+            coordinator enumerates the union of pricing families across
+            every cell of the grid, prices the ones the store doesn't
+            already hold in one vectorized pass, persists the bundle,
+            and every worker process seeds its in-process caches from it
+            before searching.  Strictly outcome-neutral: seeded tables
+            are bit-identical to cold pricing (corrupt bundles are
+            hash-rejected and re-priced), so winners, counters and
+            checkpoint bytes never depend on it — and it is therefore
+            never part of checkpoint content hashes (not a
+            :class:`~repro.search.cell.SearchSettings` field).
     """
 
     backend: str = "multiprocessing"
@@ -132,6 +145,7 @@ class SweepOptions:
     verify_winners: bool = False
     batch_eval: bool = True
     metrics_out: str | os.PathLike | None = None
+    pricing_cache: str | os.PathLike | None = None
 
     @property
     def search_settings(self) -> SearchSettings:
@@ -150,11 +164,15 @@ def _make_executor(options: SweepOptions) -> Executor:
         return SerialExecutor()
     if options.backend == "multiprocessing":
         return MultiprocessingExecutor(
-            processes=options.processes, start_method=options.start_method
+            processes=options.processes,
+            start_method=options.start_method,
+            pricing_cache=options.pricing_cache,
         )
     if options.backend == "process-pool":
         return ProcessPoolBackend(
-            processes=options.processes, start_method=options.start_method
+            processes=options.processes,
+            start_method=options.start_method,
+            pricing_cache=options.pricing_cache,
         )
     if options.backend == "file-queue":
         if options.checkpoint_dir is None:
@@ -172,6 +190,7 @@ def _make_executor(options: SweepOptions) -> Executor:
             max_retries=options.max_retries,
             stale_lease=options.stale_lease,
             metrics_out=options.metrics_out,
+            pricing_cache=options.pricing_cache,
         )
     raise ValueError(
         f"unknown backend {options.backend!r}; choose from "
@@ -182,7 +201,18 @@ def _make_executor(options: SweepOptions) -> Executor:
 def _order_longest_first(
     store: CheckpointStore | None, tasks: list, objective: Objective
 ) -> tuple[list, dict[str, float]]:
-    """Schedule the longest cells first; also return the cost estimates.
+    """Family-clustered longest-first order; also the cost estimates.
+
+    Cells of one *method* share pricing families across batch sizes (a
+    family is ``(n_pp, n_loop, s_mb, n_tp)`` — batch size only changes
+    how many micro-batches flow through it), so scheduling a method's
+    cells consecutively means every cell after the group's first runs
+    against warm family caches — on the same worker under the file
+    queue's claim order, and against the shared pricing plane
+    everywhere.  Groups are ordered by their *longest* member
+    (descending), cells within a group longest-first, which preserves
+    the critical-path property: the giant that would otherwise finish
+    alone at the end still starts first.
 
     Recorded wall-clock from the checkpoint store's timing sidecars (a
     previous run over the same directory) ranks known cells exactly;
@@ -230,10 +260,61 @@ def _order_longest_first(
         key: recorded.get(key, rate * cell.batch_size * factor)
         for _index, key, cell in tasks
     }
+    peak: dict = {}
+    for _index, key, cell in tasks:
+        peak[cell.method] = max(peak.get(cell.method, 0.0), estimates[key])
     ordered = sorted(
-        tasks, key=lambda task: (-estimates[task[1]], task[1])
+        tasks,
+        key=lambda task: (
+            -peak[task[2].method],
+            task[2].method.name,
+            -estimates[task[1]],
+            task[1],
+        ),
     )
     return ordered, estimates
+
+
+def _prewarm_pricing(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    settings: SearchSettings,
+    tasks: list,
+    cache_dir: str | os.PathLike,
+) -> None:
+    """Grid-level precompute: price the union of families, once, up front.
+
+    Enumerates every memory-feasible family across *all* cells of the
+    sweep (:func:`repro.search.grid.plane_families`), seeds the
+    coordinator's caches from the shared pricing plane's bundles where
+    they exist, prices whatever is missing in one cross-family
+    vectorized pass, and writes the merged bundle back — healing
+    corrupt or partial bundles as a side effect.  Workers then start
+    cache-hot: fork children inherit the coordinator's warm caches
+    directly, spawn children and file-queue workers load the bundle
+    this function just persisted.  Outcome-neutral by the store's
+    bit-exact round-trip contract.
+    """
+    from repro.search.grid import plane_families
+    from repro.sim.cost_store import CostStore, collect_tables, seed_caches
+
+    store = CostStore(cache_dir)
+    rec = get_recorder()
+    cells = [cell for _index, _key, cell in tasks]
+    with rec.span("sweep.pricing_prewarm"):
+        by_impl = plane_families(spec, cluster, cells, settings)
+        for impl, (stage_families, comm_families) in by_impl.items():
+            loaded = store.load(spec, cluster, calibration, impl)
+            if loaded is not None:
+                seed_caches(spec, cluster, calibration, impl, loaded)
+            tables = collect_tables(
+                spec, cluster, calibration, impl, stage_families, comm_families
+            )
+            if loaded is None:
+                store.store(spec, cluster, calibration, impl, tables)
+            elif loaded.merge(tables):
+                store.store(spec, cluster, calibration, impl, loaded)
 
 
 def run_sweep(
@@ -337,17 +418,40 @@ def run_sweep(
             rec = get_recorder()
             rec.count("sweep.cells_total", len(first_of))
             rec.count("sweep.cells_from_checkpoints", len(outcomes))
+            if options.pricing_cache is not None:
+                # Before the backend starts its workers: fork children
+                # inherit the caches this warms, everyone else reads the
+                # bundle it persists.
+                _prewarm_pricing(
+                    spec, cluster, calibration, settings, tasks,
+                    options.pricing_cache,
+                )
             with rec.span("sweep.run", backend=options.backend):
-                for index, outcome, elapsed in backend.run(context, tasks):
+                for index, outcome, report in backend.run(context, tasks):
                     key = key_of_index[index]
                     if store is not None and not backend.writes_checkpoints:
                         store.store(key, outcome, group=group)
-                        if elapsed is not None:
-                            store.store_timing(key, elapsed)
+                        if report.seconds is not None:
+                            store.store_timing(
+                                key,
+                                report.seconds,
+                                warm_hit_rate=report.warm_hit_rate,
+                            )
                     outcomes[key] = outcome
                     rec.count("sweep.cells_computed")
+                    if report.warm_counters:
+                        # Deltas measured inside recorder-less pool
+                        # workers — attributed here so multiprocessing
+                        # sweeps report the same warm-start counters a
+                        # serial run would.
+                        for name, value in report.warm_counters.items():
+                            rec.count(f"search.warm_start.{name}", value)
                     if reporter is not None:
-                        reporter.update(cost=estimates.get(key))
+                        reporter.update(
+                            cost=estimates.get(key),
+                            seconds=report.seconds,
+                            warm_hit_rate=report.warm_hit_rate,
+                        )
         if own_registry is not None:
             write_snapshot_line(
                 Path(options.metrics_out) / "coordinator.jsonl",

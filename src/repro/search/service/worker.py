@@ -58,6 +58,7 @@ def run_worker(
     heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
     crash_after_claims: int | None = None,
     metrics_out: str | os.PathLike | None = None,
+    pricing_cache: str | os.PathLike | None = None,
 ) -> int:
     """Drain the queue; returns the number of cells this worker completed.
 
@@ -79,12 +80,24 @@ def run_worker(
     appends one snapshot to ``<metrics_out>/<worker_id>.jsonl`` on exit
     — one file per actor, the same single-writer convention as the
     queue's event logs.
+
+    ``pricing_cache`` names the sweep's shared pricing plane
+    (:class:`repro.sim.cost_store.CostStore`): the worker seeds its
+    in-process family caches from the context's bundle before claiming,
+    so it never re-prices families the coordinator already priced.
+    Loads are hash-validated; a missing or corrupt bundle just means a
+    cold start.
     """
     queue = FileWorkQueue.open(queue_dir)
     context = queue.load_context()
     store = MemoStore(checkpoint_dir)
     if worker_id is None:
         worker_id = default_worker_id()
+    if pricing_cache is not None:
+        from repro.sim.cost_store import CostStore, seed_from_store
+
+        spec, cluster, calibration, _settings = context
+        seed_from_store(CostStore(pricing_cache), spec, cluster, calibration)
 
     if metrics_out is None:
         return _drain(
@@ -154,26 +167,33 @@ def _drain(
                         with LeaseHeartbeat(
                             queue, claim, interval=heartbeat_interval
                         ) as heartbeat:
-                            outcome, elapsed = _timed_search(
+                            outcome, report = _timed_search(
                                 context, claim.cell
                             )
                         rec.count(
                             "worker.heartbeat_renewals", heartbeat.renewals
                         )
                     else:
-                        outcome, elapsed = _timed_search(context, claim.cell)
+                        outcome, report = _timed_search(context, claim.cell)
             except Exception:
                 # Don't swallow the cell with the traceback: requeue (or
                 # fail past the cap) before dying.
                 queue.release(claim)
                 raise
+            elapsed = report.seconds
             busy_seconds += elapsed
             store.store(claim.key, outcome, group=group)
             # Timing sidecar after the result: a crash in between loses
             # only scheduling advice, never the outcome.  Worker and
-            # start-time attribution feed the sweep-level Chrome trace.
+            # start-time attribution feed the sweep-level Chrome trace;
+            # the warm-start hit rate rides along for the coordinator's
+            # hot/cold ETA blend.
             store.store_timing(
-                claim.key, elapsed, worker=worker_id, started_at=started_at
+                claim.key,
+                elapsed,
+                worker=worker_id,
+                started_at=started_at,
+                warm_hit_rate=report.warm_hit_rate,
             )
         else:
             rec.count("worker.checkpoint_hits")
@@ -226,6 +246,13 @@ def main(argv=None) -> int:
         help="record observability metrics and append a snapshot to "
         "DIR/<worker-id>.jsonl on exit",
     )
+    parser.add_argument(
+        "--pricing-cache",
+        default=None,
+        metavar="DIR",
+        help="seed the in-process family caches from this shared pricing "
+        "plane before claiming cells (see repro.sim.cost_store)",
+    )
     # Failure injection for tests/CI; deliberately undocumented in --help.
     parser.add_argument(
         "--crash-after-claims", type=int, default=None, help=argparse.SUPPRESS
@@ -243,6 +270,7 @@ def main(argv=None) -> int:
         ),
         crash_after_claims=args.crash_after_claims,
         metrics_out=args.metrics_out,
+        pricing_cache=args.pricing_cache,
     )
     print(f"worker finished: {completed} cell(s) completed", file=sys.stderr)
     return 0

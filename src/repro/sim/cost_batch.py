@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from functools import lru_cache
+from itertools import groupby
 from typing import NamedTuple
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.sim.cost import (
     CostModel,
     StageTimes,
     WarmStartSeed,
+    _SeedableCache,
     comm_time_table,
     stage_time_table,
 )
@@ -52,6 +54,7 @@ __all__ = [
     "CommRankSums",
     "bound_partials",
     "comm_rank_sums",
+    "price_families",
     "price_family",
     "warm_family_tables",
     "warm_seed_caches",
@@ -131,6 +134,105 @@ def price_family(
     )
 
 
+def price_families(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementation: ImplementationProfile,
+    families: Iterable[Family],
+) -> dict[Family, StageTimes]:
+    """Price many families in one numpy pass *across* families.
+
+    :func:`price_family` vectorizes within one family's stage axis; this
+    concatenates the stage axes of every family that shares
+    ``(microbatch_size, n_tp)`` — the axes all group-scalar quantities
+    (kernel efficiency, effective flop/s, head-flop terms) depend on —
+    and runs the forward/backward arithmetic once over the flat array.
+    Per-family probes still supply the scalars that vary with ``n_pp``
+    (TP/PP network selection, transfer and launch overheads).
+
+    Bit-identical to per-family :func:`price_family` (hypothesis-pinned):
+    every flat elementwise expression applies the same IEEE-754
+    operations to the same operands as the within-family pass, and the
+    group scalars are equal by construction, so concatenation and split
+    cannot change a single bit.
+    """
+    out: dict[Family, StageTimes] = {}
+    grouped = sorted(set(families), key=lambda f: (f[2], f[3], f[0], f[1]))
+    for (_smb, _ntp), members in groupby(grouped, key=lambda f: (f[2], f[3])):
+        group = list(members)
+        probes = []
+        layer_arrays = []
+        for n_pp, n_loop, microbatch_size, n_tp in group:
+            probe = CostModel(
+                spec=spec,
+                config=ParallelConfig(
+                    n_dp=1,
+                    n_pp=n_pp,
+                    n_tp=n_tp,
+                    microbatch_size=microbatch_size,
+                    n_microbatches=1,
+                    n_loop=n_loop,
+                    schedule=ScheduleKind.BREADTH_FIRST,
+                ),
+                cluster=cluster,
+                implementation=implementation,
+                calibration=calibration,
+            )
+            probes.append(probe)
+            n_stages = n_pp * n_loop
+            base, extra = divmod(spec.n_layers, n_stages)
+            layer_arrays.append(base + (np.arange(n_stages) < extra))
+
+        counts = [arr.size for arr in layer_arrays]
+        offsets = np.cumsum(counts)
+        last_idx = offsets - 1
+        n_layers = np.concatenate(layer_arrays)
+
+        first = probes[0]
+        microbatch_size, n_tp = group[0][2], group[0][3]
+        eff_flops = cluster.gpu.peak_flops * first.kernel_efficiency
+        layer_flops = spec.flops_per_layer_per_sample(forward_only=True)
+        head_flops = spec.head_flops_per_sample(forward_only=True)
+        if n_tp > 1:
+            tp_per_family = []
+            for probe in probes:
+                net = probe.tp_network
+                bytes_per_layer = (
+                    8.0 * 2 * spec.hidden_size * probe.tokens_per_microbatch
+                )
+                latency = net.latency * calibration.network_overhead_scale
+                tp_per_family.append(
+                    bytes_per_layer / net.bandwidth + 2 * latency
+                )
+            tp_exposed = n_layers * np.repeat(tp_per_family, counts)
+        else:
+            tp_exposed = 0.0
+
+        fwd_flops = n_layers * layer_flops * microbatch_size / n_tp
+        fwd_flops[last_idx] = (
+            fwd_flops[last_idx] + head_flops * microbatch_size / n_tp
+        )
+        forward = fwd_flops / eff_flops + tp_exposed
+
+        bwd_flops = 3.0 * n_layers * layer_flops * microbatch_size / n_tp
+        bwd_flops[last_idx] = (
+            bwd_flops[last_idx] + 2.0 * head_flops * microbatch_size / n_tp
+        )
+        backward = bwd_flops / eff_flops + tp_exposed
+
+        fwd_parts = np.split(forward, offsets[:-1])
+        bwd_parts = np.split(backward, offsets[:-1])
+        for family, probe, fwd, bwd in zip(group, probes, fwd_parts, bwd_parts):
+            out[family] = StageTimes(
+                forward=tuple(fwd.tolist()),
+                backward=tuple(bwd.tolist()),
+                pp_transfer=probe.pp_transfer_time(),
+                pp_launch=probe.pp_launch_overhead(),
+            )
+    return out
+
+
 class BoundPartials(NamedTuple):
     """Per-rank bound ingredients shared by every candidate of a family.
 
@@ -167,8 +269,7 @@ class BoundPartials(NamedTuple):
     rank_params: tuple[float, ...]
 
 
-@lru_cache(maxsize=16384)
-def bound_partials(
+def _bound_partials(
     spec: TransformerSpec,
     cluster: ClusterSpec,
     calibration: Calibration,
@@ -183,7 +284,8 @@ def bound_partials(
     The probe pins the axes the partials do not depend on (``n_dp = 1``,
     ``n_mb = 1``, DP0, breadth-first) and runs the *scalar* ``CostModel``
     methods once per family, so the cached floats are bit-identical to
-    what any matching candidate's own method calls would return.
+    what any matching candidate's own method calls would return.  Entries
+    can be seeded externally (:mod:`repro.sim.cost_store`).
     """
     probe = CostModel(
         spec=spec,
@@ -217,6 +319,9 @@ def bound_partials(
         per_mb_sends=tuple(probe.rank_send_count(r) for r in ranks),
         rank_params=tuple(probe.rank_params_local(r) for r in ranks),
     )
+
+
+bound_partials = _SeedableCache(_bound_partials, maxsize=16384)
 
 
 class CommRankSums(NamedTuple):
@@ -272,40 +377,27 @@ def warm_family_tables(
     Seeds :func:`repro.sim.cost.stage_time_table` with vector-priced
     entries for every family not already cached, so the scalar lookups
     that follow — ``CostModel.stage_times()`` from the bound stage and
-    the program builder — all hit.  Returns ``(n_priced, n_already)``
-    for the search's ``search.batch.*`` obs counters.
+    the program builder — all hit.  Missing families are priced together
+    through :func:`price_families` (one numpy pass per
+    ``(s_mb, n_tp)`` group, bit-identical to per-family pricing).
+    Returns ``(n_priced, n_already)`` for the search's
+    ``search.batch.*`` obs counters.
     """
-    n_priced = 0
     n_already = 0
+    missing: dict[Family, None] = {}
     for n_pp, n_loop, microbatch_size, n_tp in families:
-        key = (
-            spec,
-            cluster,
-            calibration,
-            implementation,
-            n_pp,
-            n_loop,
-            microbatch_size,
-            n_tp,
-        )
-        if stage_time_table.seeded(key):
+        family = (n_pp, n_loop, microbatch_size, n_tp)
+        key = (spec, cluster, calibration, implementation, *family)
+        if stage_time_table.seeded(key) or family in missing:
             n_already += 1
-            continue
+        else:
+            missing[family] = None
+    priced = price_families(spec, cluster, calibration, implementation, missing)
+    for family, times in priced.items():
         stage_time_table.seed(
-            key,
-            price_family(
-                spec,
-                cluster,
-                calibration,
-                implementation,
-                n_pp,
-                n_loop,
-                microbatch_size,
-                n_tp,
-            ),
+            (spec, cluster, calibration, implementation, *family), times
         )
-        n_priced += 1
-    return n_priced, n_already
+    return len(priced), n_already
 
 
 def warm_seed_caches(

@@ -1,0 +1,491 @@
+"""Persistent, content-addressed store for priced family tables.
+
+The sweep-wide **shared pricing plane**: PR 8's family pricing caches
+(:func:`repro.sim.cost.stage_time_table`,
+:func:`repro.sim.cost.comm_time_table`,
+:func:`repro.sim.cost_batch.bound_partials`) are process-local, so every
+sweep worker and every cold planner re-prices the same families.  This
+module persists those tables on disk so they are priced once per
+*context* — (spec, cluster, calibration, implementation) — and then
+loaded read-only by any number of worker processes, which seed their
+in-process caches with the stored floats.
+
+Three properties carry the byte-identical-results contract:
+
+- **Content addressing.**  A bundle's filename is a sha256 over the
+  canonical JSON of its full context (the same serializers that build
+  checkpoint cell keys), so a store directory can be shared by every
+  sweep ever run: a changed calibration or cluster can never alias a
+  stale bundle.
+- **Bit-exact round-trip.**  Tables are written as compact binary
+  float64/int32 arrays (:mod:`struct`); IEEE-754 doubles round-trip
+  through ``struct`` exactly, so a loaded table seeds the caches
+  bit-identically to cold pricing — a store-warmed search returns
+  byte-identical winners, counters and frontiers to a cold one (pinned
+  by ``tests/test_cost_store.py``).
+- **Validated loads.**  Every load re-hashes the data section and
+  compares it against the digest in the header before a single struct is
+  unpacked; corrupt, truncated or foreign-format files are rejected
+  (with a ``RuntimeWarning``) and simply re-priced — a poisoned cache
+  can never produce wrong durations, only a cold start.  Lint rule L504
+  bans any unverified deserialization on these load paths.
+
+The layout is deliberately read-only-after-write (atomic tmp +
+``os.replace``, whole-bundle granularity): exactly the shape an
+object-store mirror needs for the ROADMAP's cloud-scale sweep fabric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import warnings
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.spec import TransformerSpec
+from repro.parallel.config import Sharding
+from repro.obs import get_recorder
+from repro.sim.calibration import Calibration
+from repro.sim.cost import CommTimes, StageTimes, comm_time_table, stage_time_table
+from repro.sim.cost_batch import (
+    BoundPartials,
+    Family,
+    bound_partials,
+    comm_rank_sums,
+    warm_family_tables,
+)
+from repro.sim.implementation import (
+    MEGATRON_LM,
+    OUR_IMPLEMENTATION,
+    ImplementationProfile,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "CommFamily",
+    "CostStore",
+    "FamilyTables",
+    "collect_tables",
+    "context_key",
+    "seed_caches",
+    "seed_from_store",
+]
+
+#: Bumped whenever the binary layout changes; bundles written under
+#: another version are rejected (and re-priced), never guessed at.
+STORE_FORMAT = 1
+
+_MAGIC = b"RPRICE1\n"
+
+#: A data-parallel comm family: the :func:`comm_time_table` key axes.
+CommFamily = tuple[int, int, int, int, Sharding]  # (n_pp, n_loop, n_tp, n_dp, sharding)
+
+#: Stable on-disk encoding of the sharding axis (enum order could drift;
+#: sorted values cannot without a format bump).
+_SHARDING_ORDER = tuple(sorted(Sharding, key=lambda s: s.value))
+_SHARDING_INDEX = {s: i for i, s in enumerate(_SHARDING_ORDER)}
+
+
+def _implementation_to_json(implementation: ImplementationProfile) -> dict:
+    return {
+        "name": implementation.name,
+        "dp_overlap": implementation.dp_overlap,
+        "pp_overlap": implementation.pp_overlap,
+        "supported_sharding": sorted(
+            s.value for s in implementation.supported_sharding
+        ),
+        "state_bytes_per_param": implementation.state_bytes_per_param,
+        "shardable_bytes_per_param": implementation.shardable_bytes_per_param,
+    }
+
+
+def context_key(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementation: ImplementationProfile,
+) -> str:
+    """Content hash naming one pricing bundle.
+
+    Reuses the checkpoint serializers (the exact payloads hashed into
+    cell keys) plus the implementation profile, under a ``"pricing"``
+    scope tag so a bundle name can never alias a cell or query key.
+    """
+    from repro.search.service.serialize import canonical_dumps, context_to_json
+
+    payload = context_to_json(spec, cluster, calibration)
+    payload["format"] = STORE_FORMAT
+    payload["scope"] = "pricing"
+    payload["implementation"] = _implementation_to_json(implementation)
+    digest = hashlib.sha256(canonical_dumps(payload).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+@dataclass
+class FamilyTables:
+    """One context's priced plane: every table the searches would price.
+
+    Attributes:
+        stage: Per-stage durations per config family
+            (:func:`repro.sim.cost.stage_time_table` values).
+        bounds: Per-rank bound ingredients per config family
+            (:func:`repro.sim.cost_batch.bound_partials` values).
+        comm: DP collective durations per comm family
+            (:func:`repro.sim.cost.comm_time_table` values; their rank
+            sums are re-derived at seed time, they are pure stage sums).
+    """
+
+    stage: dict[Family, StageTimes] = field(default_factory=dict)
+    bounds: dict[Family, BoundPartials] = field(default_factory=dict)
+    comm: dict[CommFamily, CommTimes] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.stage) + len(self.bounds) + len(self.comm)
+
+    def merge(self, other: "FamilyTables") -> int:
+        """Add ``other``'s entries (first writer wins); count additions."""
+        added = 0
+        for mine, theirs in (
+            (self.stage, other.stage),
+            (self.bounds, other.bounds),
+            (self.comm, other.comm),
+        ):
+            for key, value in theirs.items():
+                if key not in mine:
+                    mine[key] = value
+                    added += 1
+        return added
+
+
+# ------------------------------------------------------------- binary codec
+
+
+def _pack_floats(values: Iterable[float]) -> bytes:
+    seq = tuple(values)
+    return struct.pack(f"<{len(seq)}d", *seq)
+
+
+def _encode(tables: FamilyTables) -> bytes:
+    parts: list[bytes] = []
+    for family in sorted(tables.stage):
+        times = tables.stage[family]
+        parts.append(struct.pack("<4i", *family))
+        parts.append(_pack_floats(times.forward))
+        parts.append(_pack_floats(times.backward))
+        parts.append(struct.pack("<2d", times.pp_transfer, times.pp_launch))
+    for family in sorted(tables.bounds):
+        partials = tables.bounds[family]
+        parts.append(struct.pack("<4i", *family))
+        parts.append(_pack_floats(partials.fill))
+        parts.append(_pack_floats(partials.drain))
+        parts.append(_pack_floats(partials.sum_fb))
+        n_ranks = len(partials.per_mb_sends)
+        parts.append(struct.pack(f"<{n_ranks}i", *partials.per_mb_sends))
+        parts.append(_pack_floats(partials.rank_params))
+    for family in sorted(
+        tables.comm, key=lambda f: (*f[:4], _SHARDING_INDEX[f[4]])
+    ):
+        comm = tables.comm[family]
+        n_pp, n_loop, n_tp, n_dp, sharding = family
+        parts.append(
+            struct.pack(
+                "<5i", n_pp, n_loop, n_tp, n_dp, _SHARDING_INDEX[sharding]
+            )
+        )
+        parts.append(_pack_floats(comm.gather))
+        parts.append(_pack_floats(comm.reduce))
+        parts.append(_pack_floats(comm.post_gather))
+        parts.append(_pack_floats(comm.dp_serial))
+    return b"".join(parts)
+
+
+class _Cursor:
+    """Sequential struct reader over a validated data section."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def unpack(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        end = self._pos + size
+        if end > len(self._data):
+            raise ValueError("truncated pricing bundle")
+        values = struct.unpack_from(fmt, self._data, self._pos)  # lint: unhashed-load-ok (bytes sha256-verified by _parse)
+        self._pos = end
+        return values
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _decode(data: bytes, counts: dict[str, int]) -> FamilyTables:
+    tables = FamilyTables()
+    cursor = _Cursor(data)
+    for _ in range(counts["stage"]):
+        n_pp, n_loop, smb, n_tp = cursor.unpack("<4i")
+        n_stages = n_pp * n_loop
+        forward = cursor.unpack(f"<{n_stages}d")
+        backward = cursor.unpack(f"<{n_stages}d")
+        pp_transfer, pp_launch = cursor.unpack("<2d")
+        tables.stage[(n_pp, n_loop, smb, n_tp)] = StageTimes(
+            forward=forward,
+            backward=backward,
+            pp_transfer=pp_transfer,
+            pp_launch=pp_launch,
+        )
+    for _ in range(counts["bound"]):
+        n_pp, n_loop, smb, n_tp = cursor.unpack("<4i")
+        tables.bounds[(n_pp, n_loop, smb, n_tp)] = BoundPartials(
+            fill=cursor.unpack(f"<{n_pp}d"),
+            drain=cursor.unpack(f"<{n_pp}d"),
+            sum_fb=cursor.unpack(f"<{n_pp}d"),
+            per_mb_sends=cursor.unpack(f"<{n_pp}i"),
+            rank_params=cursor.unpack(f"<{n_pp}d"),
+        )
+    for _ in range(counts["comm"]):
+        n_pp, n_loop, n_tp, n_dp, sharding_idx = cursor.unpack("<5i")
+        if not 0 <= sharding_idx < len(_SHARDING_ORDER):
+            raise ValueError(f"unknown sharding index {sharding_idx}")
+        n_stages = n_pp * n_loop
+        tables.comm[
+            (n_pp, n_loop, n_tp, n_dp, _SHARDING_ORDER[sharding_idx])
+        ] = CommTimes(
+            gather=cursor.unpack(f"<{n_stages}d"),
+            reduce=cursor.unpack(f"<{n_stages}d"),
+            post_gather=cursor.unpack(f"<{n_pp}d"),
+            dp_serial=cursor.unpack(f"<{n_pp}d"),
+        )
+    if not cursor.done():
+        raise ValueError("trailing bytes after declared records")
+    return tables
+
+
+# -------------------------------------------------------------------- store
+
+
+class CostStore:
+    """On-disk bundle store, one file per pricing context.
+
+    Files are written whole and atomically (tmp + ``os.replace``) and
+    only ever read back read-only, so any number of workers — including
+    on other machines sharing the directory — can load concurrently
+    while a coordinator heals or extends bundles.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(
+        self,
+        spec: TransformerSpec,
+        cluster: ClusterSpec,
+        calibration: Calibration,
+        implementation: ImplementationProfile,
+    ) -> Path:
+        key = context_key(spec, cluster, calibration, implementation)
+        return self.root / f"{key}.plane.bin"
+
+    def store(
+        self,
+        spec: TransformerSpec,
+        cluster: ClusterSpec,
+        calibration: Calibration,
+        implementation: ImplementationProfile,
+        tables: FamilyTables,
+    ) -> Path:
+        """Atomically (re)write the context's bundle; returns its path."""
+        from repro.search.service.serialize import canonical_dumps
+
+        data = _encode(tables)
+        header = canonical_dumps(
+            {
+                "format": STORE_FORMAT,
+                "context": context_key(spec, cluster, calibration, implementation),
+                "counts": {
+                    "stage": len(tables.stage),
+                    "bound": len(tables.bounds),
+                    "comm": len(tables.comm),
+                },
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+        ).encode("utf-8")
+        blob = _MAGIC + struct.pack("<I", len(header)) + header + data
+        path = self.path_for(spec, cluster, calibration, implementation)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.count("pricing.store.writes")
+            rec.count("pricing.store.entries_written", len(tables))
+        return path
+
+    def load(
+        self,
+        spec: TransformerSpec,
+        cluster: ClusterSpec,
+        calibration: Calibration,
+        implementation: ImplementationProfile,
+    ) -> FamilyTables | None:
+        """Load the context's bundle, or ``None`` (missing/corrupt/stale).
+
+        The data section's sha256 is verified against the header digest
+        before any record is unpacked; rejected bundles warn and read as
+        a miss, so the caller re-prices (and may heal the file).
+        """
+        path = self.path_for(spec, cluster, calibration, implementation)
+        rec = get_recorder()
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            if rec.enabled:
+                rec.count("pricing.store.load.misses")
+            return None
+        try:
+            tables = self._parse(
+                blob, context_key(spec, cluster, calibration, implementation)
+            )
+        except (ValueError, KeyError, TypeError, struct.error) as exc:
+            warnings.warn(
+                f"ignoring corrupt pricing bundle {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if rec.enabled:
+                rec.count("pricing.store.load.corrupt")
+            return None
+        if rec.enabled:
+            rec.count("pricing.store.load.hits")
+            rec.count("pricing.store.entries_loaded", len(tables))
+        return tables
+
+    @staticmethod
+    def _parse(blob: bytes, expected_context: str) -> FamilyTables:
+        import json
+
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("bad magic")
+        offset = len(_MAGIC)
+        (header_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        header = json.loads(blob[offset : offset + header_len].decode("utf-8"))
+        if header.get("format") != STORE_FORMAT:
+            raise ValueError(f"format {header.get('format')!r} != {STORE_FORMAT}")
+        if header.get("context") != expected_context:
+            raise ValueError("context hash mismatch (stale or foreign bundle)")
+        data = blob[offset + header_len :]
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != header.get("sha256"):
+            raise ValueError("content hash mismatch")
+        # Hash verified above: every byte of `data` is exactly what the
+        # writer hashed, so structural decoding cannot be reading a
+        # corrupted record.
+        return _decode(data, header["counts"])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.plane.bin"))
+
+
+# ----------------------------------------------------------- price and seed
+
+
+def collect_tables(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementation: ImplementationProfile,
+    stage_families: Iterable[Family],
+    comm_families: Iterable[CommFamily],
+) -> FamilyTables:
+    """Price the given families and return their tables.
+
+    Stage times go through the cross-family vectorized pricer
+    (:func:`repro.sim.cost_batch.warm_family_tables` →
+    ``price_families``); bound partials and comm tables run their memoized
+    scalar probes.  Everything lands in the in-process caches as a side
+    effect — the coordinator that collects a plane is itself warm — and
+    the returned values are the exact cached floats, so a bundle written
+    from here seeds other processes bit-identically.
+    """
+    tables = FamilyTables()
+    stage_families = sorted(set(stage_families))
+    warm_family_tables(spec, cluster, calibration, implementation, stage_families)
+    for family in stage_families:
+        key = (spec, cluster, calibration, implementation, *family)
+        tables.stage[family] = stage_time_table(*key)
+        tables.bounds[family] = bound_partials(*key)
+    for family in sorted(
+        set(comm_families), key=lambda f: (*f[:4], _SHARDING_INDEX[f[4]])
+    ):
+        tables.comm[family] = comm_time_table(
+            spec, cluster, implementation, *family
+        )
+    rec = get_recorder()
+    if rec.enabled:
+        rec.count("pricing.store.families_priced", len(tables))
+    return tables
+
+
+def seed_caches(
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementation: ImplementationProfile,
+    tables: FamilyTables,
+) -> int:
+    """Install loaded tables into the in-process caches (first writer wins).
+
+    Also warms :func:`repro.sim.cost_batch.comm_rank_sums` for every
+    seeded comm family — its values are pure generator sums over the
+    (now seeded) comm table, so deriving them here is bit-identical to
+    the lazy path.  Returns the number of entries seeded.
+    """
+    for family, times in tables.stage.items():
+        stage_time_table.seed(
+            (spec, cluster, calibration, implementation, *family), times
+        )
+    for family, partials in tables.bounds.items():
+        bound_partials.seed(
+            (spec, cluster, calibration, implementation, *family), partials
+        )
+    for family, comm in tables.comm.items():
+        comm_time_table.seed((spec, cluster, implementation, *family), comm)
+        comm_rank_sums(spec, cluster, implementation, *family)
+    rec = get_recorder()
+    if rec.enabled:
+        rec.count("pricing.store.entries_seeded", len(tables))
+    return len(tables)
+
+
+def seed_from_store(
+    store: CostStore,
+    spec: TransformerSpec,
+    cluster: ClusterSpec,
+    calibration: Calibration,
+    implementations: Iterable[ImplementationProfile] = (
+        OUR_IMPLEMENTATION,
+        MEGATRON_LM,
+    ),
+) -> int:
+    """Warm this process's caches from every matching bundle on disk.
+
+    The sweep workers' (and the planner search thread's) read-through
+    entry point: loads are hash-validated, misses and corrupt bundles
+    just stay cold.  Returns the number of cache entries seeded.
+    """
+    seeded = 0
+    for implementation in implementations:
+        tables = store.load(spec, cluster, calibration, implementation)
+        if tables is not None:
+            seeded += seed_caches(
+                spec, cluster, calibration, implementation, tables
+            )
+    return seeded

@@ -55,6 +55,16 @@ time*, from source structure alone:
   rots.  Passing such a function *reference* to an executor is fine
   (it is not a call); a deliberate on-loop call carries a
   ``# lint: blocking-ok`` marker on the call line.
+- **L504 unhashed store loads**: the persistent-store modules
+  (:mod:`repro.sim.cost_store`, :mod:`repro.search.service.checkpoint`)
+  may not deserialize persisted bytes (``json.loads``,
+  ``struct.unpack``/``unpack_from``, ``pickle.load(s)``) in a function
+  frame that performs no content validation — a ``sha256``/``hexdigest``
+  call or a comparison against the payload's ``"key"`` field — or a
+  corrupted/aliased bundle silently becomes wrong search results
+  instead of a cold re-price.  A helper that decodes pre-validated
+  bytes on behalf of a verifying caller carries a
+  ``# lint: unhashed-load-ok`` marker on the call line.
 - **L001 missing module**: a file a rule is configured to scan has
   moved or vanished; the lint configuration must move with it instead
   of silently dropping coverage.
@@ -79,6 +89,7 @@ __all__ = [
     "PAYLOAD_CLASSES",
     "PLANNER_SOURCES",
     "SERIALIZER_SOURCES",
+    "STORE_LOAD_SOURCES",
     "lint_repo",
     "lint_sources",
 ]
@@ -203,6 +214,35 @@ _BLOCKING_CALL_NAMES = {
 #: is matched in full — a bare ``sleep`` component would false-positive
 #: on ``asyncio.sleep``, the sanctioned async form.
 _BLOCKING_EXACT_CALLS = {"time.sleep"}
+
+#: Suppression marker for a deliberate unvalidated deserialization on a
+#: store load path (must appear on the call's line) — the sanctioned use
+#: is a decode helper whose caller has already hash-verified the bytes.
+UNHASHED_LOAD_MARKER = "lint: unhashed-load-ok"
+
+#: Persistent-store modules; the unhashed-load rule (L504) applies here.
+STORE_LOAD_SOURCES: tuple[str, ...] = (
+    "src/repro/sim/cost_store.py",
+    "src/repro/search/service/checkpoint.py",
+)
+
+#: Deserialization primitives, matched by full dotted name.  Matching
+#: the full form (not the final component) keeps decode *helpers*
+#: (``cursor.unpack``) from flagging at every call site — the helper's
+#: own ``struct`` call is the guarded (and marked) seam.
+_DESERIALIZE_CALLS = {
+    "json.load",
+    "json.loads",
+    "marshal.load",
+    "marshal.loads",
+    "pickle.load",
+    "pickle.loads",
+    "struct.unpack",
+    "struct.unpack_from",
+}
+
+#: Call components that count as content-hash validation in a frame.
+_HASH_VALIDATION_NAMES = {"blake2b", "sha256", "hexdigest"}
 
 #: Clock primitives that bypass the ``repro.obs.clock`` seam.
 _CLOCK_CALLS = {
@@ -633,6 +673,103 @@ def _check_blocking_on_loop(
             )
 
 
+def _frame_nodes(body: Iterable[ast.AST]) -> list[ast.AST]:
+    """Nodes executed in one function (or module) frame.
+
+    Nested ``def``/``async def`` bodies are separate frames and get
+    their own visit from the caller's ``ast.walk`` — validation in an
+    outer frame deliberately does *not* cover a nested helper, which
+    must verify (or be marked) on its own.
+    """
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nodes.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _reads_key_field(node: ast.AST) -> bool:
+    """``payload.get("key")`` or ``payload["key"]``."""
+    if isinstance(node, ast.Call):
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and bool(node.args)
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "key"
+        )
+    if isinstance(node, ast.Subscript):
+        return (
+            isinstance(node.slice, ast.Constant) and node.slice.value == "key"
+        )
+    return False
+
+
+def _frame_validates_content(nodes: Iterable[ast.AST]) -> bool:
+    """Does this frame carry a content-validation signal?
+
+    Either a digest computation (``hashlib.sha256``/``.hexdigest`` call
+    — the binary-bundle pattern) or a comparison against the payload's
+    ``"key"`` field (the checkpoint pattern, where the filename *is* the
+    content hash and the envelope must echo it).
+    """
+    for node in nodes:
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            if (
+                name is not None
+                and name.split(".")[-1] in _HASH_VALIDATION_NAMES
+            ):
+                return True
+        elif isinstance(node, ast.Compare):
+            if any(
+                _reads_key_field(side)
+                for side in (node.left, *node.comparators)
+            ):
+                return True
+    return False
+
+
+def _check_unhashed_load(
+    path: str, source: str, tree: ast.Module, findings: list[Finding]
+) -> None:
+    lines = source.splitlines()
+    frames = [_frame_nodes(tree.body)]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            frames.append(_frame_nodes(node.body))
+    for frame in frames:
+        if _frame_validates_content(frame):
+            continue
+        for node in frame:
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name not in _DESERIALIZE_CALLS:
+                continue
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if UNHASHED_LOAD_MARKER in line:
+                continue
+            findings.append(
+                Finding(
+                    rule="L504",
+                    location=f"{path}:{node.lineno}",
+                    message=(
+                        f"{name}() on a store load path with no "
+                        "content-hash validation in the same frame — "
+                        "verify a sha256 digest (or the envelope's "
+                        "content-hash 'key') before deserializing, or "
+                        "mark a pre-validated decode helper "
+                        f"'# {UNHASHED_LOAD_MARKER}'"
+                    ),
+                )
+            )
+
+
 def _check_bare_except(
     path: str, tree: ast.Module, findings: list[Finding]
 ) -> None:
@@ -670,6 +807,7 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     required |= set(INSTRUMENTED_SOURCES)
     required |= set(BATCHED_HOT_PATH_SOURCES)
     required |= set(PLANNER_SOURCES)
+    required |= set(STORE_LOAD_SOURCES)
     for path in sorted(required):
         if path not in sources:
             findings.append(
@@ -704,6 +842,9 @@ def lint_sources(sources: Mapping[str, str]) -> list[Finding]:
     for path in PLANNER_SOURCES:
         if path in trees:
             _check_blocking_on_loop(path, sources[path], trees[path], findings)
+    for path in STORE_LOAD_SOURCES:
+        if path in trees:
+            _check_unhashed_load(path, sources[path], trees[path], findings)
     for path, tree in sorted(trees.items()):
         _check_bare_except(path, tree, findings)
     return findings
@@ -717,6 +858,7 @@ def _scan_paths(root: Path) -> Iterable[Path]:
         | set(INSTRUMENTED_SOURCES)
         | set(BATCHED_HOT_PATH_SOURCES)
         | set(PLANNER_SOURCES)
+        | set(STORE_LOAD_SOURCES)
         | {OBJECTIVE_SOURCE, SCHEDULE_KIND_SOURCE, SCHEDULE_DISPATCH_SOURCE}
     ):
         yield root / rel

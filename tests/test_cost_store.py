@@ -1,0 +1,310 @@
+"""Shared pricing plane: round-trip parity, validated loads, byte identity.
+
+The store's contract is that it is *invisible* in every output byte:
+a sweep (or planner search) run against an enabled, pre-warmed, or
+corrupted-then-healed pricing cache produces byte-identical checkpoints
+— winners, counters, frontiers and keys — to a run with no cache at
+all.  That only holds if the binary round-trip is bit-exact (IEEE-754
+doubles through ``struct``) and every load is content-hash validated so
+a damaged bundle reads as a cold start, never as wrong durations.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import DGX1_CLUSTER_64
+from repro.models.presets import MODEL_6_6B
+from repro.obs import MetricsRegistry, recording
+from repro.parallel.config import Method, Sharding
+from repro.search.grid import best_configuration, plane_families
+from repro.search.service import SweepCell, SweepOptions, run_sweep
+from repro.sim.calibration import DEFAULT_CALIBRATION
+from repro.sim.cost import comm_time_table, stage_time_table
+from repro.sim.cost_batch import bound_partials, comm_rank_sums
+from repro.sim.cost_store import (
+    CostStore,
+    FamilyTables,
+    collect_tables,
+    context_key,
+    seed_caches,
+    seed_from_store,
+)
+from repro.sim.implementation import MEGATRON_LM, OUR_IMPLEMENTATION
+
+CONTEXT = (MODEL_6_6B, DGX1_CLUSTER_64, DEFAULT_CALIBRATION)
+
+#: Small, fast cells spanning two implementations and shared families.
+CELLS = [
+    SweepCell(Method.NO_PIPELINE, 8),
+    SweepCell(Method.NO_PIPELINE, 64),
+    SweepCell(Method.DEPTH_FIRST, 8),
+]
+
+STAGE_FAMILIES = [(2, 1, 1, 1), (2, 1, 2, 1), (4, 1, 1, 2)]
+COMM_FAMILIES = [
+    (2, 1, 1, 4, Sharding.NONE),
+    (2, 1, 1, 4, Sharding.PARTIAL),
+]
+
+
+def _clear_pricing_caches() -> None:
+    stage_time_table.cache_clear()
+    comm_time_table.cache_clear()
+    bound_partials.cache_clear()
+    comm_rank_sums.cache_clear()
+
+
+def _collect(implementation=OUR_IMPLEMENTATION) -> FamilyTables:
+    return collect_tables(
+        *CONTEXT, implementation, STAGE_FAMILIES, COMM_FAMILIES
+    )
+
+
+def _checkpoint_bytes(root) -> dict[str, bytes]:
+    """Result checkpoint files only — timing sidecars are wall-clock."""
+    return {
+        p.name: p.read_bytes()
+        for p in Path(root).glob("*.json")
+        if not p.name.endswith(".time.json")
+    }
+
+
+class TestRoundTrip:
+    def setup_method(self):
+        _clear_pricing_caches()
+
+    def test_store_load_round_trip_is_bit_exact(self, tmp_path):
+        tables = _collect()
+        store = CostStore(tmp_path)
+        path = store.store(*CONTEXT, OUR_IMPLEMENTATION, tables)
+        assert path.is_file() and len(store) == 1
+        loaded = store.load(*CONTEXT, OUR_IMPLEMENTATION)
+        # Dataclass equality: every float of every table, no tolerance.
+        assert loaded.stage == tables.stage
+        assert loaded.bounds == tables.bounds
+        assert loaded.comm == tables.comm
+
+    def test_seeding_is_bit_identical_to_cold_pricing(self, tmp_path):
+        store = CostStore(tmp_path)
+        store.store(*CONTEXT, OUR_IMPLEMENTATION, _collect())
+        _clear_pricing_caches()
+        seeded = seed_from_store(store, *CONTEXT)
+        assert seeded == len(STAGE_FAMILIES) * 2 + len(COMM_FAMILIES)
+        warm = {
+            f: stage_time_table(*CONTEXT, OUR_IMPLEMENTATION, *f)
+            for f in STAGE_FAMILIES
+        }
+        info = stage_time_table.cache_info()
+        assert (info.hits, info.misses) == (len(STAGE_FAMILIES), 0)
+        _clear_pricing_caches()
+        cold = {
+            f: stage_time_table(*CONTEXT, OUR_IMPLEMENTATION, *f)
+            for f in STAGE_FAMILIES
+        }
+        assert warm == cold
+
+    def test_merge_is_first_writer_wins(self, tmp_path):
+        tables = _collect()
+        partial = FamilyTables(
+            stage=dict(list(tables.stage.items())[:1]),
+            bounds=dict(list(tables.bounds.items())[:1]),
+        )
+        added = partial.merge(tables)
+        assert added == len(tables) - 2
+        assert len(partial) == len(tables)
+        # Re-merging adds nothing; existing entries were kept, not
+        # replaced (same object identity for the first writer's value).
+        first_key = next(iter(tables.stage))
+        kept = partial.stage[first_key]
+        assert partial.merge(tables) == 0
+        assert partial.stage[first_key] is kept
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_pp=st.sampled_from([1, 2, 4, 8]),
+        n_loop=st.sampled_from([1, 2, 4]),
+        microbatch_size=st.sampled_from([1, 2, 8]),
+        n_tp=st.sampled_from([1, 4]),
+        impl=st.sampled_from([OUR_IMPLEMENTATION, MEGATRON_LM]),
+    )
+    def test_round_trip_parity_with_fresh_pricing(
+        self, n_pp, n_loop, microbatch_size, n_tp, impl
+    ):
+        """Property: load-after-store == the freshly priced tables."""
+        if n_pp * n_loop > MODEL_6_6B.n_layers:
+            return
+        family = (n_pp, n_loop, microbatch_size, n_tp)
+        try:
+            tables = collect_tables(*CONTEXT, impl, [family], [])
+        except ValueError:
+            return  # family invalid for this model/cluster
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CostStore(tmp)
+            store.store(*CONTEXT, impl, tables)
+            loaded = store.load(*CONTEXT, impl)
+        assert loaded.stage == tables.stage
+        assert loaded.bounds == tables.bounds
+
+
+class TestValidatedLoads:
+    def setup_method(self):
+        _clear_pricing_caches()
+
+    def _stored(self, tmp_path) -> tuple[CostStore, Path]:
+        store = CostStore(tmp_path)
+        path = store.store(*CONTEXT, OUR_IMPLEMENTATION, _collect())
+        return store, path
+
+    def test_flipped_data_byte_is_rejected(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="corrupt pricing bundle"):
+            assert store.load(*CONTEXT, OUR_IMPLEMENTATION) is None
+
+    def test_truncated_bundle_is_rejected(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.warns(RuntimeWarning):
+            assert store.load(*CONTEXT, OUR_IMPLEMENTATION) is None
+
+    def test_foreign_magic_is_rejected(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        path.write_bytes(b"NOTMINE\n" + path.read_bytes()[8:])
+        with pytest.warns(RuntimeWarning):
+            assert store.load(*CONTEXT, OUR_IMPLEMENTATION) is None
+
+    def test_aliased_context_is_rejected(self, tmp_path):
+        # A bundle copied under another context's name must fail the
+        # context-hash check, not seed the wrong implementation's caches.
+        store, path = self._stored(tmp_path)
+        other = store.path_for(*CONTEXT, MEGATRON_LM)
+        other.write_bytes(path.read_bytes())
+        with pytest.warns(RuntimeWarning, match="stale or foreign"):
+            assert store.load(*CONTEXT, MEGATRON_LM) is None
+
+    def test_missing_bundle_is_a_silent_miss(self, tmp_path):
+        store = CostStore(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.load(*CONTEXT, OUR_IMPLEMENTATION) is None
+
+    def test_context_keys_are_distinct_per_axis(self):
+        keys = {
+            context_key(*CONTEXT, OUR_IMPLEMENTATION),
+            context_key(*CONTEXT, MEGATRON_LM),
+        }
+        assert len(keys) == 2
+
+
+class TestPlaneCoversTheSearch:
+    def test_precomputed_plane_makes_the_search_all_hits(self):
+        # The grid-level precompute contract: after pricing exactly the
+        # families plane_families() enumerates, a cell's full search
+        # never misses a pricing cache — the lazy path would price
+        # nothing more.
+        cell = SweepCell(Method.DEPTH_FIRST, 8)
+        _clear_pricing_caches()
+        by_impl = plane_families(MODEL_6_6B, DGX1_CLUSTER_64, [cell])
+        assert by_impl
+        for impl, (stage_families, comm_families) in by_impl.items():
+            assert stage_families
+            collect_tables(*CONTEXT, impl, stage_families, comm_families)
+        before_stage = stage_time_table.cache_info()
+        before_comm = comm_time_table.cache_info()
+        best_configuration(
+            MODEL_6_6B, DGX1_CLUSTER_64, cell.method, cell.batch_size
+        )
+        after_stage = stage_time_table.cache_info()
+        after_comm = comm_time_table.cache_info()
+        assert after_stage.misses == before_stage.misses
+        assert after_comm.misses == before_comm.misses
+        assert after_stage.hits > before_stage.hits
+
+
+class TestSweepByteIdentity:
+    def _run(self, ckpt_dir, pricing_cache=None, **kwargs):
+        _clear_pricing_caches()
+        options = SweepOptions(
+            backend=kwargs.pop("backend", "serial"),
+            checkpoint_dir=ckpt_dir,
+            pricing_cache=pricing_cache,
+            progress=False,
+            **kwargs,
+        )
+        return run_sweep(MODEL_6_6B, DGX1_CLUSTER_64, CELLS, options=options)
+
+    def test_store_off_on_prewarmed_and_healed_runs_are_identical(
+        self, tmp_path
+    ):
+        cache = tmp_path / "plane"
+        baseline = self._run(tmp_path / "off")
+        reference = _checkpoint_bytes(tmp_path / "off")
+        assert len(reference) == len(CELLS)
+
+        # Cold store: the prewarm pass prices and writes the bundles.
+        cold = self._run(tmp_path / "on", pricing_cache=cache)
+        assert cold == baseline
+        assert _checkpoint_bytes(tmp_path / "on") == reference
+        assert len(CostStore(cache)) >= 1
+
+        # Pre-warmed store: everything seeds from disk.
+        warm = self._run(tmp_path / "warm", pricing_cache=cache)
+        assert warm == baseline
+        assert _checkpoint_bytes(tmp_path / "warm") == reference
+
+        # Corrupted store: loads are rejected, the sweep re-prices, and
+        # the heal pass rewrites valid bundles — outputs never change.
+        for bundle in cache.glob("*.plane.bin"):
+            blob = bytearray(bundle.read_bytes())
+            blob[-3] ^= 0xFF
+            bundle.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="corrupt pricing bundle"):
+            healed = self._run(tmp_path / "healed", pricing_cache=cache)
+        assert healed == baseline
+        assert _checkpoint_bytes(tmp_path / "healed") == reference
+        store = CostStore(cache)
+        _clear_pricing_caches()
+        assert store.load(*CONTEXT, OUR_IMPLEMENTATION) is not None
+
+    def test_checkpoint_keys_ignore_the_pricing_cache(self, tmp_path):
+        # The cache is outcome-neutral config, not search identity: the
+        # same cells land under the same content-hash filenames whether
+        # or not (and wherever) a pricing cache is configured.
+        self._run(tmp_path / "a")
+        self._run(tmp_path / "b", pricing_cache=tmp_path / "plane")
+        assert sorted(_checkpoint_bytes(tmp_path / "a")) == sorted(
+            _checkpoint_bytes(tmp_path / "b")
+        )
+
+    def test_multiprocessing_workers_seed_from_the_store(self, tmp_path):
+        cache = tmp_path / "plane"
+        serial = self._run(tmp_path / "serial")
+        reference = _checkpoint_bytes(tmp_path / "serial")
+        registry = MetricsRegistry(actor="test-sweep")
+        with recording(registry):
+            parallel = self._run(
+                tmp_path / "mp",
+                pricing_cache=cache,
+                backend="multiprocessing",
+                processes=2,
+            )
+        assert parallel == serial
+        assert _checkpoint_bytes(tmp_path / "mp") == reference
+        counters = registry.counters
+        assert counters.get("pricing.store.writes", 0) >= 1
+        # Satellite fix: per-worker warm-start deltas are shipped back in
+        # each CellReport and attributed by the coordinator, so
+        # multiprocessing sweeps no longer under-report them.
+        lookups = counters.get(
+            "search.warm_start.hits", 0
+        ) + counters.get("search.warm_start.misses", 0)
+        assert lookups > 0

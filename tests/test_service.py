@@ -334,7 +334,11 @@ class TestCellTiming:
         # B=64 cell is estimated from the steepest recorded rate
         # (9.0s / 16 samples), putting its ~36s ahead of both — a big
         # new cell must not be scheduled after small known ones.
-        assert [key for _i, key, _c in ordered] == ["bbb", "ccc", "aaa"]
+        # Ordering is family-clustered: cells of one method stay
+        # consecutive (they share pricing families), so the small
+        # NO_PIPELINE cell rides with its giant sibling ahead of the
+        # DEPTH_FIRST group.
+        assert [key for _i, key, _c in ordered] == ["bbb", "aaa", "ccc"]
 
     def test_unknown_cells_order_by_batch_size(self, tmp_path):
         from repro.search.service.service import _order_longest_first
@@ -489,6 +493,36 @@ class TestProgressReporter:
         assert eta == pytest.approx(3.0)
         naive_eta = (4 - 1) / (1 / 100.0)
         assert eta < naive_eta / 50
+
+    def test_hot_cold_blend_stops_pricing_hot_cells_at_cold_speed(self):
+        # Family-clustered scheduling regression: six cells estimated at
+        # 10s each; the two cold family-firsts run 2x over estimate
+        # (20s), the two cache-hot siblings 5x under it (2s).  The old
+        # aggregate rate (44s / 40 cost = 1.1) prices the remaining two
+        # hot cells at 22s; the hot/cold blend knows the recent regime
+        # is hot (EMA over [0, 0, 1, 1] = 0.75) and prices them at
+        # 0.75 * 0.2 + 0.25 * 2.0 = 0.65 s per estimated second.
+        reporter = ProgressReporter(6, clock=lambda: 0.0)
+        reporter.expect([10.0] * 6)
+        for _ in range(2):
+            reporter.update(cost=10.0, seconds=20.0, warm_hit_rate=0.0)
+        for _ in range(2):
+            reporter.update(cost=10.0, seconds=2.0, warm_hit_rate=1.0)
+        eta = reporter.eta_seconds(44.0)
+        assert eta == pytest.approx(20.0 * 0.65)
+        aggregate_eta = 20.0 * (44.0 / 40.0)
+        assert eta < aggregate_eta
+        cold_rate_eta = 20.0 * 2.0
+        assert eta < cold_rate_eta / 3
+
+    def test_blend_needs_both_regimes_observed(self):
+        # With only one regime seen (here: all completions cold) the
+        # blend has no hot rate to offer and the ETA must fall back to
+        # the exact aggregate formula the earlier tests pin.
+        reporter = ProgressReporter(4, clock=lambda: 0.0)
+        reporter.expect([10.0] * 4)
+        reporter.update(cost=10.0, seconds=20.0, warm_hit_rate=0.0)
+        assert reporter.eta_seconds(20.0) == pytest.approx(30.0 * 2.0)
 
     def test_eta_tracks_observed_slowdown(self):
         # Actual time running 2x over the estimates scales the ETA 2x.
